@@ -1,0 +1,41 @@
+# SHMT reproduction — common entry points. Stdlib-only Go; no other deps.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation (plus the
+# ablations and the seed-stability study). Takes several minutes.
+experiments:
+	$(GO) run ./cmd/shmtbench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/imagepipeline
+	$(GO) run ./examples/finance
+	$(GO) run ./examples/medical
+	$(GO) run ./examples/multifunction
+	$(GO) run ./examples/multitenant
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,48 @@
+package shmt
+
+import (
+	"fmt"
+
+	"shmt/internal/core"
+	"shmt/internal/vop"
+)
+
+// BatchRequest is one VOP within a multi-tenant batch submission.
+type BatchRequest struct {
+	// Op is the request's VOP.
+	Op Op
+	// Inputs are the request's input tensors.
+	Inputs []*Matrix
+	// Attrs are the request's kernel parameters.
+	Attrs map[string]float64
+}
+
+// BatchResult carries the per-request reports and the batch-wide accounting
+// of one ExecuteBatch round.
+type BatchResult = core.BatchResult
+
+// ExecuteBatch co-schedules several independent VOPs in one round: their
+// HLOPs share the device queues and the stealing pool, so a device that
+// finishes one request's partitions immediately continues with another's —
+// the oversubscription behaviour §5.6 credits for hiding data-exchange
+// latency. Results return per request, with batch-wide latency and energy.
+func (s *Session) ExecuteBatch(reqs []BatchRequest) (*BatchResult, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("shmt: empty batch")
+	}
+	vops := make([]*vop.VOP, len(reqs))
+	for i, r := range reqs {
+		v, err := vop.New(r.Op, r.Inputs...)
+		if err != nil {
+			return nil, fmt.Errorf("shmt: batch request %d: %w", i, err)
+		}
+		for k, x := range r.Attrs {
+			v.SetAttr(k, x)
+		}
+		if s.cfg.CriticalFraction > 0 {
+			v.CriticalFraction = s.cfg.CriticalFraction
+		}
+		vops[i] = v
+	}
+	return s.eng.RunBatch(vops)
+}

@@ -1,0 +1,107 @@
+package shmt_test
+
+import (
+	"math"
+	"testing"
+
+	"shmt"
+	"shmt/internal/workload"
+)
+
+func batchRequests() []shmt.BatchRequest {
+	img := workload.Image(128, 128, 70)
+	noise := workload.Mixed(128, 128, workload.Profile{TileSize: 32}, 71)
+	return []shmt.BatchRequest{
+		{Op: shmt.OpSobel, Inputs: []*shmt.Matrix{img}},
+		{Op: shmt.OpFFT, Inputs: []*shmt.Matrix{noise}},
+		{Op: shmt.OpReduceSum, Inputs: []*shmt.Matrix{noise}},
+	}
+}
+
+func TestExecuteBatch(t *testing.T) {
+	s := newSession(t, shmt.Config{Policy: shmt.PolicyWorkStealing, TargetPartitions: 8})
+	res, err := s.ExecuteBatch(batchRequests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("reports = %d", len(res.Reports))
+	}
+	if res.Reports[0].Output.Rows != 128 || res.Reports[1].Output.Rows != 128 {
+		t.Fatal("map outputs malformed")
+	}
+	if res.Reports[2].Output.Len() != 1 {
+		t.Fatal("reduction output malformed")
+	}
+	// Each request finishes no later than the batch.
+	for i, rep := range res.Reports {
+		if rep.Makespan <= 0 || rep.Makespan > res.Makespan+1e-12 {
+			t.Fatalf("request %d makespan %g vs batch %g", i, rep.Makespan, res.Makespan)
+		}
+	}
+	if res.Energy.Total() <= 0 || res.Comm.Bytes <= 0 {
+		t.Fatal("batch accounting missing")
+	}
+}
+
+func TestExecuteBatchResultsMatchSoloRuns(t *testing.T) {
+	// Co-scheduling must not change the computed data on an exact device.
+	s := newSession(t, shmt.Config{UseCPU: true, Policy: shmt.PolicyCPUOnly, TargetPartitions: 4})
+	reqs := batchRequests()
+	res, err := s.ExecuteBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		solo, err := s.Execute(r.Op, r.Inputs, r.Attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Reports[i].Output.Equal(solo.Output) {
+			t.Fatalf("request %d batch output differs from solo run", i)
+		}
+	}
+}
+
+func TestExecuteBatchSharesCapacity(t *testing.T) {
+	// Two identical requests batched together should finish faster than
+	// running them back-to-back (the second request's HLOPs fill the idle
+	// tail of the first), and never slower.
+	s := newSession(t, shmt.Config{Policy: shmt.PolicyWorkStealing, TargetPartitions: 8})
+	img := workload.Image(128, 128, 72)
+	req := shmt.BatchRequest{Op: shmt.OpSobel, Inputs: []*shmt.Matrix{img}}
+	batch, err := s.ExecuteBatch([]shmt.BatchRequest{req, req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := s.Execute(shmt.OpSobel, req.Inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential := 2 * solo.Makespan
+	if batch.Makespan > sequential*1.05 {
+		t.Fatalf("batch %g slower than sequential %g", batch.Makespan, sequential)
+	}
+}
+
+func TestExecuteBatchValidation(t *testing.T) {
+	s := newSession(t, shmt.Config{})
+	if _, err := s.ExecuteBatch(nil); err == nil {
+		t.Fatal("empty batch should fail")
+	}
+	bad := []shmt.BatchRequest{{Op: shmt.OpAdd, Inputs: []*shmt.Matrix{shmt.NewMatrix(4, 4)}}}
+	if _, err := s.ExecuteBatch(bad); err == nil {
+		t.Fatal("arity error should surface")
+	}
+}
+
+func TestExecuteBatchQAWS(t *testing.T) {
+	s := newSession(t, shmt.Config{Policy: shmt.PolicyQAWSTS, TargetPartitions: 8, SamplingRate: 0.01})
+	res, err := s.ExecuteBatch(batchRequests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Makespan) || res.Makespan <= 0 {
+		t.Fatal("QAWS batch degenerate")
+	}
+}

@@ -1,0 +1,119 @@
+// Command shmtrun executes a single benchmark kernel under a chosen policy
+// and prints the run's full accounting — the interactive counterpart of the
+// shmtbench experiment harness.
+//
+// Usage:
+//
+//	shmtrun -bench Sobel -policy QAWS-TS
+//	shmtrun -bench FFT -policy work-stealing -side 1024 -trace
+//	shmtrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"shmt"
+	"shmt/internal/bench"
+	"shmt/internal/metrics"
+)
+
+func main() {
+	var (
+		name       = flag.String("bench", "Sobel", "benchmark name (see -list)")
+		policy     = flag.String("policy", string(shmt.PolicyQAWSTS), "scheduling policy")
+		side       = flag.Int("side", 2048, "input edge length")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		partitions = flag.Int("partitions", 64, "HLOPs per VOP")
+		rate       = flag.Float64("rate", bench.PaperSamplingRate, "QAWS sampling rate")
+		concurrent = flag.Bool("concurrent", false, "use the goroutine engine")
+		noScale    = flag.Bool("noscale", false, "disable virtual full-size scaling")
+		trace      = flag.Bool("trace", false, "print the per-HLOP execution trace summary")
+		list       = flag.Bool("list", false, "list benchmarks and policies, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, b := range bench.Benchmarks {
+			fmt.Printf("  %-14s %-20s VOP %s\n", b.Name, b.Category, b.Op)
+		}
+		fmt.Println("policies:")
+		for _, p := range shmt.AllPolicies() {
+			fmt.Printf("  %s\n", p)
+		}
+		return
+	}
+
+	b, ok := bench.ByName(*name)
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark %q (see -list)", *name))
+	}
+	o := bench.Options{
+		Side: *side, Seed: *seed, Partitions: *partitions,
+		SamplingRate: *rate, NoVirtualScale: *noScale, Concurrent: *concurrent,
+	}
+
+	cfg := o.SessionConfig(b, shmt.PolicyName(*policy))
+	cfg.RecordTrace = *trace
+	s, err := shmt.NewSession(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+
+	inputs := b.Inputs(*side, *seed)
+	rep, err := s.Execute(b.Op, inputs, b.Attrs)
+	if err != nil {
+		fatal(err)
+	}
+
+	base, err := bench.Run(b, shmt.PolicyGPUBaseline, o)
+	if err != nil {
+		fatal(err)
+	}
+	ref, err := bench.Reference(b, o)
+	if err != nil {
+		fatal(err)
+	}
+	mape, _ := metrics.MAPE(ref.Data, rep.Output.Data)
+
+	fmt.Printf("%s (%s) on %dx%d, policy %s\n", b.Name, b.Op, *side, *side, s.PolicyName())
+	fmt.Printf("  virtual latency:   %.3f ms (GPU baseline %.3f ms -> %.2fx speedup)\n",
+		rep.Makespan*1e3, base.Makespan*1e3, base.Makespan/rep.Makespan)
+	fmt.Printf("  scheduling:        %d HLOPs, %.3f ms overhead\n", rep.HLOPs, rep.SchedOverhead*1e3)
+	names := make([]string, 0, len(rep.Busy))
+	for n := range rep.Busy {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  busy %-4s          %.3f ms\n", n+":", rep.Busy[n]*1e3)
+	}
+	fmt.Printf("  quality:           MAPE %.3f%%", 100*mape)
+	if b.ImageLike {
+		ssim, _ := metrics.SSIM(ref.Rows, ref.Cols, ref.Data, rep.Output.Data)
+		fmt.Printf(", SSIM %.4f", ssim)
+	}
+	fmt.Println()
+	fmt.Printf("  energy:            %.3f J (baseline %.3f J, %.1f%% saved), EDP %.3g\n",
+		rep.Energy.Total(), base.Energy.Total(),
+		100*(1-rep.Energy.Total()/base.Energy.Total()),
+		rep.Energy.Total()*rep.Makespan)
+	fmt.Printf("  data movement:     %.1f MiB, %.3f ms raw, %.3f ms exposed\n",
+		float64(rep.Comm.Bytes)/(1<<20), rep.Comm.TransferTime*1e3, rep.Comm.ExposedTime*1e3)
+	fmt.Printf("  peak footprint:    %.1f MiB (baseline %.1f MiB)\n",
+		float64(rep.PeakBytes)/(1<<20), float64(base.PeakBytes)/(1<<20))
+	if *trace && rep.Trace != nil {
+		fmt.Printf("  trace:             %s\n", rep.Trace.Summary())
+		fmt.Println()
+		fmt.Print(rep.Trace.Gantt(64))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shmtrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Finance: Black-Scholes option pricing (the paper's parabolic_PDE VOP) over
+// a synthetic options book, comparing the conventional GPU-only execution
+// against SHMT across all QAWS variants — speedup, MAPE, and energy, the
+// three axes of the paper's evaluation.
+//
+//	go run ./examples/finance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shmt"
+	"shmt/internal/metrics"
+	"shmt/internal/workload"
+)
+
+func main() {
+	const side = 1024 // ~1M options
+	// Spot prices with regionally volatile clusters (the critical regions
+	// QAWS protects); strikes skew out of the money, so much of the book
+	// prices near zero — the hard case for reduced precision (§5.3).
+	spot := workload.Mixed(side, side, workload.Profile{Lo: 80, Hi: 120, CriticalScale: 6}, 7)
+	for i, v := range spot.Data {
+		if v < 1 {
+			spot.Data[i] = 1
+		}
+	}
+	strike := workload.Uniform(side, side, 100, 150, 8)
+	const r, sigma, t = 0.02, 0.30, 1.0
+
+	scale := float64(8192*8192) / float64(side*side)
+	baseline, err := shmt.NewSession(shmt.Config{Policy: shmt.PolicyGPUBaseline, VirtualScale: scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer baseline.Close()
+	_, baseRep, err := baseline.BlackScholes(spot, strike, r, sigma, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := baseline.Reference(shmt.OpParabolicPDE, []*shmt.Matrix{spot, strike},
+		map[string]float64{"r": r, "sigma": sigma, "t": t})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pricing %d options; GPU baseline %.2f ms, %.3f J\n\n",
+		spot.Len(), baseRep.Makespan*1e3, baseRep.Energy.Total())
+	fmt.Printf("%-10s %9s %9s %9s\n", "policy", "speedup", "mape", "energy")
+	policies := append([]shmt.PolicyName{shmt.PolicyWorkStealing}, shmt.AllQAWSPolicies()...)
+	for _, pol := range policies {
+		s, err := shmt.NewSession(shmt.Config{Policy: pol, VirtualScale: scale})
+		if err != nil {
+			log.Fatal(err)
+		}
+		prices, rep, err := s.BlackScholes(spot, strike, r, sigma, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mape, err := metrics.MAPE(ref.Data, prices.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %8.2fx %8.2f%% %8.3fJ\n",
+			pol, baseRep.Makespan/rep.Makespan, 100*mape, rep.Energy.Total())
+		s.Close()
+	}
+}

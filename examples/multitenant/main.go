@@ -1,0 +1,78 @@
+// Multi-tenant batch: several independent applications submit VOPs to the
+// same SHMT virtual device in one round. Their HLOPs share the device queues
+// and the stealing pool, so devices never idle between requests — the
+// oversubscription §5.6 credits for hiding data-exchange latency.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shmt"
+	"shmt/internal/workload"
+)
+
+func main() {
+	const side = 1024
+	scale := float64(8192*8192) / float64(side*side)
+
+	img := workload.Image(side, side, 5)
+	signal := workload.Mixed(side, side, workload.Profile{}, 6)
+	spot := workload.Mixed(side, side, workload.Profile{Lo: 80, Hi: 120, CriticalScale: 6}, 7)
+	for i, v := range spot.Data {
+		if v < 1 {
+			spot.Data[i] = 1
+		}
+	}
+	strike := workload.Uniform(side, side, 100, 150, 8)
+
+	reqs := []shmt.BatchRequest{
+		{Op: shmt.OpSobel, Inputs: []*shmt.Matrix{img}},
+		{Op: shmt.OpFFT, Inputs: []*shmt.Matrix{signal}},
+		{Op: shmt.OpParabolicPDE, Inputs: []*shmt.Matrix{spot, strike},
+			Attrs: map[string]float64{"r": 0.02, "sigma": 0.3, "t": 1}},
+		{Op: shmt.OpReduceHist256, Inputs: []*shmt.Matrix{signal},
+			Attrs: map[string]float64{"hist_lo": -5, "hist_hi": 6}},
+	}
+	names := []string{"Sobel", "FFT", "Blackscholes", "Histogram"}
+
+	s, err := shmt.NewSession(shmt.Config{
+		Policy:           shmt.PolicyQAWSTS,
+		TargetPartitions: 8, // a few HLOPs per request: the sharing regime
+		VirtualScale:     scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	// Sequential submission: each request waits for the previous one.
+	var sequential float64
+	for _, r := range reqs {
+		rep, err := s.Execute(r.Op, r.Inputs, r.Attrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sequential += rep.Makespan
+	}
+
+	// One co-scheduled batch.
+	batch, err := s.ExecuteBatch(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-14s %12s\n", "request", "finished at")
+	for i, rep := range batch.Reports {
+		fmt.Printf("%-14s %9.1f ms  (%d HLOPs)\n", names[i], rep.Makespan*1e3, rep.HLOPs)
+	}
+	fmt.Printf("\nbatch makespan:      %8.1f ms (%.3f J)\n", batch.Makespan*1e3, batch.Energy.Total())
+	fmt.Printf("sequential makespan: %8.1f ms\n", sequential*1e3)
+	fmt.Printf("aggregate ratio:     %8.2fx\n", sequential/batch.Makespan)
+	fmt.Println("\n(co-scheduling keeps every device busy across tenants and finishes the")
+	fmt.Println(" whole group at roughly the back-to-back cost; with the paper's even")
+	fmt.Println(" initial plan, per-opcode device affinity only re-balances via stealing,")
+	fmt.Println(" so mixed pools trade a few percent of throughput for group fairness)")
+}

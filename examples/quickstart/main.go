@@ -1,0 +1,77 @@
+// Quickstart: the paper's running example (Fig. 4) — a general matrix
+// multiplication submitted through the SHMT virtual device.
+//
+// A conventional framework would delegate tf.matmul to one device; here the
+// GEMM VOP is decomposed into HLOPs that the GPU and the Edge TPU execute
+// concurrently under quality-aware work stealing.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"shmt"
+)
+
+func main() {
+	// A 512x512 GEMM (the paper's Fig. 4 uses 2Kx2K chunks; smaller here so
+	// the example runs in moments).
+	const n = 512
+	rng := rand.New(rand.NewSource(1))
+	a := shmt.NewMatrix(n, n)
+	b := shmt.NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+		b.Data[i] = rng.Float64()
+	}
+
+	// The session is SHMT's virtual hardware device: CPU + GPU + Edge TPU
+	// behind one queue-based runtime, scheduled by QAWS-TS.
+	// VirtualScale maps this reduced-size run onto the full-size platform
+	// timeline (see Config.VirtualScale), so the latency/energy numbers are
+	// what the paper-scale run would report.
+	scale := float64(8192*8192) / float64(n*n)
+	session, err := shmt.NewSession(shmt.Config{
+		Policy:           shmt.PolicyQAWSTS,
+		TargetPartitions: 32,
+		VirtualScale:     scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+
+	c, rep, err := session.MatMul(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("devices:          %v (policy %s)\n", session.Devices(), session.PolicyName())
+	fmt.Printf("C[0,0]:           %.4f\n", c.At(0, 0))
+	fmt.Printf("HLOPs executed:   %d\n", rep.HLOPs)
+	fmt.Printf("virtual latency:  %.2f ms\n", rep.Makespan*1e3)
+	fmt.Printf("device busy time: gpu %.2f ms, tpu %.2f ms\n",
+		rep.Busy["gpu"]*1e3, rep.Busy["tpu"]*1e3)
+	fmt.Printf("energy:           %.3f J (active %.3f J + idle %.3f J)\n",
+		rep.Energy.Total(), rep.Energy.Active, rep.Energy.Idle)
+
+	// Compare against the GPU-only baseline the paper normalizes to.
+	baseline, err := shmt.NewSession(shmt.Config{
+		Policy:           shmt.PolicyGPUBaseline,
+		TargetPartitions: 32,
+		VirtualScale:     scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer baseline.Close()
+	_, baseRep, err := baseline.MatMul(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("speedup over GPU: %.2fx (baseline %.2f ms)\n",
+		baseRep.Makespan/rep.Makespan, baseRep.Makespan*1e3)
+}

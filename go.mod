@@ -1,0 +1,3 @@
+module shmt
+
+go 1.22

@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"strconv"
+
+	"shmt"
+	"shmt/internal/core"
+	"shmt/internal/device"
+	"shmt/internal/device/cpu"
+	"shmt/internal/device/gpu"
+	"shmt/internal/device/tpu"
+	"shmt/internal/hlop"
+	"shmt/internal/metrics"
+	"shmt/internal/sched"
+	"shmt/internal/vop"
+)
+
+// Ablations probe the design choices DESIGN.md calls out, beyond the
+// paper's own figures: HLOP granularity, double buffering, and the
+// data-center device ratio the paper argues the prototype represents
+// (§4.1: "the ratio of computing power between Maxwell GPUs and Edge TPUs
+// resembles those on data center servers").
+
+// AblationGranularityRow is one HLOP-count setting.
+type AblationGranularityRow struct {
+	Partitions int
+	// Speedup is the QAWS-TS geomean speedup over the GPU baseline at the
+	// same granularity.
+	Speedup float64
+}
+
+// AblationGranularity sweeps the HLOP count: too few partitions starve the
+// stealing scheduler, too many drown in dispatch overhead — the tension
+// behind §3.4's page-granularity rule.
+func AblationGranularity(o Options, counts []int) ([]AblationGranularityRow, error) {
+	o = o.withDefaults()
+	if len(counts) == 0 {
+		counts = []int{4, 16, 64, 256}
+	}
+	var rows []AblationGranularityRow
+	for _, n := range counts {
+		ro := o
+		ro.Partitions = n
+		var spds []float64
+		for _, b := range Benchmarks {
+			base, err := Run(b, shmt.PolicyGPUBaseline, ro)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := Run(b, shmt.PolicyQAWSTS, ro)
+			if err != nil {
+				return nil, err
+			}
+			spds = append(spds, metrics.Speedup(base.Makespan, rep.Makespan))
+		}
+		rows = append(rows, AblationGranularityRow{Partitions: n, Speedup: metrics.GeoMean(spds)})
+	}
+	return rows, nil
+}
+
+// AblationDoubleBufferRow compares the same policy with and without
+// transfer/compute overlap.
+type AblationDoubleBufferRow struct {
+	Benchmark            string
+	WithOverlap, Without float64 // speedups over the GPU baseline
+}
+
+// AblationDoubleBuffer quantifies §5.6's claim that double buffering hides
+// the communication latency: work stealing with overlap vs without.
+func AblationDoubleBuffer(o Options) ([]AblationDoubleBufferRow, error) {
+	o = o.withDefaults()
+	var rows []AblationDoubleBufferRow
+	for _, b := range Benchmarks {
+		base, err := Run(b, shmt.PolicyGPUBaseline, o)
+		if err != nil {
+			return nil, err
+		}
+		with, err := Run(b, shmt.PolicyWorkStealing, o)
+		if err != nil {
+			return nil, err
+		}
+		without, err := runEngine(b, o, sched.WorkStealing{}, false, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationDoubleBufferRow{
+			Benchmark:   b.Name,
+			WithOverlap: metrics.Speedup(base.Makespan, with.Makespan),
+			Without:     metrics.Speedup(base.Makespan, without.Makespan),
+		})
+	}
+	return rows, nil
+}
+
+// AblationDatacenterRow is one benchmark under the data-center device ratio.
+type AblationDatacenterRow struct {
+	Benchmark string
+	// Embedded is the prototype's QAWS-TS speedup; Datacenter scales the
+	// accelerator the way a TPUv4:A100 pairing would (§4.1's 275:67 TFLOPS
+	// ≈ 4x the prototype's Edge-TPU:GPU ratio).
+	Embedded, Datacenter float64
+}
+
+// AblationDatacenter re-runs the headline experiment with the accelerator
+// ratio of a data-center pairing.
+func AblationDatacenter(o Options) ([]AblationDatacenterRow, error) {
+	o = o.withDefaults()
+	var rows []AblationDatacenterRow
+	for _, b := range Benchmarks {
+		base, err := Run(b, shmt.PolicyGPUBaseline, o)
+		if err != nil {
+			return nil, err
+		}
+		emb, err := Run(b, shmt.PolicyQAWSTS, o)
+		if err != nil {
+			return nil, err
+		}
+		dc, err := runEngine(b, o, sched.QAWS{Rate: o.SamplingRate}, true, 1, 4)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationDatacenterRow{
+			Benchmark:  b.Name,
+			Embedded:   metrics.Speedup(base.Makespan, emb.Makespan),
+			Datacenter: metrics.Speedup(base.Makespan, dc.Makespan),
+		})
+	}
+	return rows, nil
+}
+
+// AblationDSPRow compares the 3-device prototype against the 4-device
+// platform with the §2.1 DSP extension, for the image benchmarks in the
+// DSP's home domain.
+type AblationDSPRow struct {
+	Benchmark string
+	// ThreeDevice and FourDevice are QAWS-TS speedups over the GPU baseline.
+	ThreeDevice, FourDevice float64
+	// MAPE3 and MAPE4 are the matching result qualities.
+	MAPE3, MAPE4 float64
+}
+
+// AblationDSP measures what the DSP extension buys: a third accelerator (and
+// a third accuracy tier) for the signal/image kernels.
+func AblationDSP(o Options) ([]AblationDSPRow, error) {
+	o = o.withDefaults()
+	var rows []AblationDSPRow
+	for _, b := range Benchmarks {
+		if !b.ImageLike {
+			continue
+		}
+		ref, err := Reference(b, o)
+		if err != nil {
+			return nil, err
+		}
+		base, err := Run(b, shmt.PolicyGPUBaseline, o)
+		if err != nil {
+			return nil, err
+		}
+		three, err := Run(b, shmt.PolicyQAWSTS, o)
+		if err != nil {
+			return nil, err
+		}
+		cfg := o.SessionConfig(b, shmt.PolicyQAWSTS)
+		cfg.UseDSP = true
+		s, err := shmt.NewSession(cfg)
+		if err != nil {
+			return nil, err
+		}
+		four, err := s.Execute(b.Op, b.Inputs(o.Side, o.Seed), b.Attrs)
+		s.Close()
+		if err != nil {
+			return nil, err
+		}
+		m3, _ := metrics.MAPE(ref.Data, three.Output.Data)
+		m4, _ := metrics.MAPE(ref.Data, four.Output.Data)
+		rows = append(rows, AblationDSPRow{
+			Benchmark:   b.Name,
+			ThreeDevice: metrics.Speedup(base.Makespan, three.Makespan),
+			FourDevice:  metrics.Speedup(base.Makespan, four.Makespan),
+			MAPE3:       m3,
+			MAPE4:       m4,
+		})
+	}
+	return rows, nil
+}
+
+// AblationDSPTable renders the DSP-extension comparison.
+func AblationDSPTable(rows []AblationDSPRow) *Table {
+	t := &Table{
+		Title:  "Ablation — adding the 24-bit DSP as a third accelerator (image kernels)",
+		Header: []string{"Benchmark", "3-device speedup", "4-device speedup", "3-dev MAPE", "4-dev MAPE"},
+	}
+	var s3, s4 []float64
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, f2(r.ThreeDevice), f2(r.FourDevice), pct(r.MAPE3), pct(r.MAPE4))
+		s3 = append(s3, r.ThreeDevice)
+		s4 = append(s4, r.FourDevice)
+	}
+	t.AddRow("GMEAN", f2(metrics.GeoMean(s3)), f2(metrics.GeoMean(s4)), "", "")
+	return t
+}
+
+// runEngine runs one benchmark on a custom-configured engine (for ablations
+// that need device or engine knobs the public Config does not expose).
+func runEngine(b Benchmark, o Options, pol sched.Policy, doubleBuffer bool,
+	gpuScale, tpuScale float64) (*core.Report, error) {
+
+	o = o.withDefaults()
+	slow := o.VirtualScale()
+	reg, err := device.NewRegistry(
+		cpu.New(slow),
+		gpu.New(gpu.Config{Slowdown: slow, ThroughputScale: gpuScale}),
+		tpu.New(tpu.Config{Slowdown: slow, ThroughputScale: tpuScale}),
+	)
+	if err != nil {
+		return nil, err
+	}
+	eng := &core.Engine{
+		Reg:          reg,
+		Policy:       pol,
+		Spec:         hlop.Spec{TargetPartitions: o.Partitions},
+		DoubleBuffer: doubleBuffer,
+		Seed:         o.Seed,
+		HostScale:    slow,
+	}
+	v, err := vop.New(b.Op, b.Inputs(o.Side, o.Seed)...)
+	if err != nil {
+		return nil, err
+	}
+	for k, x := range b.Attrs {
+		v.SetAttr(k, x)
+	}
+	v.CriticalFraction = b.CriticalFraction
+	return eng.Run(v)
+}
+
+// AblationGranularityTable renders the granularity sweep.
+func AblationGranularityTable(rows []AblationGranularityRow) *Table {
+	t := &Table{
+		Title:  "Ablation — QAWS-TS speedup vs HLOP granularity",
+		Header: []string{"partitions", "speedup (gmean)"},
+	}
+	for _, r := range rows {
+		t.AddRow(f0(r.Partitions), f2(r.Speedup))
+	}
+	return t
+}
+
+// AblationDoubleBufferTable renders the overlap comparison.
+func AblationDoubleBufferTable(rows []AblationDoubleBufferRow) *Table {
+	t := &Table{
+		Title:  "Ablation — work stealing with vs without double buffering",
+		Header: []string{"Benchmark", "with overlap", "without"},
+	}
+	var w, wo []float64
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, f2(r.WithOverlap), f2(r.Without))
+		w = append(w, r.WithOverlap)
+		wo = append(wo, r.Without)
+	}
+	t.AddRow("GMEAN", f2(metrics.GeoMean(w)), f2(metrics.GeoMean(wo)))
+	return t
+}
+
+// AblationDatacenterTable renders the device-ratio comparison.
+func AblationDatacenterTable(rows []AblationDatacenterRow) *Table {
+	t := &Table{
+		Title:  "Ablation — QAWS-TS under the data-center accelerator ratio (§4.1)",
+		Header: []string{"Benchmark", "embedded (prototype)", "datacenter (4x TPU)"},
+	}
+	var e, d []float64
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, f2(r.Embedded), f2(r.Datacenter))
+		e = append(e, r.Embedded)
+		d = append(d, r.Datacenter)
+	}
+	t.AddRow("GMEAN", f2(metrics.GeoMean(e)), f2(metrics.GeoMean(d)))
+	return t
+}
+
+func f0(v int) string { return strconv.Itoa(v) }

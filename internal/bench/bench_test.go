@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"shmt"
+)
+
+// smallOpts keeps harness tests fast: tiny inputs, few partitions.
+func smallOpts() Options {
+	return Options{Side: 128, Partitions: 4, Seed: 1}
+}
+
+func TestBenchmarkTableMatchesPaper(t *testing.T) {
+	if len(Benchmarks) != 10 {
+		t.Fatalf("benchmark count = %d want 10 (Table 2)", len(Benchmarks))
+	}
+	names := []string{"Blackscholes", "DCT8x8", "DWT", "FFT", "Histogram",
+		"Hotspot", "Laplacian", "MF", "Sobel", "SRAD"}
+	for i, want := range names {
+		if Benchmarks[i].Name != want {
+			t.Fatalf("benchmark %d = %q want %q", i, Benchmarks[i].Name, want)
+		}
+	}
+	imageLike := 0
+	for _, b := range Benchmarks {
+		if b.ImageLike {
+			imageLike++
+		}
+	}
+	if imageLike != 6 {
+		t.Fatalf("image benchmarks = %d want 6 (Fig. 8)", imageLike)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Sobel"); !ok {
+		t.Fatal("Sobel not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown benchmark found")
+	}
+}
+
+func TestInputsShapesAndArity(t *testing.T) {
+	for _, b := range Benchmarks {
+		inputs := b.Inputs(64, 1)
+		if len(inputs) != b.Op.NumInputs() {
+			t.Fatalf("%s inputs = %d want %d", b.Name, len(inputs), b.Op.NumInputs())
+		}
+		for _, in := range inputs {
+			if in.Rows != 64 || in.Cols != 64 {
+				t.Fatalf("%s input shape %dx%d", b.Name, in.Rows, in.Cols)
+			}
+		}
+	}
+}
+
+func TestVirtualScale(t *testing.T) {
+	o := Options{Side: 2048}
+	if got := o.VirtualScale(); got != 16 {
+		t.Fatalf("scale = %g want 16", got)
+	}
+	o.NoVirtualScale = true
+	if o.VirtualScale() != 1 {
+		t.Fatal("NoVirtualScale ignored")
+	}
+	if (Options{Side: 8192}).VirtualScale() != 1 {
+		t.Fatal("full size should not scale")
+	}
+}
+
+func TestRunAllBenchmarksQAWS(t *testing.T) {
+	o := smallOpts()
+	for _, b := range Benchmarks {
+		rep, err := Run(b, shmt.PolicyQAWSTS, o)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if rep.Makespan <= 0 || rep.Output == nil {
+			t.Fatalf("%s produced empty report", b.Name)
+		}
+	}
+}
+
+func TestReferenceCaching(t *testing.T) {
+	b, _ := ByName("Sobel")
+	o := smallOpts()
+	a1, err := Reference(b, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := Reference(b, o)
+	if a1 != a2 {
+		t.Fatal("reference not cached")
+	}
+}
+
+func TestRunMatrixAndViews(t *testing.T) {
+	o := smallOpts()
+	pols := []shmt.PolicyName{shmt.PolicyTPUOnly, shmt.PolicyWorkStealing, shmt.PolicyQAWSTS}
+	m, err := RunMatrix(pols, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Benchmarks {
+		for _, p := range pols {
+			c := m.Cells[b.Name][p]
+			if c == nil || c.Speedup <= 0 {
+				t.Fatalf("%s/%s missing or degenerate", b.Name, p)
+			}
+			if c.MAPE < 0 {
+				t.Fatalf("%s/%s negative MAPE", b.Name, p)
+			}
+		}
+	}
+	// TPU-only must be the worst quality on average.
+	tpuMAPE := m.GeoMean(shmt.PolicyTPUOnly, func(c *Cell) float64 { return c.MAPE }, false)
+	qawsMAPE := m.GeoMean(shmt.PolicyQAWSTS, func(c *Cell) float64 { return c.MAPE }, false)
+	if qawsMAPE >= tpuMAPE {
+		t.Fatalf("QAWS MAPE %g should undercut TPU-only %g", qawsMAPE, tpuMAPE)
+	}
+	for _, tbl := range []*Table{m.SpeedupTable(), m.MAPETable(), m.SSIMTable(),
+		Fig10Table(m.Fig10()), Fig11Table(m.Fig11()), Table3Table(m.Table3())} {
+		var sb strings.Builder
+		tbl.Render(&sb)
+		if !strings.Contains(sb.String(), "GMEAN") {
+			t.Fatalf("table missing GMEAN row:\n%s", sb.String())
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	rows, err := Fig2(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 { // 10 benchmarks + GMEAN
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Conventional < 1 {
+			t.Fatalf("%s conventional %g < 1", r.Benchmark, r.Conventional)
+		}
+		if r.SHMTTheoretical <= r.Conventional {
+			t.Fatalf("%s theoretical should exceed conventional", r.Benchmark)
+		}
+	}
+	var sb strings.Builder
+	Fig2Table(rows).Render(&sb)
+	if !strings.Contains(sb.String(), "GMEAN") {
+		t.Fatal("fig2 table missing GMEAN")
+	}
+}
+
+func TestFig12SpeedupGrowsWithSize(t *testing.T) {
+	rows, err := Fig12(Options{Seed: 1, Partitions: 16}, []int{64, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].GMean <= rows[0].GMean {
+		t.Fatalf("speedup should grow with size: %g -> %g (the paper's Fig. 12 trend)",
+			rows[0].GMean, rows[1].GMean)
+	}
+	var sb strings.Builder
+	Fig12Table(rows).Render(&sb)
+	if !strings.Contains(sb.String(), "GMEAN") {
+		t.Fatal("fig12 table malformed")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	var sb strings.Builder
+	Table1().Render(&sb)
+	if !strings.Contains(sb.String(), "reduce_hist256") || !strings.Contains(sb.String(), "GEMM") {
+		t.Fatal("Table 1 incomplete")
+	}
+	sb.Reset()
+	Table2().Render(&sb)
+	if !strings.Contains(sb.String(), "SRAD") || !strings.Contains(sb.String(), "Rodinia") {
+		t.Fatal("Table 2 incomplete")
+	}
+}
+
+func TestElemsLabel(t *testing.T) {
+	cases := map[int]string{4096: "4K", 1 << 20: "1M", 64 << 20: "64M", 100: "100"}
+	for n, want := range cases {
+		if got := ElemsLabel(n); got != want {
+			t.Fatalf("ElemsLabel(%d) = %q want %q", n, got, want)
+		}
+	}
+}
+
+func TestFig1(t *testing.T) {
+	rows, err := Fig1(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !(rows[2].Makespan < rows[0].Makespan && rows[1].Makespan < rows[0].Makespan) {
+		t.Fatalf("Fig. 1 ordering violated: %+v", rows)
+	}
+	var sb strings.Builder
+	Fig1Table(rows).Render(&sb)
+	if !strings.Contains(sb.String(), "SHMT") {
+		t.Fatal("fig1 table malformed")
+	}
+}
+
+func TestTableExport(t *testing.T) {
+	tbl := &Table{Title: "x", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("3", "4")
+
+	var csvOut strings.Builder
+	if err := tbl.Write(&csvOut, FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	if csvOut.String() != "a,b\n1,2\n3,4\n" {
+		t.Fatalf("csv = %q", csvOut.String())
+	}
+
+	var jsonOut strings.Builder
+	if err := tbl.Write(&jsonOut, FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonOut.String(), `"a": "3"`) {
+		t.Fatalf("json = %s", jsonOut.String())
+	}
+
+	var txt strings.Builder
+	if err := tbl.Write(&txt, FormatText); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "== x ==") {
+		t.Fatal("text format lost the title")
+	}
+	if err := tbl.Write(&txt, Format("yaml")); err == nil {
+		t.Fatal("unknown format should error")
+	}
+}
+
+func TestStability(t *testing.T) {
+	rows, err := Stability(smallOpts(), []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Speedups) != 2 || len(r.MAPEs) != 2 {
+			t.Fatalf("%s incomplete", r.Policy)
+		}
+		lo, hi := r.SpeedupRange()
+		if lo <= 0 || hi < lo {
+			t.Fatalf("%s speedup range %g..%g", r.Policy, lo, hi)
+		}
+		// Seed sensitivity should be modest: the spread stays within ~25%.
+		if hi/lo > 1.25 {
+			t.Fatalf("%s speedup unstable across seeds: %g..%g", r.Policy, lo, hi)
+		}
+	}
+	var sb strings.Builder
+	StabilityTable(rows).Render(&sb)
+	if !strings.Contains(sb.String(), "QAWS-TS") {
+		t.Fatal("stability table malformed")
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Export formats for experiment tables, so downstream tooling (plotting
+// scripts, spreadsheets) can consume regenerated results without scraping
+// the text rendering.
+
+// CSV writes the table as RFC-4180 CSV: one header row, then data rows.
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("bench: csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("bench: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes the table as a single object: {"title": ..., "rows": [{col:
+// val, ...}, ...]}, with every cell kept as the rendered string (the
+// columns mix units).
+func (t *Table) JSON(w io.Writer) error {
+	type doc struct {
+		Title string              `json:"title"`
+		Rows  []map[string]string `json:"rows"`
+	}
+	d := doc{Title: t.Title}
+	for _, row := range t.Rows {
+		rec := make(map[string]string, len(t.Header))
+		for i, h := range t.Header {
+			if i < len(row) {
+				rec[h] = row[i]
+			}
+		}
+		d.Rows = append(d.Rows, rec)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Format names a table output format.
+type Format string
+
+// Supported table output formats.
+const (
+	FormatText Format = "text"
+	FormatCSV  Format = "csv"
+	FormatJSON Format = "json"
+)
+
+// Write renders the table in the requested format.
+func (t *Table) Write(w io.Writer, f Format) error {
+	switch f {
+	case FormatText, "":
+		t.Render(w)
+		return nil
+	case FormatCSV:
+		return t.CSV(w)
+	case FormatJSON:
+		return t.JSON(w)
+	default:
+		return fmt.Errorf("bench: unknown format %q (want text, csv, or json)", f)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"shmt/internal/hlop"
+	"shmt/internal/kernels"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// aggregate merges completed HLOP results into the VOP's output tensor: the
+// data-aggregation/synchronization step the runtime performs from the
+// completion queues (§3.3.1). Reduction partials merge semantically; every
+// other opcode scatters each partition's interior back with strided copies.
+// It returns the output and the total bytes copied (for the host-time
+// accounting).
+func aggregate(v *vop.VOP, done []doneHLOP) (*tensor.Matrix, int64, error) {
+	if len(done) == 0 {
+		return nil, 0, fmt.Errorf("core: no completed HLOPs to aggregate")
+	}
+	if v.Op.IsReduction() {
+		ordered := make([]doneHLOP, len(done))
+		copy(ordered, done)
+		sort.Slice(ordered, func(a, b int) bool { return ordered[a].h.ID < ordered[b].h.ID })
+		partials := make([]*tensor.Matrix, len(ordered))
+		var bytes int64
+		for i, d := range ordered {
+			partials[i] = d.h.Result
+			bytes += d.h.Result.Bytes(8)
+		}
+		out, err := kernels.MergePartials(v.Op, partials, v.Inputs[0].Len())
+		return out, bytes, err
+	}
+
+	rows, cols := v.OutputShape()
+	out := tensor.NewMatrix(rows, cols)
+	var bytes int64
+	for _, d := range done {
+		h := d.h
+		block := h.Result
+		if h.Op.Halo() > 0 {
+			interior, err := tensor.CopyOut(block, h.Interior)
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: extracting interior of HLOP %d: %w", h.ID, err)
+			}
+			block = interior
+		}
+		if err := tensor.CopyIn(out, h.Region, block); err != nil {
+			return nil, 0, fmt.Errorf("core: aggregating HLOP %d: %w", h.ID, err)
+		}
+		bytes += h.Region.Bytes(8)
+	}
+	return out, bytes, nil
+}
+
+// coverageError verifies that completed HLOPs tile the output exactly once;
+// the engines assert this invariant under -race test runs and the property
+// tests exercise it directly.
+func coverageError(v *vop.VOP, done []doneHLOP) error {
+	if v.Op.IsReduction() {
+		return nil
+	}
+	rows, cols := v.OutputShape()
+	seen := make([]bool, rows*cols)
+	for _, d := range done {
+		r := d.h.Region
+		for i := r.Row; i < r.Row+r.Height; i++ {
+			for j := r.Col; j < r.Col+r.Width; j++ {
+				idx := i*cols + j
+				if seen[idx] {
+					return fmt.Errorf("core: output cell (%d,%d) covered twice", i, j)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+	for idx, ok := range seen {
+		if !ok {
+			return fmt.Errorf("core: output cell (%d,%d) never covered", idx/cols, idx%cols)
+		}
+	}
+	return nil
+}
+
+// CheckCoverage exposes the tiling invariant for tests: it partitions the
+// VOP with spec and verifies disjoint, complete coverage of the output.
+func CheckCoverage(v *vop.VOP, spec hlop.Spec) error {
+	hs, err := hlop.Partition(v, spec)
+	if err != nil {
+		return err
+	}
+	done := make([]doneHLOP, len(hs))
+	for i, h := range hs {
+		done[i] = doneHLOP{h: h}
+	}
+	return coverageError(v, done)
+}

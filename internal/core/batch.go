@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"shmt/internal/energy"
+	"shmt/internal/hlop"
+	"shmt/internal/interconnect"
+	"shmt/internal/sched"
+	"shmt/internal/trace"
+	"shmt/internal/vop"
+)
+
+// BatchResult is the outcome of co-scheduling several independent VOPs over
+// the same device queues.
+type BatchResult struct {
+	// Reports holds one report per submitted VOP, in submission order. Each
+	// report's Makespan is that VOP's own completion time; Busy, Comm,
+	// Energy and PeakBytes on the individual reports describe only that
+	// VOP's HLOPs.
+	Reports []*Report
+	// Makespan is the batch's end-to-end virtual latency.
+	Makespan float64
+	// Busy is the per-device busy time across the whole batch.
+	Busy map[string]float64
+	// Energy integrates the platform power over the batch makespan.
+	Energy energy.Breakdown
+	// Comm is the batch-wide data-movement accounting.
+	Comm interconnect.Tracker
+}
+
+// RunBatch executes several independent VOPs in one scheduling round: every
+// VOP's HLOPs share the device queues (interleaved round-robin so the VOPs
+// progress together), stealing operates across the whole pool, and each
+// VOP's partitions aggregate into its own output. This is the
+// oversubscription §5.6 leans on — "the amount of HLOPs from each
+// application allows the SHMT runtime system to easily oversubscribe
+// available processing resources".
+func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
+	if e.Reg == nil {
+		return nil, errors.New("core: engine has no device registry")
+	}
+	if len(vops) == 0 {
+		return nil, errors.New("core: empty batch")
+	}
+	pol := e.Policy
+	if pol == nil {
+		pol = sched.WorkStealing{}
+	}
+	ctx := &sched.Context{Reg: e.Reg, Seed: e.Seed, HostScale: maxf(e.HostScale, 1)}
+
+	// Partition and assign per VOP (window semantics stay per VOP), then
+	// interleave into one pool with globally unique IDs.
+	perVOP := make([][]*hlop.HLOP, len(vops))
+	owner := map[*hlop.HLOP]int{}
+	var overhead float64
+	nextID := 0
+	for i, v := range vops {
+		hs, err := hlop.Partition(v, e.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch vop %d: %w", i, err)
+		}
+		ovh, err := pol.Assign(ctx, hs)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch vop %d: %w", i, err)
+		}
+		overhead += ovh
+		for _, h := range hs {
+			h.ID = nextID
+			nextID++
+			owner[h] = i
+		}
+		perVOP[i] = hs
+	}
+	pool := interleave(perVOP)
+
+	tr := trace.New()
+	for i, v := range vops {
+		e.accountFootprint(tr, v, perVOP[i])
+	}
+
+	var res *runResult
+	var err error
+	if e.Concurrent {
+		res, err = e.runConcurrent(ctx, pol, pool, overhead, tr)
+	} else {
+		res, err = e.runDeterministic(ctx, pol, pool, overhead, tr)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Split completions by owning VOP. Splits inherit their parent pointer,
+	// so ownership resolves through Parent when the HLOP was re-created.
+	parentIdx := map[*vop.VOP]int{}
+	for i, v := range vops {
+		parentIdx[v] = i
+	}
+	doneBy := make([][]doneHLOP, len(vops))
+	for _, d := range res.done {
+		i, ok := owner[d.h]
+		if !ok {
+			i, ok = parentIdx[d.h.Parent]
+			if !ok {
+				return nil, fmt.Errorf("core: completed HLOP %d has no owning VOP", d.h.ID)
+			}
+		}
+		doneBy[i] = append(doneBy[i], d)
+	}
+
+	batch := &BatchResult{Busy: res.busy, Comm: res.comm}
+	copyBw := interconnect.HostDRAM.BandwidthBps
+	aggT := overhead
+	var aggBusy float64
+	for i, v := range vops {
+		out, aggBytes, err := aggregate(v, doneBy[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: batch vop %d: %w", i, err)
+		}
+		aggBusy += float64(aggBytes) / copyBw
+		var finish float64
+		for _, d := range doneBy[i] {
+			if d.finish > finish {
+				finish = d.finish
+			}
+			if aggT < d.finish {
+				aggT = d.finish
+			}
+			aggT += float64(d.h.OutputBytes(8)) / copyBw
+		}
+		rep := &Report{
+			Output:        out,
+			HLOPs:         len(doneBy[i]),
+			Makespan:      finish + float64(aggBytes)/copyBw,
+			SchedOverhead: overhead,
+		}
+		batch.Reports = append(batch.Reports, rep)
+	}
+	batch.Makespan = res.deviceMakespan
+	if aggT > batch.Makespan {
+		batch.Makespan = aggT
+	}
+	for _, rep := range batch.Reports {
+		if rep.Makespan > batch.Makespan {
+			batch.Makespan = rep.Makespan
+		}
+	}
+	batch.Busy["cpu"] += overhead + aggBusy
+	batch.Energy = energy.DefaultModel().Energy(energy.Usage{Makespan: batch.Makespan, Busy: batch.Busy})
+	return batch, nil
+}
+
+// interleave merges per-VOP HLOP lists round-robin.
+func interleave(groups [][]*hlop.HLOP) []*hlop.HLOP {
+	var out []*hlop.HLOP
+	for i := 0; ; i++ {
+		appended := false
+		for _, g := range groups {
+			if i < len(g) {
+				out = append(out, g[i])
+				appended = true
+			}
+		}
+		if !appended {
+			return out
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

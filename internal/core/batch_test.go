@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"shmt/internal/device"
+	"shmt/internal/device/cpu"
+	"shmt/internal/device/gpu"
+	"shmt/internal/device/tpu"
+	"shmt/internal/hlop"
+	"shmt/internal/sched"
+	"shmt/internal/vop"
+	"shmt/internal/workload"
+)
+
+func batchVOPs(t *testing.T) []*vop.VOP {
+	t.Helper()
+	a := workload.Mixed(64, 64, workload.Profile{TileSize: 16}, 80)
+	b := workload.Uniform(64, 64, 0.1, 1, 81)
+	v1, err := vop.New(vop.OpSobel, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := vop.New(vop.OpSqrt, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := vop.New(vop.OpReduceSum, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*vop.VOP{v1, v2, v3}
+}
+
+func TestRunBatchBasics(t *testing.T) {
+	e := &Engine{Reg: stdRegistry(t), Policy: sched.WorkStealing{},
+		Spec: hlop.Spec{TargetPartitions: 4, MinTile: 8, MinVectorElems: 64}, DoubleBuffer: true}
+	res, err := e.RunBatch(batchVOPs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("reports = %d", len(res.Reports))
+	}
+	if res.Makespan <= 0 || res.Energy.Total() <= 0 {
+		t.Fatal("batch accounting degenerate")
+	}
+	for i, rep := range res.Reports {
+		if rep.Output == nil || rep.HLOPs == 0 {
+			t.Fatalf("report %d empty", i)
+		}
+		if rep.Makespan > res.Makespan+1e-12 {
+			t.Fatalf("report %d outlives the batch", i)
+		}
+	}
+}
+
+func TestRunBatchExactness(t *testing.T) {
+	reg, _ := device.NewRegistry(cpu.New(1))
+	e := &Engine{Reg: reg, Policy: sched.SingleDevice{Device: "cpu"},
+		Spec: hlop.Spec{TargetPartitions: 4, MinTile: 8, MinVectorElems: 64}}
+	vops := batchVOPs(t)
+	res, err := e.RunBatch(vops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vops {
+		solo, err := e.Run(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Reports[i].Output.Equal(solo.Output) {
+			t.Fatalf("vop %d batch output differs from solo", i)
+		}
+	}
+}
+
+// TestRunBatchSplitOwnership forces TPU-memory splits inside a batch and
+// checks every re-created HLOP still aggregates into the right VOP.
+func TestRunBatchSplitOwnership(t *testing.T) {
+	tiny := tpu.New(tpu.Config{MemoryBytes: 6 << 10})
+	reg, _ := device.NewRegistry(cpu.New(1), gpu.New(gpu.Config{}), tiny)
+	e := &Engine{Reg: reg, Policy: sched.SingleDevice{Device: "tpu"},
+		Spec: hlop.Spec{TargetPartitions: 2, MinTile: 8}}
+	a := workload.Uniform(96, 96, 0, 1, 82)
+	b := workload.Uniform(96, 96, 0, 1, 83)
+	v1, _ := vop.New(vop.OpSobel, a)
+	v2, _ := vop.New(vop.OpMeanFilter, b)
+	res, err := e.RunBatch([]*vop.VOP{v1, v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reports[0].HLOPs <= 2 || res.Reports[1].HLOPs <= 2 {
+		t.Fatalf("expected splits: %d/%d HLOPs", res.Reports[0].HLOPs, res.Reports[1].HLOPs)
+	}
+	for i, rep := range res.Reports {
+		if rep.Output.Rows != 96 || rep.Output.Cols != 96 {
+			t.Fatalf("vop %d output shape wrong after splits", i)
+		}
+	}
+}
+
+func TestRunBatchConcurrent(t *testing.T) {
+	e := &Engine{Reg: stdRegistry(t), Policy: sched.WorkStealing{},
+		Spec: hlop.Spec{TargetPartitions: 4, MinTile: 8, MinVectorElems: 64}, Concurrent: true}
+	res, err := e.RunBatch(batchVOPs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("reports = %d", len(res.Reports))
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	e := &Engine{Reg: stdRegistry(t)}
+	if _, err := e.RunBatch(nil); err == nil {
+		t.Fatal("empty batch should fail")
+	}
+	if _, err := (&Engine{}).RunBatch(batchVOPs(t)); err == nil {
+		t.Fatal("missing registry should fail")
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	a := []*hlop.HLOP{{ID: 0}, {ID: 1}}
+	b := []*hlop.HLOP{{ID: 10}, {ID: 11}, {ID: 12}}
+	got := interleave([][]*hlop.HLOP{a, b})
+	want := []int{0, 10, 1, 11, 12}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, h := range got {
+		if h.ID != want[i] {
+			t.Fatalf("interleave[%d] = %d want %d", i, h.ID, want[i])
+		}
+	}
+}
+
+func TestEngineEvenDistributionBoundedBySlowerDevice(t *testing.T) {
+	// Even distribution's makespan is bounded below by half the work on the
+	// slower device (the paper's §5.2 observation). Using an op where the
+	// TPU is much slower (MF, ratio 0.31), even must trail work stealing.
+	m := workload.Image(128, 128, 84)
+	v, _ := vop.New(vop.OpMeanFilter, m)
+	run := func(pol sched.Policy) float64 {
+		e := &Engine{Reg: stdRegistry(t), Policy: pol,
+			Spec: hlop.Spec{TargetPartitions: 16, MinTile: 8}, DoubleBuffer: pol.StealingEnabled()}
+		rep, err := e.Run(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Makespan
+	}
+	even := run(sched.EvenDistribution{})
+	ws := run(sched.WorkStealing{})
+	if ws >= even {
+		t.Fatalf("work stealing (%g) should beat even distribution (%g) on a TPU-hostile kernel", ws, even)
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"shmt/internal/device"
+	"shmt/internal/hlop"
+	"shmt/internal/sched"
+	"shmt/internal/trace"
+)
+
+// runConcurrent is the goroutine engine: one worker per device drains its
+// TaskQueue — the paper's "thread monitoring the queue will work with the
+// target device's kernel module and execute the HLOP implementation whenever
+// the device is available" (§3.3.1). Idle workers steal from the most-loaded
+// permitted victim. Virtual time is still used for cost accounting (each
+// worker owns its device clock), but scheduling order is decided by real
+// concurrent execution, so this engine validates that the runtime's
+// invariants do not depend on the deterministic event ordering.
+func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
+	hs []*hlop.HLOP, overhead float64, tr *trace.Trace) (*runResult, error) {
+
+	n := e.Reg.Len()
+	queues := make([]*device.TaskQueue[*hlop.HLOP], n)
+	for i := 0; i < n; i++ {
+		queues[i] = device.NewTaskQueue[*hlop.HLOP]()
+	}
+	for _, h := range hs {
+		queues[h.AssignedQueue].Push(h)
+	}
+
+	var outstanding atomic.Int64
+	outstanding.Store(int64(len(hs)))
+	var nextID atomic.Int64
+	nextID.Store(int64(len(hs)))
+
+	var mu sync.Mutex // guards trace, retries, firstErr
+	retries := map[*hlop.HLOP]int{}
+	var firstErr error
+
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		// Drop all remaining work so every worker exits.
+		for outstanding.Load() > 0 {
+			dropped := false
+			for _, q := range queues {
+				if _, ok := q.Pop(); ok {
+					outstanding.Add(-1)
+					dropped = true
+				}
+			}
+			if !dropped {
+				break
+			}
+		}
+	}
+
+	type workerState struct {
+		devTime  float64
+		prevExec float64
+		busy     float64
+		ran      bool
+		comm     struct {
+			bytes         int64
+			xfer, exposed float64
+		}
+	}
+	states := make([]*workerState, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		st := &workerState{devTime: overhead}
+		states[i] = st
+		wg.Add(1)
+		go func(qi int, st *workerState) {
+			defer wg.Done()
+			dev := e.Reg.Get(qi)
+			for outstanding.Load() > 0 {
+				h, stolen := e.obtainConcurrent(ctx, pol, queues, qi)
+				if h == nil {
+					runtime.Gosched()
+					continue
+				}
+				result, execErr := dev.Execute(h.Op, h.Inputs, h.Attrs)
+				if execErr != nil {
+					if errors.Is(execErr, device.ErrTooLarge) {
+						a, b, splitErr := hlop.Split(h, int(nextID.Add(1)-1))
+						if splitErr != nil {
+							fail(fmt.Errorf("core: HLOP %d overflows %s and cannot split: %w", h.ID, dev.Name(), splitErr))
+							return
+						}
+						st.devTime += splitCost
+						outstanding.Add(1)
+						queues[qi].PushFront(b)
+						queues[qi].PushFront(a)
+						continue
+					}
+					mu.Lock()
+					retries[h]++
+					r := retries[h]
+					mu.Unlock()
+					if r >= maxExecuteRetries {
+						fail(fmt.Errorf("core: HLOP %d failed on %s after retries: %w", h.ID, dev.Name(), execErr))
+						return
+					}
+					alt := e.fallbackQueue(ctx, qi, h)
+					if alt < 0 {
+						fail(fmt.Errorf("core: HLOP %d failed on %s with no fallback: %w", h.ID, dev.Name(), execErr))
+						return
+					}
+					st.devTime += dev.DispatchOverhead()
+					h.AssignedQueue = alt
+					queues[alt].Push(h)
+					continue
+				}
+
+				start := st.devTime
+				dur, xferT, exposedT, bytes := e.hlopCost(dev, h, st.prevExec)
+				st.devTime += dur
+				st.prevExec = dev.ExecTime(h.Op, h.Elems)
+				st.busy += dur
+				st.ran = true
+				st.comm.bytes += bytes
+				st.comm.xfer += xferT
+				st.comm.exposed += exposedT
+
+				h.Result = result
+				h.ExecQueue = qi
+				// Finished HLOPs move to the device's completion queue, which
+				// the runtime drains for aggregation (§3.3.1).
+				h.Finish = st.devTime
+				queues[qi].Complete(h)
+				mu.Lock()
+				tr.Record(trace.Event{
+					HLOP: h.ID, Device: dev.Name(), Op: h.Op.String(),
+					Start: start, End: st.devTime,
+					BytesIn: h.InputBytes(dev.ElemBytes()), BytesOut: h.OutputBytes(dev.ElemBytes()),
+					Stolen: stolen || h.AssignedQueue != qi, Critical: h.Critical,
+				})
+				mu.Unlock()
+				outstanding.Add(-1)
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &runResult{busy: map[string]float64{}}
+	for _, q := range queues {
+		for _, h := range q.DrainCompleted() {
+			res.done = append(res.done, doneHLOP{h: h, finish: h.Finish})
+		}
+	}
+	for i, st := range states {
+		name := e.Reg.Get(i).Name()
+		if st.busy > 0 {
+			res.busy[name] += st.busy
+		}
+		if st.ran && st.devTime > res.deviceMakespan {
+			res.deviceMakespan = st.devTime
+		}
+		res.comm.Add(st.comm.bytes, st.comm.xfer, st.comm.exposed)
+	}
+	if res.deviceMakespan == 0 {
+		res.deviceMakespan = overhead
+	}
+	return res, nil
+}
+
+// obtainConcurrent pops from the worker's own queue, then steals from the
+// most-loaded permitted victim.
+func (e *Engine) obtainConcurrent(ctx *sched.Context, pol sched.Policy,
+	queues []*device.TaskQueue[*hlop.HLOP], qi int) (*hlop.HLOP, bool) {
+
+	if h, ok := queues[qi].Pop(); ok {
+		return h, false
+	}
+	if !pol.StealingEnabled() {
+		return nil, false
+	}
+	// Try victims in descending queue-depth order; re-check CanSteal on the
+	// actually stolen item (the depth snapshot races with other workers, so
+	// validate after the fact and put forbidden items back).
+	type cand struct{ q, depth int }
+	var cands []cand
+	for vq := range queues {
+		if vq == qi {
+			continue
+		}
+		if l := queues[vq].Pending(); l > 0 {
+			cands = append(cands, cand{vq, l})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].depth > cands[b].depth })
+	for _, c := range cands {
+		h, ok := queues[c.q].Steal()
+		if !ok {
+			continue
+		}
+		if !pol.CanSteal(ctx, qi, c.q, h) {
+			queues[c.q].Push(h) // put it back; not ours to take
+			continue
+		}
+		return h, true
+	}
+	return nil, false
+}

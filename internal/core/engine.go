@@ -1,0 +1,385 @@
+// Package core is the SHMT runtime system — the paper's primary
+// contribution (§3.3): the virtual-device driver that accepts VOPs,
+// partitions them into HLOPs, distributes HLOPs across per-device queue
+// pairs, balances load by work stealing under the active policy's quality
+// constraints, moves and casts data, and aggregates completed partitions
+// back into the application's result.
+//
+// Two engines share this logic:
+//
+//   - the deterministic engine (this file): a sequential discrete-event loop
+//     over virtual time, used by every experiment so results are exactly
+//     reproducible;
+//   - the concurrent engine (concurrent.go): one worker goroutine per
+//     device draining real queue pairs — the paper's "thread monitoring the
+//     queue" structure — validated against the same invariants.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"shmt/internal/device"
+	"shmt/internal/energy"
+	"shmt/internal/hlop"
+	"shmt/internal/interconnect"
+	"shmt/internal/sched"
+	"shmt/internal/tensor"
+	"shmt/internal/trace"
+	"shmt/internal/vop"
+)
+
+// Engine executes VOPs over a device registry under a scheduling policy.
+type Engine struct {
+	// Reg is the device set (queue index order).
+	Reg *device.Registry
+	// Policy is the scheduling policy; nil defaults to work stealing.
+	Policy sched.Policy
+	// Spec configures the VOP→HLOP partitioner.
+	Spec hlop.Spec
+	// DoubleBuffer overlaps data movement with computation (§5.6). The
+	// conventional GPU baseline runs without it; SHMT policies and the
+	// software-pipelining baseline run with it.
+	DoubleBuffer bool
+	// Seed drives every randomized component (sampling, concurrent
+	// validation).
+	Seed int64
+	// HostScale ≥ 1 is the virtual-platform slowdown applied to host-side
+	// constant costs (sampling touches); the devices carry their own
+	// slowdown. Default 1.
+	HostScale float64
+	// RecordTrace keeps per-HLOP events in the report's Trace.
+	RecordTrace bool
+	// Concurrent switches to the goroutine engine.
+	Concurrent bool
+}
+
+// Report is the outcome of one VOP execution.
+type Report struct {
+	// Output is the computed result, restored to float64.
+	Output *tensor.Matrix
+	// HLOPs is how many HLOPs ultimately executed (splits included).
+	HLOPs int
+	// Makespan is the end-to-end virtual latency in seconds, including
+	// scheduling overhead and exposed aggregation.
+	Makespan float64
+	// SchedOverhead is the policy's pre-dispatch cost (sampling, canary
+	// computation) in seconds.
+	SchedOverhead float64
+	// Busy maps device name to busy seconds (the energy model's input).
+	Busy map[string]float64
+	// Comm is the data-movement accounting (Table 3).
+	Comm interconnect.Tracker
+	// Energy is the integrated platform energy for the run.
+	Energy energy.Breakdown
+	// PeakBytes is the peak host-memory footprint (Fig. 11).
+	PeakBytes int64
+	// Trace holds per-HLOP events when RecordTrace was set.
+	Trace *trace.Trace
+}
+
+// maxExecuteRetries bounds how many devices one HLOP may fail on before the
+// run errors out.
+const maxExecuteRetries = 4
+
+// splitCost is the host-side cost of re-partitioning an HLOP that
+// overflowed a device's memory.
+const splitCost = 50e-6
+
+// Run executes one VOP end-to-end and reports the result and accounting.
+func (e *Engine) Run(v *vop.VOP) (*Report, error) {
+	if e.Reg == nil {
+		return nil, errors.New("core: engine has no device registry")
+	}
+	pol := e.Policy
+	if pol == nil {
+		pol = sched.WorkStealing{}
+	}
+	hs, err := hlop.Partition(v, e.Spec)
+	if err != nil {
+		return nil, err
+	}
+	hostScale := e.HostScale
+	if hostScale < 1 {
+		hostScale = 1
+	}
+	ctx := &sched.Context{Reg: e.Reg, Seed: e.Seed, HostScale: hostScale}
+	overhead, err := pol.Assign(ctx, hs)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.New()
+	e.accountFootprint(tr, v, hs)
+
+	var res *runResult
+	if e.Concurrent {
+		res, err = e.runConcurrent(ctx, pol, hs, overhead, tr)
+	} else {
+		res, err = e.runDeterministic(ctx, pol, hs, overhead, tr)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out, aggBytes, err := aggregate(v, res.done)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregation timeline: the host drains completion queues while devices
+	// still run (§3.3.1), so each copy starts at max(previous copy end,
+	// HLOP completion). Only the tail beyond device completion is exposed.
+	aggT := overhead
+	copyBw := interconnect.HostDRAM.BandwidthBps
+	for _, d := range res.done {
+		if d.finish > aggT {
+			aggT = d.finish
+		}
+		aggT += float64(d.h.OutputBytes(8)) / copyBw
+	}
+	makespan := res.deviceMakespan
+	if aggT > makespan {
+		makespan = aggT
+	}
+	_ = aggBytes
+
+	rep := &Report{
+		Output:        out,
+		HLOPs:         len(res.done),
+		Makespan:      makespan,
+		SchedOverhead: overhead,
+		Busy:          res.busy,
+		Comm:          res.comm,
+		PeakBytes:     tr.PeakBytes(),
+	}
+	// The host is busy for sampling and aggregation.
+	rep.Busy["cpu"] += overhead + float64(aggBytes)/copyBw
+	rep.Energy = energy.DefaultModel().Energy(energy.Usage{Makespan: makespan, Busy: rep.Busy})
+	if e.RecordTrace {
+		rep.Trace = tr
+	}
+	return rep, nil
+}
+
+// doneHLOP pairs an executed HLOP with its virtual completion time.
+type doneHLOP struct {
+	h      *hlop.HLOP
+	finish float64
+}
+
+// runResult is what either engine hands back to Run.
+type runResult struct {
+	done           []doneHLOP
+	busy           map[string]float64
+	comm           interconnect.Tracker
+	deviceMakespan float64
+}
+
+// runDeterministic is the sequential discrete-event loop: repeatedly pick
+// the device with the earliest virtual clock that can obtain work (own
+// queue, then stealing under the policy), execute the HLOP for real, and
+// advance that device's clock by the modelled dispatch, exposed transfer,
+// and execution costs.
+func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
+	hs []*hlop.HLOP, overhead float64, tr *trace.Trace) (*runResult, error) {
+
+	n := e.Reg.Len()
+	queues := make([][]*hlop.HLOP, n)
+	for _, h := range hs {
+		queues[h.AssignedQueue] = append(queues[h.AssignedQueue], h)
+	}
+	devTime := make([]float64, n)
+	prevExec := make([]float64, n)
+	ran := make([]bool, n)
+	for i := range devTime {
+		devTime[i] = overhead
+	}
+	nextID := len(hs)
+	remaining := len(hs)
+	res := &runResult{busy: map[string]float64{}}
+	retries := make(map[*hlop.HLOP]int)
+
+	for remaining > 0 {
+		// Choose the earliest device that can obtain work.
+		pick, victim := -1, -1
+		for i := 0; i < n; i++ {
+			var ok bool
+			var vict int
+			if len(queues[i]) > 0 {
+				ok, vict = true, -1
+			} else if pol.StealingEnabled() {
+				vict = e.pickVictim(ctx, pol, queues, i)
+				ok = vict >= 0
+			}
+			if ok && (pick < 0 || devTime[i] < devTime[pick]) {
+				pick, victim = i, vict
+			}
+		}
+		if pick < 0 {
+			return nil, fmt.Errorf("core: %d HLOPs unschedulable (no device may take them)", remaining)
+		}
+
+		var h *hlop.HLOP
+		stolen := false
+		if victim < 0 {
+			h, queues[pick] = queues[pick][0], queues[pick][1:]
+		} else {
+			last := len(queues[victim]) - 1
+			h = queues[victim][last]
+			queues[victim] = queues[victim][:last]
+			stolen = true
+		}
+
+		dev := e.Reg.Get(pick)
+		result, execErr := dev.Execute(h.Op, h.Inputs, h.Attrs)
+		if execErr != nil {
+			if errors.Is(execErr, device.ErrTooLarge) {
+				a, b, splitErr := hlop.Split(h, nextID)
+				if splitErr != nil {
+					return nil, fmt.Errorf("core: HLOP %d overflows %s and cannot split: %w", h.ID, dev.Name(), splitErr)
+				}
+				nextID++
+				remaining++ // one HLOP became two
+				devTime[pick] += splitCost
+				queues[pick] = append([]*hlop.HLOP{a, b}, queues[pick]...)
+				continue
+			}
+			// Any other failure: requeue on the most accurate other device.
+			retries[h]++
+			if retries[h] >= maxExecuteRetries {
+				return nil, fmt.Errorf("core: HLOP %d failed on %s after retries: %w", h.ID, dev.Name(), execErr)
+			}
+			alt := e.fallbackQueue(ctx, pick, h)
+			if alt < 0 {
+				return nil, fmt.Errorf("core: HLOP %d failed on %s with no fallback: %w", h.ID, dev.Name(), execErr)
+			}
+			h.AssignedQueue = alt
+			queues[alt] = append(queues[alt], h)
+			devTime[pick] += dev.DispatchOverhead() // the failed dispatch still cost time
+			continue
+		}
+
+		start := devTime[pick]
+		stageB := e.stagingBytes(dev, h)
+		tr.AllocStaging(stageB)
+		dur, xferT, exposedT, bytes := e.hlopCost(dev, h, prevExec[pick])
+		devTime[pick] = start + dur
+		prevExec[pick] = dev.ExecTime(h.Op, h.Elems)
+		ran[pick] = true
+		res.busy[dev.Name()] += dur
+		res.comm.Add(bytes, xferT, exposedT)
+
+		h.Result = result
+		h.ExecQueue = pick
+		res.done = append(res.done, doneHLOP{h: h, finish: devTime[pick]})
+		remaining--
+		tr.Record(trace.Event{
+			HLOP: h.ID, Device: dev.Name(), Op: h.Op.String(),
+			Start: start, End: devTime[pick],
+			BytesIn: h.InputBytes(dev.ElemBytes()), BytesOut: h.OutputBytes(dev.ElemBytes()),
+			Stolen: stolen || h.AssignedQueue != pick, Critical: h.Critical,
+		})
+		tr.FreeStaging(stageB)
+	}
+
+	for i := 0; i < n; i++ {
+		if ran[i] && devTime[i] > res.deviceMakespan {
+			res.deviceMakespan = devTime[i]
+		}
+	}
+	if res.deviceMakespan == 0 {
+		res.deviceMakespan = overhead
+	}
+	return res, nil
+}
+
+// pickVictim returns the queue index the thief should steal from. Victims
+// are scored by how well the thief suits the stealable (tail) HLOP's opcode
+// relative to its current owner — with queue depth as the tiebreak — so in
+// mixed-opcode pools (ExecuteBatch) a device gravitates toward work it is
+// relatively fast at. For single-opcode runs every victim scores equally and
+// this reduces to the paper's steal-from-the-deepest-queue rule.
+func (e *Engine) pickVictim(ctx *sched.Context, pol sched.Policy, queues [][]*hlop.HLOP, thief int) int {
+	thiefDev := e.Reg.Get(thief)
+	best, bestLen := -1, 0
+	bestScore := 0.0
+	for vq := range queues {
+		if vq == thief || len(queues[vq]) == 0 {
+			continue
+		}
+		tail := queues[vq][len(queues[vq])-1]
+		if !pol.CanSteal(ctx, thief, vq, tail) {
+			continue
+		}
+		// Relative affinity: how much faster the thief runs this opcode
+		// than the queue's owner would.
+		score := e.Reg.Get(vq).ExecTime(tail.Op, tail.Elems) / thiefDev.ExecTime(tail.Op, tail.Elems)
+		if best < 0 || score > bestScore*1.001 ||
+			(score > bestScore*0.999 && len(queues[vq]) > bestLen) {
+			best, bestLen, bestScore = vq, len(queues[vq]), score
+		}
+	}
+	return best
+}
+
+// fallbackQueue picks the most accurate other eligible device for a failed
+// HLOP.
+func (e *Engine) fallbackQueue(ctx *sched.Context, failed int, h *hlop.HLOP) int {
+	best := -1
+	for _, i := range ctx.Eligible() {
+		if i == failed || !e.Reg.Get(i).Supports(h.Op) {
+			continue
+		}
+		if best < 0 || e.Reg.Get(i).AccuracyRank() < e.Reg.Get(best).AccuracyRank() {
+			best = i
+		}
+	}
+	return best
+}
+
+// hlopCost models one HLOP's latency on a device: dispatch + exposed input
+// transfer + execution + exposed output transfer. Devices with private
+// memory (Edge TPU) move raw payload over their link; host-memory devices
+// (CPU, GPU) stage the opcode's calibrated traffic through LPDDR4.
+func (e *Engine) hlopCost(dev device.Device, h *hlop.HLOP, prevExec float64) (total, xferT, exposedT float64, bytes int64) {
+	exec := dev.ExecTime(h.Op, h.Elems)
+	inB := h.InputBytes(dev.ElemBytes())
+	outB := h.OutputBytes(dev.ElemBytes())
+	if dev.MemoryBytes() == 0 {
+		inB = device.StageBytes(h.Op, inB)
+		outB = device.StageBytes(h.Op, outB)
+	}
+	link := dev.Link()
+	inT := link.TransferTime(inB)
+	outT := link.TransferTime(outB)
+	expIn := interconnect.Exposure(inT, prevExec, e.DoubleBuffer)
+	expOut := interconnect.Exposure(outT, exec, e.DoubleBuffer)
+	total = dev.DispatchOverhead() + expIn + exec + expOut
+	return total, inT + outT, expIn + expOut, inB + outB
+}
+
+// accountFootprint registers the run's long-lived memory: application input
+// and output buffers. Per-HLOP staging (device-precision copies, double
+// buffers) is accounted live in the execution loop, so PeakBytes reflects
+// what is actually resident at once — Edge TPU HLOPs stage INT8 copies, a
+// quarter of the FP32 the GPU keeps, which is how SHMT's footprint stays
+// near (or below) the baseline despite the extra buffers (Fig. 11).
+func (e *Engine) accountFootprint(tr *trace.Trace, v *vop.VOP, hs []*hlop.HLOP) {
+	for _, in := range v.Inputs {
+		tr.AddBase(in.Bytes(8))
+	}
+	rows, cols := v.OutputShape()
+	tr.AddBase(int64(rows*cols) * 8)
+}
+
+// stagingBytes returns the transient host bytes an HLOP pins while executing
+// on dev: the device-precision input and output copies, doubled when double
+// buffering prefetches the next partition, plus the kernel's intermediate
+// stage buffers.
+func (e *Engine) stagingBytes(dev device.Device, h *hlop.HLOP) int64 {
+	stage := h.InputBytes(dev.ElemBytes()) + h.OutputBytes(dev.ElemBytes())
+	if e.DoubleBuffer {
+		stage *= 2
+	}
+	return stage
+}

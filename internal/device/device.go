@@ -1,0 +1,168 @@
+// Package device defines the processing-resource abstraction of the SHMT
+// runtime: every computing resource (CPU, GPU, Edge TPU) registers the HLOP
+// implementations it supports, a cost model, its accuracy class, and an
+// incoming/completion queue pair — exactly the contract of §3.3: "Upon the
+// initialization of the SHMT system, each hardware resource's driver is
+// responsible for providing SHMT with its list of available HLOPs operations
+// and their implementations."
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"shmt/internal/interconnect"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// Kind classifies a processing resource.
+type Kind int
+
+const (
+	// CPU is the host processor (exact, slow, orchestrates).
+	CPU Kind = iota
+	// GPU is the vector-processing accelerator (FP32).
+	GPU
+	// TPU is the matrix/NPU accelerator (INT8).
+	TPU
+	// DSP is the signal/image accelerator (24-bit fixed point), the
+	// extension device of §2.1.
+	DSP
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "cpu"
+	case GPU:
+		return "gpu"
+	case TPU:
+		return "tpu"
+	case DSP:
+		return "dsp"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Device is one processing resource the SHMT runtime can schedule HLOPs on.
+// Implementations must be safe for concurrent Execute calls (the concurrent
+// engine runs one worker goroutine per device, and stealing can move work
+// between workers).
+type Device interface {
+	// Name uniquely identifies the device instance ("gpu", "tpu", "cpu").
+	Name() string
+	// Kind returns the device class.
+	Kind() Kind
+	// AccuracyRank orders devices by result accuracy: 0 is most accurate.
+	// QAWS's stealing constraint ("only allows a device with higher accuracy
+	// to steal HLOPs from another device with the same or a lower accuracy")
+	// compares these ranks.
+	AccuracyRank() int
+	// Supports reports whether the device registered an HLOP implementation
+	// for the opcode.
+	Supports(op vop.Opcode) bool
+	// Execute runs the opcode over the inputs at the device's native
+	// precision and returns the result (restored to float64, as the paper's
+	// runtime restores results to the application's precision).
+	Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error)
+	// ExecTime returns the modelled execution latency for n elements of the
+	// opcode, excluding dispatch and transfers.
+	ExecTime(op vop.Opcode, n int) float64
+	// DispatchOverhead is the fixed per-HLOP invocation cost (kernel launch,
+	// model invocation).
+	DispatchOverhead() float64
+	// Link is the path data takes between host memory and the device.
+	Link() interconnect.Link
+	// ElemBytes is the native element width used to size transfers.
+	ElemBytes() int
+	// MemoryBytes is the private device memory capacity; 0 means the device
+	// works out of shared host memory.
+	MemoryBytes() int64
+}
+
+// MaxPartitionElems returns how many input elements of the given opcode fit
+// in the device's private memory at once (inputs + output + double-buffer
+// slack), or 0 if the device has no private-memory constraint.
+func MaxPartitionElems(d Device, op vop.Opcode) int {
+	mem := d.MemoryBytes()
+	if mem <= 0 {
+		return 0
+	}
+	// inputs + output + a second buffer for double buffering.
+	buffers := int64(op.NumInputs() + 2)
+	elems := mem / (buffers * int64(d.ElemBytes()))
+	if elems < 1 {
+		elems = 1
+	}
+	if elems > int64(int(^uint(0)>>1)) {
+		return 0
+	}
+	return int(elems)
+}
+
+// Registry holds the devices available to a session, ordered by queue index
+// (the paper's example: "the GPU queue has an index value of 0, and the Edge
+// TPU queue has an index value of 1").
+type Registry struct {
+	devices []Device
+	byName  map[string]int
+}
+
+// NewRegistry builds a registry; device names must be unique.
+func NewRegistry(devices ...Device) (*Registry, error) {
+	r := &Registry{byName: make(map[string]int, len(devices))}
+	for _, d := range devices {
+		if d == nil {
+			return nil, fmt.Errorf("device: nil device")
+		}
+		if _, dup := r.byName[d.Name()]; dup {
+			return nil, fmt.Errorf("device: duplicate device name %q", d.Name())
+		}
+		r.byName[d.Name()] = len(r.devices)
+		r.devices = append(r.devices, d)
+	}
+	if len(r.devices) == 0 {
+		return nil, fmt.Errorf("device: registry needs at least one device")
+	}
+	return r, nil
+}
+
+// Devices returns the devices in queue-index order.
+func (r *Registry) Devices() []Device { return r.devices }
+
+// Len returns the number of devices.
+func (r *Registry) Len() int { return len(r.devices) }
+
+// Index returns the queue index of the named device, or -1.
+func (r *Registry) Index(name string) int {
+	if i, ok := r.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Get returns the device at queue index i.
+func (r *Registry) Get(i int) Device { return r.devices[i] }
+
+// Supporting returns the queue indices of devices that support op, in
+// ascending accuracy-rank order (most accurate first).
+func (r *Registry) Supporting(op vop.Opcode) []int {
+	var idx []int
+	for i, d := range r.devices {
+		if d.Supports(op) {
+			idx = append(idx, i)
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return r.devices[idx[a]].AccuracyRank() < r.devices[idx[b]].AccuracyRank()
+	})
+	return idx
+}
+
+// ErrTooLarge is returned by a device when an HLOP's working set exceeds its
+// private memory; the runtime responds by splitting the HLOP (§3.4: "the
+// runtime system may need to further fuse or partition HLOPs").
+var ErrTooLarge = errors.New("device: HLOP exceeds device memory")

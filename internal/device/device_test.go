@@ -1,0 +1,202 @@
+package device
+
+import (
+	"sync"
+	"testing"
+
+	"shmt/internal/interconnect"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// fakeDevice is a minimal Device for registry tests.
+type fakeDevice struct {
+	name string
+	kind Kind
+	rank int
+	mem  int64
+	ops  map[vop.Opcode]bool
+}
+
+func (f *fakeDevice) Name() string      { return f.name }
+func (f *fakeDevice) Kind() Kind        { return f.kind }
+func (f *fakeDevice) AccuracyRank() int { return f.rank }
+func (f *fakeDevice) Supports(op vop.Opcode) bool {
+	if f.ops == nil {
+		return true
+	}
+	return f.ops[op]
+}
+func (f *fakeDevice) Execute(vop.Opcode, []*tensor.Matrix, map[string]float64) (*tensor.Matrix, error) {
+	return tensor.NewMatrix(1, 1), nil
+}
+func (f *fakeDevice) ExecTime(vop.Opcode, int) float64 { return 1 }
+func (f *fakeDevice) DispatchOverhead() float64        { return 0 }
+func (f *fakeDevice) Link() interconnect.Link          { return interconnect.HostDRAM }
+func (f *fakeDevice) ElemBytes() int                   { return 4 }
+func (f *fakeDevice) MemoryBytes() int64               { return f.mem }
+
+func TestRegistryBasics(t *testing.T) {
+	g := &fakeDevice{name: "gpu", kind: GPU, rank: 1}
+	p := &fakeDevice{name: "tpu", kind: TPU, rank: 3}
+	r, err := NewRegistry(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Index("gpu") != 0 || r.Index("tpu") != 1 {
+		t.Fatal("queue indices wrong")
+	}
+	if r.Index("dsp") != -1 {
+		t.Fatal("unknown device should index -1")
+	}
+	if r.Get(1).Name() != "tpu" {
+		t.Fatal("Get wrong")
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndEmpty(t *testing.T) {
+	a := &fakeDevice{name: "x"}
+	if _, err := NewRegistry(a, &fakeDevice{name: "x"}); err == nil {
+		t.Fatal("duplicate names should fail")
+	}
+	if _, err := NewRegistry(); err == nil {
+		t.Fatal("empty registry should fail")
+	}
+	if _, err := NewRegistry(nil); err == nil {
+		t.Fatal("nil device should fail")
+	}
+}
+
+func TestSupportingSortsByAccuracy(t *testing.T) {
+	cpu := &fakeDevice{name: "cpu", kind: CPU, rank: 0}
+	tpu := &fakeDevice{name: "tpu", kind: TPU, rank: 3}
+	gpu := &fakeDevice{name: "gpu", kind: GPU, rank: 1}
+	r, _ := NewRegistry(tpu, gpu, cpu) // deliberately shuffled
+	idx := r.Supporting(vop.OpSobel)
+	if len(idx) != 3 {
+		t.Fatalf("supporting = %v", idx)
+	}
+	// Most accurate first: cpu (rank 0) then gpu then tpu.
+	if r.Get(idx[0]).Name() != "cpu" || r.Get(idx[1]).Name() != "gpu" || r.Get(idx[2]).Name() != "tpu" {
+		t.Fatalf("accuracy order wrong: %v", idx)
+	}
+	no := &fakeDevice{name: "n", ops: map[vop.Opcode]bool{}}
+	r2, _ := NewRegistry(no)
+	if got := r2.Supporting(vop.OpSobel); len(got) != 0 {
+		t.Fatal("unsupporting device listed")
+	}
+}
+
+func TestMaxPartitionElems(t *testing.T) {
+	shared := &fakeDevice{name: "gpu", mem: 0}
+	if MaxPartitionElems(shared, vop.OpSobel) != 0 {
+		t.Fatal("shared-memory device should be unconstrained")
+	}
+	private := &fakeDevice{name: "tpu", mem: 12}
+	// Sobel: 1 input + 2 buffers = 3 buffers x 4 bytes -> 1 elem.
+	if got := MaxPartitionElems(private, vop.OpSobel); got != 1 {
+		t.Fatalf("max elems = %d want 1", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if CPU.String() != "cpu" || GPU.String() != "gpu" || TPU.String() != "tpu" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should still print")
+	}
+}
+
+func TestTaskQueueFIFOAndSteal(t *testing.T) {
+	q := NewTaskQueue[int]()
+	q.Push(1)
+	q.Push(2)
+	q.Push(3)
+	if q.Pending() != 3 {
+		t.Fatalf("pending = %d", q.Pending())
+	}
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatalf("pop = %d,%v", v, ok)
+	}
+	if v, ok := q.Steal(); !ok || v != 3 {
+		t.Fatalf("steal = %d,%v (must take the tail)", v, ok)
+	}
+	if v, ok := q.Pop(); !ok || v != 2 {
+		t.Fatalf("pop = %d,%v", v, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("empty pop should fail")
+	}
+	if _, ok := q.Steal(); ok {
+		t.Fatal("empty steal should fail")
+	}
+}
+
+func TestTaskQueuePushFront(t *testing.T) {
+	q := NewTaskQueue[int]()
+	q.Push(2)
+	q.PushFront(1)
+	if v, _ := q.Pop(); v != 1 {
+		t.Fatalf("front = %d", v)
+	}
+}
+
+func TestTaskQueueCompletion(t *testing.T) {
+	q := NewTaskQueue[string]()
+	q.Complete("a")
+	q.Complete("b")
+	got := q.DrainCompleted()
+	if len(got) != 2 || got[0] != "a" {
+		t.Fatalf("drained = %v", got)
+	}
+	if len(q.DrainCompleted()) != 0 {
+		t.Fatal("drain should empty the completion queue")
+	}
+}
+
+func TestTaskQueueClose(t *testing.T) {
+	q := NewTaskQueue[int]()
+	if q.Closed() {
+		t.Fatal("fresh queue closed")
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Close did not stick")
+	}
+}
+
+func TestTaskQueueConcurrentSafety(t *testing.T) {
+	q := NewTaskQueue[int]()
+	const n = 1000
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.Push(i)
+		}
+	}()
+	var popped, stolen int
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if _, ok := q.Pop(); ok {
+				popped++
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if _, ok := q.Steal(); ok {
+				stolen++
+			}
+		}
+	}()
+	wg.Wait()
+	// Whatever remains plus what was taken must equal what was pushed.
+	if popped+stolen+q.Pending() != n {
+		t.Fatalf("items lost: popped=%d stolen=%d pending=%d", popped, stolen, q.Pending())
+	}
+}

@@ -1,0 +1,80 @@
+package device
+
+import (
+	"testing"
+
+	"shmt/internal/vop"
+)
+
+func TestCalibrationCoversAllBenchmarkOps(t *testing.T) {
+	benchOps := []vop.Opcode{
+		vop.OpParabolicPDE, vop.OpDCT8x8, vop.OpFDWT97, vop.OpFFT,
+		vop.OpReduceHist256, vop.OpStencil, vop.OpLaplacian,
+		vop.OpMeanFilter, vop.OpSobel, vop.OpSRAD,
+	}
+	for _, op := range benchOps {
+		if _, ok := DefaultCosts[op]; !ok {
+			t.Errorf("no calibration entry for %s", op)
+		}
+	}
+}
+
+func TestFig2RatiosEncoded(t *testing.T) {
+	// The Edge TPU ratios are the paper's Fig. 2 measurements.
+	want := map[vop.Opcode]float64{
+		vop.OpParabolicPDE:  0.84,
+		vop.OpDCT8x8:        1.99,
+		vop.OpFDWT97:        0.31,
+		vop.OpFFT:           3.22,
+		vop.OpReduceHist256: 1.55,
+		vop.OpStencil:       0.77,
+		vop.OpLaplacian:     0.58,
+		vop.OpMeanFilter:    0.31,
+		vop.OpSobel:         0.71,
+		vop.OpSRAD:          2.30,
+	}
+	for op, ratio := range want {
+		if got := DefaultCosts[op].TPURatio; got != ratio {
+			t.Errorf("%s TPU ratio = %g want %g (Fig. 2)", op, got, ratio)
+		}
+	}
+}
+
+func TestThroughputRelationship(t *testing.T) {
+	for op, c := range DefaultCosts {
+		gpu := Throughput(GPU, op)
+		tpu := Throughput(TPU, op)
+		cpu := Throughput(CPU, op)
+		if gpu <= 0 || tpu <= 0 || cpu <= 0 {
+			t.Fatalf("%s has non-positive throughput", op)
+		}
+		if cpu >= gpu {
+			t.Errorf("%s: CPU (%g) should be slower than GPU (%g)", op, cpu, gpu)
+		}
+		// The TPU:baseline ratio must hold end-to-end: TPU throughput x
+		// baseline sec/elem == the Fig. 2 ratio.
+		if got := tpu * baselineSecPerElem(op); got < c.TPURatio*0.999 || got > c.TPURatio*1.001 {
+			t.Errorf("%s: derived TPU ratio %g want %g", op, got, c.TPURatio)
+		}
+	}
+}
+
+func TestCostFallback(t *testing.T) {
+	c := Cost(vop.OpInvalid)
+	if c.GPUThroughput <= 0 || c.TPURatio <= 0 {
+		t.Fatal("fallback cost not sane")
+	}
+}
+
+func TestStageBytes(t *testing.T) {
+	got := StageBytes(vop.OpStencil, 1000)
+	if got != int64(1000*DefaultCosts[vop.OpStencil].StageFactor) {
+		t.Fatalf("stage bytes = %d", got)
+	}
+}
+
+func TestDispatchOrdering(t *testing.T) {
+	if !(DispatchCPU < DispatchGPU && DispatchGPU < DispatchTPU) {
+		t.Fatal("dispatch overheads should order CPU < GPU < TPU")
+	}
+}

@@ -1,0 +1,126 @@
+// Package gpu implements the simulated 128-core Maxwell-class GPU of the
+// prototype platform (§4.1): a vector-processing device that executes every
+// HLOP in real single-precision (FP32) arithmetic, with an optional FP16
+// AI/ML mode, and a throughput model calibrated to the paper's Fig. 2
+// measurements.
+//
+// The GPU is the paper's performance and accuracy baseline: all speedups
+// (Fig. 6, 9, 12), energy (Fig. 10) and footprints (Fig. 11) are reported
+// relative to it, and MAPE/SSIM compare against outputs of this precision
+// class.
+package gpu
+
+import (
+	"shmt/internal/device"
+	"shmt/internal/interconnect"
+	"shmt/internal/kernels"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// Config tunes the simulated GPU.
+type Config struct {
+	// HalfPrecision switches execution to FP16 (the Maxwell FP16 path for
+	// AI/ML workloads). Default is native FP32.
+	HalfPrecision bool
+	// ThroughputScale multiplies all modelled throughputs (default 1);
+	// useful for what-if ablations (e.g. the data-center GPU:TPU ratio).
+	ThroughputScale float64
+	// Slowdown ≥ 1 scales the virtual platform down (throughput and link
+	// bandwidth divide by it) so reduced-size experiments reproduce the
+	// full-size timeline. Default 1.
+	Slowdown float64
+}
+
+// Device is the simulated GPU.
+type Device struct {
+	name string
+	cfg  Config
+}
+
+// New returns a GPU device named "gpu".
+func New(cfg Config) *Device {
+	if cfg.ThroughputScale <= 0 {
+		cfg.ThroughputScale = 1
+	}
+	if cfg.Slowdown < 1 {
+		cfg.Slowdown = 1
+	}
+	return &Device{name: "gpu", cfg: cfg}
+}
+
+var _ device.Device = (*Device)(nil)
+
+// Name implements device.Device.
+func (d *Device) Name() string { return d.name }
+
+// Kind implements device.Device.
+func (d *Device) Kind() device.Kind { return device.GPU }
+
+// AccuracyRank implements device.Device: FP32 ranks just below the exact
+// CPU; the FP16 mode ranks below that but still above INT8.
+func (d *Device) AccuracyRank() int {
+	if d.cfg.HalfPrecision {
+		return 2
+	}
+	return 1
+}
+
+// Supports implements device.Device: the GPU has a CUDA implementation of
+// every VOP in the table (the paper's baselines are all GPU kernels).
+func (d *Device) Supports(op vop.Opcode) bool {
+	for _, o := range vop.All() {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// Execute implements device.Device: the kernel runs with FP32 (or FP16)
+// rounding at every stage boundary, and inputs are cast to the native
+// precision at the host boundary first — the runtime's data-type casting of
+// §3.3.2.
+func (d *Device) Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error) {
+	var r kernels.Rounder = kernels.F32{}
+	if d.cfg.HalfPrecision {
+		r = kernels.F16{}
+	}
+	cast := make([]*tensor.Matrix, len(inputs))
+	for i, in := range inputs {
+		cast[i] = in.Clone()
+		r.Round(cast[i].Data)
+	}
+	return kernels.Exec(op, cast, attrs, r)
+}
+
+// ExecTime implements device.Device.
+func (d *Device) ExecTime(op vop.Opcode, n int) float64 {
+	tp := device.Throughput(device.GPU, op) * d.cfg.ThroughputScale / d.cfg.Slowdown
+	if d.cfg.HalfPrecision {
+		tp *= 1.6 // Maxwell FP16 packs two operands per lane, less than 2x in practice
+	}
+	return float64(n) / tp
+}
+
+// DispatchOverhead implements device.Device: kernel-launch latency.
+func (d *Device) DispatchOverhead() float64 { return device.DispatchGPU }
+
+// Link implements device.Device: the integrated GPU shares host LPDDR4.
+func (d *Device) Link() interconnect.Link {
+	l := interconnect.HostDRAM
+	l.BandwidthBps /= d.cfg.Slowdown
+	return l
+}
+
+// ElemBytes implements device.Device.
+func (d *Device) ElemBytes() int {
+	if d.cfg.HalfPrecision {
+		return 2
+	}
+	return 4
+}
+
+// MemoryBytes implements device.Device: the integrated GPU has no private
+// memory; it shares the 4 GB LPDDR4.
+func (d *Device) MemoryBytes() int64 { return 0 }

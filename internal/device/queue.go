@@ -1,0 +1,103 @@
+package device
+
+import "sync"
+
+// TaskQueue is the incoming/outgoing queue pair the SHMT kernel driver
+// maintains per hardware resource (§3.3: "a pair of queues for each
+// SHMT-compatible hardware resource; one serves as the incoming queue and
+// the other as the completion queue").
+//
+// It is a mutex-guarded deque rather than a channel because work stealing
+// needs to remove items from the *tail* of a victim's queue while the owner
+// pops from the head, and the scheduler needs to observe queue depths.
+type TaskQueue[T any] struct {
+	mu       sync.Mutex
+	incoming []T
+	complete []T
+	closed   bool
+}
+
+// NewTaskQueue returns an empty queue pair.
+func NewTaskQueue[T any]() *TaskQueue[T] { return &TaskQueue[T]{} }
+
+// Push appends a task to the incoming queue.
+func (q *TaskQueue[T]) Push(t T) {
+	q.mu.Lock()
+	q.incoming = append(q.incoming, t)
+	q.mu.Unlock()
+}
+
+// PushFront prepends a task (used when re-queueing after a failure so the
+// task keeps its priority).
+func (q *TaskQueue[T]) PushFront(t T) {
+	q.mu.Lock()
+	q.incoming = append([]T{t}, q.incoming...)
+	q.mu.Unlock()
+}
+
+// Pop removes the head of the incoming queue (owner side).
+func (q *TaskQueue[T]) Pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if len(q.incoming) == 0 {
+		return zero, false
+	}
+	t := q.incoming[0]
+	q.incoming = q.incoming[1:]
+	return t, true
+}
+
+// Steal removes the tail of the incoming queue (thief side).
+func (q *TaskQueue[T]) Steal() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if len(q.incoming) == 0 {
+		return zero, false
+	}
+	t := q.incoming[len(q.incoming)-1]
+	q.incoming = q.incoming[:len(q.incoming)-1]
+	return t, true
+}
+
+// Pending returns the incoming-queue depth, the signal the paper's stealing
+// trigger reads ("the incoming queue of a hardware device has more pending
+// items than others").
+func (q *TaskQueue[T]) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.incoming)
+}
+
+// Complete appends a finished task to the completion queue.
+func (q *TaskQueue[T]) Complete(t T) {
+	q.mu.Lock()
+	q.complete = append(q.complete, t)
+	q.mu.Unlock()
+}
+
+// DrainCompleted empties and returns the completion queue (the runtime
+// dequeues it "for data aggregation and synchronization purposes").
+func (q *TaskQueue[T]) DrainCompleted() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.complete
+	q.complete = nil
+	return out
+}
+
+// Close marks the queue closed; Closed lets workers distinguish "empty for
+// now" from "no more work will arrive".
+func (q *TaskQueue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+}
+
+// Closed reports whether Close was called.
+func (q *TaskQueue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}

@@ -1,0 +1,239 @@
+// Package tpu implements the simulated Edge TPU of the prototype platform
+// (§4.1–4.2): an INT8 matrix accelerator reached over a PCIe M.2 link, with
+// 8 MB of private device memory.
+//
+// The device runs HLOPs in one of two modes, mirroring §4.2:
+//
+//   - Matrix mode ("use Edge TPU as matrix accelerators", §2.2.1): for
+//     natively matrix-shaped opcodes (GEMM, conv) the hardware executes one
+//     systolic pass — inputs quantize at the boundary, accumulation is wide.
+//   - NPU mode (§2.2.2): every other opcode runs as a pre-built quantized
+//     approximator from internal/npu, whose per-layer requantization is
+//     where the quality loss the QAWS policies manage comes from.
+package tpu
+
+import (
+	"fmt"
+	"sync"
+
+	"shmt/internal/device"
+	"shmt/internal/interconnect"
+	"shmt/internal/kernels"
+	"shmt/internal/npu"
+	"shmt/internal/quant"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// Config tunes the simulated Edge TPU.
+type Config struct {
+	// QuantAware builds all NPU models in quantization-aware mode
+	// immediately (instead of the accuracy-gated fallback of §4.2).
+	QuantAware bool
+	// ThroughputScale multiplies modelled throughputs (default 1).
+	ThroughputScale float64
+	// Slowdown ≥ 1 scales the virtual platform down (throughput and link
+	// bandwidth divide by it) so reduced-size experiments reproduce the
+	// full-size timeline. Default 1.
+	Slowdown float64
+	// MemoryBytes overrides the device-memory capacity (default 8 MB).
+	MemoryBytes int64
+}
+
+// Device is the simulated Edge TPU.
+type Device struct {
+	name string
+	cfg  Config
+
+	mu     sync.Mutex
+	models map[vop.Opcode]npu.Model // lazily built per-HLOP models
+}
+
+// New returns an Edge TPU device named "tpu".
+func New(cfg Config) *Device {
+	if cfg.ThroughputScale <= 0 {
+		cfg.ThroughputScale = 1
+	}
+	if cfg.Slowdown < 1 {
+		cfg.Slowdown = 1
+	}
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = 8 << 20
+	}
+	return &Device{name: "tpu", cfg: cfg, models: map[vop.Opcode]npu.Model{}}
+}
+
+var _ device.Device = (*Device)(nil)
+
+// Name implements device.Device.
+func (d *Device) Name() string { return d.name }
+
+// Kind implements device.Device.
+func (d *Device) Kind() device.Kind { return device.TPU }
+
+// AccuracyRank implements device.Device: INT8 is the least accurate class.
+func (d *Device) AccuracyRank() int { return 3 }
+
+// Supports implements device.Device. The Edge TPU covers every VOP in the
+// table: matrix ops natively, the rest through NPU models (§2.2.2 — "we
+// intensively used NPUs as our solutions for Edge TPU implementations").
+func (d *Device) Supports(op vop.Opcode) bool {
+	for _, o := range vop.All() {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// model returns (building if needed) the NPU model for op.
+func (d *Device) model(op vop.Opcode) npu.Model {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m, ok := d.models[op]; ok {
+		return m
+	}
+	m := npu.Model{Op: op, Layers: kernels.Stages(op), QuantAware: d.cfg.QuantAware}
+	d.models[op] = m
+	return m
+}
+
+// SetModel installs a pre-built NPU model (e.g. one produced by npu.Build's
+// accuracy-gated workflow) for an opcode.
+func (d *Device) SetModel(m npu.Model) {
+	d.mu.Lock()
+	d.models[m.Op] = m
+	d.mu.Unlock()
+}
+
+// matrixMode reports whether the opcode runs natively on the systolic array
+// (§2.2.1): GEMM and convolution are the hardware's home domain, and the
+// blockwise DCT and the lifting DWT are linear transforms that lower to
+// fixed-weight matrix multiplications (as TCUSCAN/GPTPU do for reductions
+// and transforms). Matrix-mode ops quantize inputs once, accumulate wide
+// (INT32, as the real systolic array does), and requantize only the final
+// output — which is why the paper's DCT/DWT quality loss is tiny while
+// NPU-mode kernels lose precision at every layer.
+func matrixMode(op vop.Opcode) bool {
+	switch op {
+	case vop.OpGEMM, vop.OpConv, vop.OpDCT8x8, vop.OpFDWT97:
+		return true
+	case vop.OpReduceSum, vop.OpReduceAverage:
+		// Summations lower to a matrix-vector product against ones, the
+		// TCUSCAN/GPTPU trick the paper cites for reductions (§2.2.1):
+		// INT8 inputs, wide INT32 accumulation, one output requant.
+		return true
+	}
+	return false
+}
+
+// Execute implements device.Device.
+func (d *Device) Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error) {
+	if err := d.checkFits(op, inputs); err != nil {
+		return nil, err
+	}
+	if matrixMode(op) {
+		r := kernels.Int8{}
+		cast := make([]*tensor.Matrix, len(inputs))
+		for i, in := range inputs {
+			cast[i] = in.Clone()
+			r.Round(cast[i].Data)
+		}
+		out, err := kernels.Exec(op, cast, attrs, kernels.Exact{})
+		if err != nil {
+			return nil, err
+		}
+		requantOutput(op, out) // single output requantization
+		return out, nil
+	}
+	return d.model(op).Run(inputs, attrs)
+}
+
+// requantOutput applies the matrix-mode output requantization. Structured
+// transforms use per-channel scales the way the TFLite/Edge-TPU compiler
+// assigns per-channel quantization: without this, the DCT's large DC
+// coefficients would stretch a tensor-wide scale and crush the AC precision.
+func requantOutput(op vop.Opcode, out *tensor.Matrix) {
+	switch op {
+	case vop.OpDCT8x8:
+		// One channel per 8×8 coefficient position.
+		requantChannels(out, func(i, j int) int { return (i%8)*8 + j%8 }, 64)
+	case vop.OpFDWT97:
+		// One channel per wavelet quadrant (LL/HL/LH/HH).
+		requantChannels(out, func(i, j int) int {
+			ch := 0
+			if i >= (out.Rows+1)/2 {
+				ch += 2
+			}
+			if j >= (out.Cols+1)/2 {
+				ch++
+			}
+			return ch
+		}, 4)
+	default:
+		r := kernels.Int8{}
+		r.Round(out.Data)
+	}
+}
+
+// requantChannels groups elements by channel, calibrates an affine INT8
+// quantization per channel, and round-trips the data through it.
+func requantChannels(out *tensor.Matrix, channel func(i, j int) int, n int) {
+	groups := make([][]float64, n)
+	for i := 0; i < out.Rows; i++ {
+		for j := 0; j < out.Cols; j++ {
+			ch := channel(i, j)
+			groups[ch] = append(groups[ch], out.Data[i*out.Cols+j])
+		}
+	}
+	params := make([]quant.AffineParams, n)
+	for ch, g := range groups {
+		params[ch] = quant.CalibrateAffine(g)
+	}
+	for i := 0; i < out.Rows; i++ {
+		for j := 0; j < out.Cols; j++ {
+			p := params[channel(i, j)]
+			idx := i*out.Cols + j
+			out.Data[idx] = p.DequantizeOne(p.QuantizeOne(out.Data[idx]))
+		}
+	}
+}
+
+// checkFits enforces the 8 MB device-memory constraint: an HLOP whose
+// buffers exceed it must be split by the runtime before dispatch.
+func (d *Device) checkFits(op vop.Opcode, inputs []*tensor.Matrix) error {
+	var total int64
+	for _, in := range inputs {
+		total += in.Bytes(d.ElemBytes())
+	}
+	// Output plus one double-buffer slot.
+	if len(inputs) > 0 {
+		total += 2 * inputs[0].Bytes(d.ElemBytes())
+	}
+	if total > d.cfg.MemoryBytes {
+		return fmt.Errorf("tpu: HLOP working set %d B exceeds device memory %d B: %w",
+			total, d.cfg.MemoryBytes, device.ErrTooLarge)
+	}
+	return nil
+}
+
+// ExecTime implements device.Device.
+func (d *Device) ExecTime(op vop.Opcode, n int) float64 {
+	return float64(n) * d.cfg.Slowdown / (device.Throughput(device.TPU, op) * d.cfg.ThroughputScale)
+}
+
+// DispatchOverhead implements device.Device: TFLite model invocation.
+func (d *Device) DispatchOverhead() float64 { return device.DispatchTPU }
+
+// Link implements device.Device: the M.2 module sits on PCIe.
+func (d *Device) Link() interconnect.Link {
+	l := interconnect.PCIeTPU
+	l.BandwidthBps /= d.cfg.Slowdown
+	return l
+}
+
+// ElemBytes implements device.Device: INT8 activations.
+func (d *Device) ElemBytes() int { return 1 }
+
+// MemoryBytes implements device.Device.
+func (d *Device) MemoryBytes() int64 { return d.cfg.MemoryBytes }

@@ -1,0 +1,164 @@
+package tpu
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"shmt/internal/device"
+	"shmt/internal/device/cpu"
+	"shmt/internal/kernels"
+	"shmt/internal/npu"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+	"shmt/internal/workload"
+)
+
+func TestIdentity(t *testing.T) {
+	d := New(Config{})
+	if d.Name() != "tpu" || d.Kind() != device.TPU {
+		t.Fatal("identity wrong")
+	}
+	if d.AccuracyRank() <= 0 {
+		t.Fatal("TPU must rank below exact devices")
+	}
+	if d.ElemBytes() != 1 {
+		t.Fatal("INT8 element width expected")
+	}
+	if d.MemoryBytes() != 8<<20 {
+		t.Fatalf("default memory = %d want 8 MiB", d.MemoryBytes())
+	}
+	for _, op := range vop.All() {
+		if !d.Supports(op) {
+			t.Fatalf("TPU should support %s (NPU mode)", op)
+		}
+	}
+}
+
+func TestExecuteIntroducesBoundedError(t *testing.T) {
+	d := New(Config{})
+	ref := cpu.New(1)
+	in := workload.Uniform(64, 64, 0, 1, 3)
+	got, err := d.Execute(vop.OpSobel, []*tensor.Matrix{in}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ref.Execute(vop.OpSobel, []*tensor.Matrix{in}, nil)
+	var maxd, diffs float64
+	for i := range got.Data {
+		dd := math.Abs(got.Data[i] - want.Data[i])
+		if dd > maxd {
+			maxd = dd
+		}
+		diffs += dd
+	}
+	if diffs == 0 {
+		t.Fatal("INT8 execution should differ from exact")
+	}
+	// Error must stay commensurate with the quantization grid, not blow up.
+	if maxd > 0.5 {
+		t.Fatalf("max error %g implausibly large for unit-range input", maxd)
+	}
+}
+
+func TestMatrixModeMoreAccurateThanNPUStages(t *testing.T) {
+	// DCT runs matrix mode (single output requant); forcing the same kernel
+	// through an NPU model with per-stage requantization must be worse.
+	d := New(Config{})
+	ref := cpu.New(1)
+	in := workload.Uniform(64, 64, 0, 1, 5)
+	matrix, err := d.Execute(vop.OpDCT8x8, []*tensor.Matrix{in}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := npu.Model{Op: vop.OpDCT8x8, Layers: kernels.Stages(vop.OpDCT8x8)}
+	staged, err := model.Run([]*tensor.Matrix{in}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ref.Execute(vop.OpDCT8x8, []*tensor.Matrix{in}, nil)
+	var eMatrix, eStaged float64
+	for i := range want.Data {
+		eMatrix += math.Abs(matrix.Data[i] - want.Data[i])
+		eStaged += math.Abs(staged.Data[i] - want.Data[i])
+	}
+	if eMatrix >= eStaged {
+		t.Fatalf("matrix mode error %g should undercut staged NPU error %g", eMatrix, eStaged)
+	}
+}
+
+func TestMemoryLimitTriggersErrTooLarge(t *testing.T) {
+	d := New(Config{MemoryBytes: 1024})
+	in := tensor.NewMatrix(64, 64) // 4096 B int8 > 1024 after buffers
+	_, err := d.Execute(vop.OpSobel, []*tensor.Matrix{in}, nil)
+	if !errors.Is(err, device.ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestQuantAwareImprovesQuality(t *testing.T) {
+	plain := New(Config{})
+	qat := New(Config{QuantAware: true})
+	ref := cpu.New(1)
+	in := workload.Mixed(64, 64, workload.Profile{CriticalFraction: 0.95, TileSize: 32}, 7)
+	want, _ := ref.Execute(vop.OpSobel, []*tensor.Matrix{in}, nil)
+	a, _ := plain.Execute(vop.OpSobel, []*tensor.Matrix{in}, nil)
+	b, _ := qat.Execute(vop.OpSobel, []*tensor.Matrix{in}, nil)
+	var ea, eb float64
+	for i := range want.Data {
+		ea += math.Abs(a.Data[i] - want.Data[i])
+		eb += math.Abs(b.Data[i] - want.Data[i])
+	}
+	if eb >= ea {
+		t.Fatalf("QAT error %g should undercut PTQ error %g", eb, ea)
+	}
+}
+
+func TestSetModel(t *testing.T) {
+	d := New(Config{})
+	d.SetModel(npu.Model{Op: vop.OpSobel, Layers: 1, QuantAware: true})
+	if got := d.model(vop.OpSobel); !got.QuantAware {
+		t.Fatal("SetModel ignored")
+	}
+}
+
+func TestExecTimeScalesWithSlowdown(t *testing.T) {
+	fast := New(Config{})
+	slow := New(Config{Slowdown: 4})
+	f := fast.ExecTime(vop.OpFFT, 1000)
+	s := slow.ExecTime(vop.OpFFT, 1000)
+	if math.Abs(s-4*f) > 1e-12*s {
+		t.Fatalf("slowdown not applied: %g vs %g", s, f)
+	}
+	if slow.Link().BandwidthBps*4 != fast.Link().BandwidthBps {
+		t.Fatal("link bandwidth not scaled")
+	}
+}
+
+func TestDispatchOverheadPositive(t *testing.T) {
+	if New(Config{}).DispatchOverhead() <= 0 {
+		t.Fatal("dispatch overhead must be positive")
+	}
+}
+
+func TestReduceSumRunsMatrixMode(t *testing.T) {
+	// Summation accumulates wide (TCUSCAN-style), so the only error is the
+	// input quantization: relative error well under 1% on uniform data.
+	d := New(Config{})
+	in := workload.Uniform(64, 64, 0, 1, 9)
+	got, err := d.Execute(vop.OpReduceSum, []*tensor.Matrix{in}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, v := range in.Data {
+		want += v
+	}
+	rel := math.Abs(got.Data[0]-want) / want
+	if rel > 0.01 {
+		t.Fatalf("matrix-mode sum error %g too large", rel)
+	}
+	if rel == 0 {
+		t.Fatal("INT8 input quantization should leave a trace")
+	}
+}

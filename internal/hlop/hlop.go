@@ -1,0 +1,416 @@
+// Package hlop defines high-level operations (HLOPs): the device-sized
+// partitions of a VOP that form SHMT's basic scheduling identity (§3.2.2).
+//
+// An HLOP shares its opcode with the parent VOP but fixes the data size and
+// granularity a hardware device can support. The partitioner in this package
+// implements §3.3.1's template-based dataset partition: element-wise VOPs
+// split into page-aligned row bands, tile-wise VOPs into square tiles
+// (≥1024×1024 at the paper's default 8192×8192 input), stencil VOPs carry a
+// halo so partitions stay independent, and GEMM row-bands pair with the full
+// right-hand matrix.
+package hlop
+
+import (
+	"fmt"
+
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// HLOP is one schedulable partition of a VOP.
+type HLOP struct {
+	// ID indexes the HLOP within its VOP (stable across policies).
+	ID int
+	// Op is the opcode, shared with the parent VOP.
+	Op vop.Opcode
+	// Parent is the VOP this HLOP was partitioned from; Split re-extracts
+	// from it.
+	Parent *vop.VOP
+	// Region locates this partition's interior in the parent's input space
+	// (and, except for GEMM/reductions, in the output space too).
+	Region tensor.Region
+	// Inputs are the partition's data blocks, halo included where the
+	// opcode needs one.
+	Inputs []*tensor.Matrix
+	// Interior locates the halo-free block inside Inputs[0]; for halo-less
+	// opcodes it covers Inputs[0] entirely.
+	Interior tensor.Region
+	// Attrs are the parent VOP's scalar attributes.
+	Attrs map[string]float64
+	// Elems is the cost basis for ExecTime: the interior element count,
+	// multiplied by the VOP's iteration work factor (vop.VOP.WorkFactor).
+	Elems int
+
+	// Criticality is the sampled criticality score (set by the policy).
+	Criticality float64
+	// Critical marks partitions the policy classified as critical.
+	Critical bool
+	// AssignedQueue is the initial device-queue index chosen by the policy.
+	AssignedQueue int
+
+	// Result holds the computed partition output after execution.
+	Result *tensor.Matrix
+	// ExecQueue is the queue index of the device that actually executed the
+	// HLOP (differs from AssignedQueue when stolen).
+	ExecQueue int
+	// Finish is the virtual completion time, stamped by the engine when the
+	// HLOP enters its device's completion queue.
+	Finish float64
+}
+
+// InputRegion returns the region of Inputs[0] a scheduler samples for
+// criticality. For most opcodes that is the halo-free Interior; GEMM's
+// Interior describes the *output* band (B-columns wide), so its sampling
+// region is the whole A band instead.
+func (h *HLOP) InputRegion() tensor.Region {
+	if h.Op == vop.OpGEMM {
+		return tensor.Region{Row: 0, Col: 0, Height: h.Inputs[0].Rows, Width: h.Inputs[0].Cols}
+	}
+	return h.Interior
+}
+
+// InputBytes returns the total payload the HLOP ships to a device with the
+// given element width.
+func (h *HLOP) InputBytes(elemSize int) int64 {
+	var n int64
+	for _, in := range h.Inputs {
+		n += in.Bytes(elemSize)
+	}
+	return n
+}
+
+// OutputBytes returns the payload the HLOP ships back.
+func (h *HLOP) OutputBytes(elemSize int) int64 {
+	if h.Op.IsReduction() {
+		r, c := kernelPartialShape(h.Op)
+		return int64(r*c) * int64(elemSize)
+	}
+	if h.Op == vop.OpGEMM {
+		return int64(h.Region.Height*h.Parent.Inputs[1].Cols) * int64(elemSize)
+	}
+	return h.Region.Bytes(elemSize)
+}
+
+func kernelPartialShape(op vop.Opcode) (int, int) {
+	switch op {
+	case vop.OpReduceHist256:
+		return 1, 256
+	case vop.OpReduceAverage:
+		return 1, 2
+	default:
+		return 1, 1
+	}
+}
+
+func (h *HLOP) String() string {
+	return fmt.Sprintf("hlop{%d %s %v}", h.ID, h.Op, h.Region)
+}
+
+// Spec configures the partitioner.
+type Spec struct {
+	// TargetPartitions is the desired HLOP count (default 64, a few per
+	// device queue times the stealing depth the paper's runtime
+	// oversubscribes with).
+	TargetPartitions int
+	// MinVectorElems floors the size of vector-model partitions; the paper
+	// requires page multiples — "each partition of floating-point data
+	// inputs in the vector processing model should contain at least 1,024
+	// consecutive elements" (§3.4). Default 1024.
+	MinVectorElems int
+	// MinTile floors tile edges (default 64; tiles grow toward 1024 with
+	// input size as in §3.4). DCT8x8 tiles stay multiples of 8 regardless.
+	MinTile int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.TargetPartitions <= 0 {
+		s.TargetPartitions = 64
+	}
+	if s.MinVectorElems <= 0 {
+		s.MinVectorElems = 1024
+	}
+	if s.MinTile <= 0 {
+		s.MinTile = 64
+	}
+	return s
+}
+
+// Partition decomposes a VOP into HLOPs per its parallelization model.
+func Partition(v *vop.VOP, spec Spec) ([]*HLOP, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	switch {
+	case v.Op == vop.OpGEMM:
+		return partitionGEMM(v, spec)
+	case v.Op == vop.OpFFT:
+		return partitionRows(v, spec, 1) // per-row transform: bands of whole rows
+	case v.Op.Model() == vop.Vector:
+		return partitionRows(v, spec, 1)
+	default:
+		return partitionTiles(v, spec)
+	}
+}
+
+// partitionRows splits into full-width row bands of at least minRows rows
+// and at least MinVectorElems elements.
+func partitionRows(v *vop.VOP, spec Spec, minRows int) ([]*HLOP, error) {
+	in := v.Inputs[0]
+	rowsPer := in.Rows / spec.TargetPartitions
+	if rowsPer < minRows {
+		rowsPer = minRows
+	}
+	for rowsPer*in.Cols < spec.MinVectorElems && rowsPer < in.Rows {
+		rowsPer++
+	}
+	var hs []*HLOP
+	for r := 0; r < in.Rows; r += rowsPer {
+		h := rowsPer
+		if r+h > in.Rows {
+			h = in.Rows - r
+		}
+		reg := tensor.Region{Row: r, Col: 0, Height: h, Width: in.Cols}
+		hl, err := extract(v, reg, len(hs))
+		if err != nil {
+			return nil, err
+		}
+		hs = append(hs, hl)
+	}
+	return hs, nil
+}
+
+// partitionTiles splits into square-ish tiles honouring opcode alignment.
+func partitionTiles(v *vop.VOP, spec Spec) ([]*HLOP, error) {
+	in := v.Inputs[0]
+	total := in.Rows * in.Cols
+	targetElems := total / spec.TargetPartitions
+	if targetElems < spec.MinTile*spec.MinTile {
+		targetElems = spec.MinTile * spec.MinTile
+	}
+	t := intSqrt(targetElems)
+	align := 1
+	if v.Op == vop.OpDCT8x8 {
+		align = 8
+	}
+	t = (t / align) * align
+	if t < align {
+		t = align
+	}
+	if t < spec.MinTile && spec.MinTile%align == 0 {
+		t = spec.MinTile
+	}
+	if t > in.Rows {
+		t = maxAligned(in.Rows, align)
+	}
+	if t > in.Cols {
+		t = maxAligned(in.Cols, align)
+	}
+	if t < 1 {
+		t = 1
+	}
+	var hs []*HLOP
+	for r := 0; r < in.Rows; r += t {
+		h := t
+		if r+h > in.Rows {
+			h = in.Rows - r
+		}
+		for c := 0; c < in.Cols; c += t {
+			w := t
+			if c+w > in.Cols {
+				w = in.Cols - c
+			}
+			reg := tensor.Region{Row: r, Col: c, Height: h, Width: w}
+			hl, err := extract(v, reg, len(hs))
+			if err != nil {
+				return nil, err
+			}
+			hs = append(hs, hl)
+		}
+	}
+	return hs, nil
+}
+
+func partitionGEMM(v *vop.VOP, spec Spec) ([]*HLOP, error) {
+	a, b := v.Inputs[0], v.Inputs[1]
+	rowsPer := a.Rows / spec.TargetPartitions
+	if rowsPer < 1 {
+		rowsPer = 1
+	}
+	var hs []*HLOP
+	for r := 0; r < a.Rows; r += rowsPer {
+		h := rowsPer
+		if r+h > a.Rows {
+			h = a.Rows - r
+		}
+		reg := tensor.Region{Row: r, Col: 0, Height: h, Width: a.Cols}
+		band, err := tensor.CopyOut(a, reg)
+		if err != nil {
+			return nil, err
+		}
+		hs = append(hs, &HLOP{
+			ID:       len(hs),
+			Op:       v.Op,
+			Parent:   v,
+			Region:   tensor.Region{Row: r, Col: 0, Height: h, Width: b.Cols},
+			Inputs:   []*tensor.Matrix{band, b},
+			Interior: tensor.Region{Row: 0, Col: 0, Height: h, Width: b.Cols},
+			Attrs:    v.Attrs,
+			Elems:    h * b.Cols,
+		})
+	}
+	return hs, nil
+}
+
+// extract builds the HLOP covering region reg of VOP v, shipping halos for
+// stencil opcodes.
+func extract(v *vop.VOP, reg tensor.Region, id int) (*HLOP, error) {
+	halo := v.HaloWidth()
+	inputs := make([]*tensor.Matrix, len(v.Inputs))
+	interior := tensor.Region{Row: 0, Col: 0, Height: reg.Height, Width: reg.Width}
+	for i, src := range v.Inputs {
+		if v.Op == vop.OpConv && i == 1 {
+			inputs[i] = src // the convolution kernel ships whole
+			continue
+		}
+		if halo > 0 {
+			blk, inner, err := tensor.CopyOutHalo(src, reg, halo)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = blk
+			interior = inner
+		} else {
+			blk, err := tensor.CopyOut(src, reg)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = blk
+		}
+	}
+	return &HLOP{
+		ID:       id,
+		Op:       v.Op,
+		Parent:   v,
+		Region:   reg,
+		Inputs:   inputs,
+		Interior: interior,
+		Attrs:    v.Attrs,
+		Elems:    int(float64(reg.Len()) * v.WorkFactor()),
+	}, nil
+}
+
+// Split halves an HLOP along its taller axis, re-extracting both halves from
+// the parent VOP — the runtime's response to a device-memory overflow or a
+// granularity mismatch (§3.4). The returned HLOPs reuse the original ID for
+// the first half and take newID for the second. Splitting a 1-element HLOP
+// fails.
+func Split(h *HLOP, newID int) (*HLOP, *HLOP, error) {
+	if h.Op == vop.OpGEMM {
+		return splitGEMM(h, newID)
+	}
+	r := h.Region
+	var r1, r2 tensor.Region
+	align := 1
+	if h.Op == vop.OpDCT8x8 {
+		align = 8
+	}
+	// Per-row transforms must keep whole rows together.
+	if h.Op == vop.OpFFT && r.Height < 2 {
+		return nil, nil, fmt.Errorf("hlop: cannot split single FFT row %v", r)
+	}
+	if h.Op == vop.OpFFT || r.Height >= r.Width && r.Height >= 2*align {
+		half := alignDown(r.Height/2, align)
+		r1 = tensor.Region{Row: r.Row, Col: r.Col, Height: half, Width: r.Width}
+		r2 = tensor.Region{Row: r.Row + half, Col: r.Col, Height: r.Height - half, Width: r.Width}
+	} else if r.Width >= 2*align {
+		half := alignDown(r.Width/2, align)
+		r1 = tensor.Region{Row: r.Row, Col: r.Col, Height: r.Height, Width: half}
+		r2 = tensor.Region{Row: r.Row, Col: r.Col + half, Height: r.Height, Width: r.Width - half}
+	} else {
+		return nil, nil, fmt.Errorf("hlop: cannot split %v further", r)
+	}
+	a, err := extract(h.Parent, r1, h.ID)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := extract(h.Parent, r2, newID)
+	if err != nil {
+		return nil, nil, err
+	}
+	inheritPolicy(h, a)
+	inheritPolicy(h, b)
+	return a, b, nil
+}
+
+func splitGEMM(h *HLOP, newID int) (*HLOP, *HLOP, error) {
+	if h.Region.Height < 2 {
+		return nil, nil, fmt.Errorf("hlop: cannot split GEMM band %v further", h.Region)
+	}
+	a := h.Parent.Inputs[0]
+	half := h.Region.Height / 2
+	mk := func(row, height, id int) (*HLOP, error) {
+		reg := tensor.Region{Row: row, Col: 0, Height: height, Width: a.Cols}
+		band, err := tensor.CopyOut(a, reg)
+		if err != nil {
+			return nil, err
+		}
+		bcols := h.Parent.Inputs[1].Cols
+		return &HLOP{
+			ID:       id,
+			Op:       h.Op,
+			Parent:   h.Parent,
+			Region:   tensor.Region{Row: row, Col: 0, Height: height, Width: bcols},
+			Inputs:   []*tensor.Matrix{band, h.Parent.Inputs[1]},
+			Interior: tensor.Region{Row: 0, Col: 0, Height: height, Width: bcols},
+			Attrs:    h.Attrs,
+			Elems:    height * bcols,
+		}, nil
+	}
+	x, err := mk(h.Region.Row, half, h.ID)
+	if err != nil {
+		return nil, nil, err
+	}
+	y, err := mk(h.Region.Row+half, h.Region.Height-half, newID)
+	if err != nil {
+		return nil, nil, err
+	}
+	inheritPolicy(h, x)
+	inheritPolicy(h, y)
+	return x, y, nil
+}
+
+func inheritPolicy(from, to *HLOP) {
+	to.Criticality = from.Criticality
+	to.Critical = from.Critical
+	to.AssignedQueue = from.AssignedQueue
+}
+
+func alignDown(v, align int) int {
+	if align <= 1 {
+		return v
+	}
+	return (v / align) * align
+}
+
+func maxAligned(v, align int) int {
+	if align <= 1 {
+		return v
+	}
+	a := (v / align) * align
+	if a == 0 {
+		a = v
+	}
+	return a
+}
+
+func intSqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	x, y := n, (n+1)/2
+	for y < x {
+		x, y = y, (y+n/y)/2
+	}
+	return x
+}

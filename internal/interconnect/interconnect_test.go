@@ -1,0 +1,70 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransferTime(t *testing.T) {
+	l := Link{BandwidthBps: 1e9, LatencySec: 1e-6}
+	got := l.TransferTime(1e6)
+	want := 1e-6 + 1e6/1e9
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("transfer = %g want %g", got, want)
+	}
+	if l.TransferTime(0) != 0 || l.TransferTime(-5) != 0 {
+		t.Fatal("non-positive payloads should cost nothing")
+	}
+	zero := Link{LatencySec: 2e-6}
+	if zero.TransferTime(100) != 2e-6 {
+		t.Fatal("zero-bandwidth link should cost latency only")
+	}
+}
+
+func TestExposure(t *testing.T) {
+	// Without double buffering the full transfer is exposed.
+	if Exposure(3, 10, false) != 3 {
+		t.Fatal("non-overlapped exposure wrong")
+	}
+	// Fully hidden behind compute.
+	if Exposure(3, 10, true) != 0 {
+		t.Fatal("hidden transfer should expose 0")
+	}
+	// Partially hidden.
+	if Exposure(10, 3, true) != 7 {
+		t.Fatal("partial exposure wrong")
+	}
+}
+
+func TestTracker(t *testing.T) {
+	var tr Tracker
+	tr.Add(100, 2, 1)
+	tr.Add(50, 3, 0.5)
+	if tr.Bytes != 150 || tr.TransferTime != 5 || tr.ExposedTime != 1.5 {
+		t.Fatalf("tracker = %+v", tr)
+	}
+	var other Tracker
+	other.Add(10, 1, 1)
+	tr.Merge(other)
+	if tr.Bytes != 160 || tr.ExposedTime != 2.5 {
+		t.Fatalf("merged tracker = %+v", tr)
+	}
+	if got := tr.OverheadFraction(10); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("overhead = %g", got)
+	}
+	if tr.OverheadFraction(0) != 0 {
+		t.Fatal("zero busy should yield zero overhead")
+	}
+}
+
+func TestDefaultLinksSane(t *testing.T) {
+	if HostDRAM.BandwidthBps != 25.6e9 {
+		t.Fatalf("host DRAM bandwidth = %g, want the paper's 25.6 GB/s", HostDRAM.BandwidthBps)
+	}
+	if PCIeTPU.BandwidthBps <= 0 || PCIeTPU.LatencySec <= 0 {
+		t.Fatal("PCIe link not configured")
+	}
+	if PCIeTPU.BandwidthBps >= HostDRAM.BandwidthBps {
+		t.Fatal("PCIe should be slower than host DRAM")
+	}
+}

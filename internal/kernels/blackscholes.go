@@ -1,0 +1,77 @@
+package kernels
+
+import (
+	"math"
+
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// execBlackScholes prices European call options with the closed-form
+// Black-Scholes solution of the parabolic PDE, the same kernel as the CUDA
+// SDK's BlackScholes sample. Inputs: spot prices S and strike prices K;
+// attributes: riskfree rate "r" (default 0.02), volatility "sigma" (default
+// 0.30), and time to expiry "t" in years (default 1).
+//
+// The kernel has four stage boundaries (d1, d2, the two CND evaluations fold
+// into one stage, and the final combination), which is also the NPU model
+// depth used by the Edge TPU cost model.
+func execBlackScholes(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
+	if err := checkInputs(vop.OpParabolicPDE, inputs, 2); err != nil {
+		return nil, err
+	}
+	s, k := inputs[0], inputs[1]
+	rate := a.get("r", 0.02)
+	sigma := a.get("sigma", 0.30)
+	t := a.get("t", 1)
+
+	n := s.Len()
+	d1 := make([]float64, n)
+	d2 := make([]float64, n)
+	volSqrtT := sigma * math.Sqrt(t)
+	for i := 0; i < n; i++ {
+		d1[i] = (math.Log(s.Data[i]/k.Data[i]) + (rate+0.5*sigma*sigma)*t) / volSqrtT
+	}
+	r.Round(d1) // stage 1
+
+	for i := 0; i < n; i++ {
+		d2[i] = d1[i] - volSqrtT
+	}
+	r.Round(d2) // stage 2
+
+	nd1 := make([]float64, n)
+	nd2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		nd1[i] = cnd(d1[i])
+		nd2[i] = cnd(d2[i])
+	}
+	r.Round(nd1) // stage 3 (both CNDs evaluate in the same layer)
+	r.Round(nd2)
+
+	out := tensor.NewMatrix(s.Rows, s.Cols)
+	expRT := math.Exp(-rate * t)
+	for i := 0; i < n; i++ {
+		out.Data[i] = s.Data[i]*nd1[i] - k.Data[i]*expRT*nd2[i]
+	}
+	r.Round(out.Data) // stage 4
+	return out, nil
+}
+
+// cnd is the cumulative normal distribution via the Abramowitz & Stegun
+// 5-term polynomial used by the CUDA sample.
+func cnd(d float64) float64 {
+	const (
+		a1 = 0.31938153
+		a2 = -0.356563782
+		a3 = 1.781477937
+		a4 = -1.821255978
+		a5 = 1.330274429
+	)
+	k := 1 / (1 + 0.2316419*math.Abs(d))
+	poly := k * (a1 + k*(a2+k*(a3+k*(a4+k*a5))))
+	c := (1 / math.Sqrt(2*math.Pi)) * math.Exp(-0.5*d*d) * poly
+	if d > 0 {
+		return 1 - c
+	}
+	return c
+}

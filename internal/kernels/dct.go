@@ -1,0 +1,105 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// dct8Basis[k][x] = c(k) * cos((2x+1)kπ/16): the 1-D 8-point DCT-II basis
+// with the orthonormal scaling used by the CUDA SDK's dct8x8 sample.
+var dct8Basis = func() [8][8]float64 {
+	var b [8][8]float64
+	for k := 0; k < 8; k++ {
+		c := math.Sqrt(2.0 / 8.0)
+		if k == 0 {
+			c = math.Sqrt(1.0 / 8.0)
+		}
+		for x := 0; x < 8; x++ {
+			b[k][x] = c * math.Cos(float64(2*x+1)*float64(k)*math.Pi/16)
+		}
+	}
+	return b
+}()
+
+// execDCT8x8 computes the blockwise 8x8 2-D DCT-II of the input (rows and
+// cols must be multiples of 8), as separable row then column passes — the
+// two stage boundaries of the kernel.
+func execDCT8x8(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+	if err := checkInputs(vop.OpDCT8x8, inputs, 1); err != nil {
+		return nil, err
+	}
+	in := inputs[0]
+	if in.Rows%8 != 0 || in.Cols%8 != 0 {
+		return nil, fmt.Errorf("kernels: DCT8x8 input %dx%d not a multiple of 8", in.Rows, in.Cols)
+	}
+	// Row pass: for each 8-wide strip of each row, tmp[k] = Σx basis[k][x]*v[x].
+	tmp := tensor.NewMatrix(in.Rows, in.Cols)
+	for row := 0; row < in.Rows; row++ {
+		base := row * in.Cols
+		for bc := 0; bc < in.Cols; bc += 8 {
+			for k := 0; k < 8; k++ {
+				var s float64
+				for x := 0; x < 8; x++ {
+					s += dct8Basis[k][x] * in.Data[base+bc+x]
+				}
+				tmp.Data[base+bc+k] = s
+			}
+		}
+	}
+	r.Round(tmp.Data) // stage 1
+
+	// Column pass within each 8-tall block.
+	out := tensor.NewMatrix(in.Rows, in.Cols)
+	for br := 0; br < in.Rows; br += 8 {
+		for col := 0; col < in.Cols; col++ {
+			for k := 0; k < 8; k++ {
+				var s float64
+				for y := 0; y < 8; y++ {
+					s += dct8Basis[k][y] * tmp.Data[(br+y)*in.Cols+col]
+				}
+				out.Data[(br+k)*in.Cols+col] = s
+			}
+		}
+	}
+	r.Round(out.Data) // stage 2
+	return out, nil
+}
+
+// IDCT8x8 inverts execDCT8x8 exactly (orthonormal basis transpose); used by
+// tests to validate the transform.
+func IDCT8x8(in *tensor.Matrix) (*tensor.Matrix, error) {
+	if in.Rows%8 != 0 || in.Cols%8 != 0 {
+		return nil, fmt.Errorf("kernels: IDCT8x8 input %dx%d not a multiple of 8", in.Rows, in.Cols)
+	}
+	tmp := tensor.NewMatrix(in.Rows, in.Cols)
+	// Inverse column pass: v[y] = Σk basis[k][y]*c[k].
+	for br := 0; br < in.Rows; br += 8 {
+		for col := 0; col < in.Cols; col++ {
+			for y := 0; y < 8; y++ {
+				var s float64
+				for k := 0; k < 8; k++ {
+					s += dct8Basis[k][y] * in.Data[(br+k)*in.Cols+col]
+				}
+				tmp.Data[(br+y)*in.Cols+col] = s
+			}
+		}
+	}
+	// Inverse row pass: v[x] = Σk basis[k][x]*c[k].
+	out := tensor.NewMatrix(in.Rows, in.Cols)
+	for row := 0; row < in.Rows; row++ {
+		base := row * in.Cols
+		for bc := 0; bc < in.Cols; bc += 8 {
+			for x := 0; x < 8; x++ {
+				var s float64
+				for k := 0; k < 8; k++ {
+					s += dct8Basis[k][x] * tmp.Data[base+bc+k]
+				}
+				out.Data[base+bc+x] = s
+			}
+		}
+	}
+	return out, nil
+}

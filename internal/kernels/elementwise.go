@@ -1,0 +1,82 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// execBinary evaluates the element-wise two-operand vector VOPs.
+func execBinary(op vop.Opcode, inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+	if err := checkInputs(op, inputs, 2); err != nil {
+		return nil, err
+	}
+	a, b := inputs[0], inputs[1]
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("kernels: %s shapes %dx%d and %dx%d differ", op, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := tensor.NewMatrix(a.Rows, a.Cols)
+	switch op {
+	case vop.OpAdd:
+		for i := range out.Data {
+			out.Data[i] = a.Data[i] + b.Data[i]
+		}
+	case vop.OpSub:
+		for i := range out.Data {
+			out.Data[i] = a.Data[i] - b.Data[i]
+		}
+	case vop.OpMultiply:
+		for i := range out.Data {
+			out.Data[i] = a.Data[i] * b.Data[i]
+		}
+	case vop.OpMax:
+		for i := range out.Data {
+			out.Data[i] = math.Max(a.Data[i], b.Data[i])
+		}
+	case vop.OpMin:
+		for i := range out.Data {
+			out.Data[i] = math.Min(a.Data[i], b.Data[i])
+		}
+	default:
+		return nil, fmt.Errorf("kernels: %s is not a binary op", op)
+	}
+	r.Round(out.Data)
+	return out, nil
+}
+
+// execUnary evaluates the element-wise one-operand vector VOPs.
+func execUnary(op vop.Opcode, inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+	if err := checkInputs(op, inputs, 1); err != nil {
+		return nil, err
+	}
+	a := inputs[0]
+	out := tensor.NewMatrix(a.Rows, a.Cols)
+	switch op {
+	case vop.OpLog:
+		for i, v := range a.Data {
+			out.Data[i] = math.Log(v)
+		}
+	case vop.OpSqrt:
+		for i, v := range a.Data {
+			out.Data[i] = math.Sqrt(v)
+		}
+	case vop.OpRsqrt:
+		for i, v := range a.Data {
+			out.Data[i] = 1 / math.Sqrt(v)
+		}
+	case vop.OpTanh:
+		for i, v := range a.Data {
+			out.Data[i] = math.Tanh(v)
+		}
+	case vop.OpRelu:
+		for i, v := range a.Data {
+			out.Data[i] = math.Max(0, v)
+		}
+	default:
+		return nil, fmt.Errorf("kernels: %s is not a unary op", op)
+	}
+	r.Round(out.Data)
+	return out, nil
+}

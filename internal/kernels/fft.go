@@ -1,0 +1,95 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// execFFT computes the per-row radix-2 FFT of the real input (row length
+// must be a power of two) and returns the magnitude spectrum, matching how
+// the CUDA SDK sample post-processes batched 1-D FFTs for comparison. The
+// butterfly passes and the magnitude computation form the kernel's two stage
+// boundaries.
+func execFFT(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+	if err := checkInputs(vop.OpFFT, inputs, 1); err != nil {
+		return nil, err
+	}
+	in := inputs[0]
+	if in.Cols == 0 || in.Cols&(in.Cols-1) != 0 {
+		return nil, fmt.Errorf("kernels: FFT row length %d not a power of two", in.Cols)
+	}
+	re := tensor.NewMatrix(in.Rows, in.Cols)
+	im := tensor.NewMatrix(in.Rows, in.Cols)
+	buf := make([]complex128, in.Cols)
+	for row := 0; row < in.Rows; row++ {
+		base := row * in.Cols
+		for j := 0; j < in.Cols; j++ {
+			buf[j] = complex(in.Data[base+j], 0)
+		}
+		FFTInPlace(buf)
+		for j := 0; j < in.Cols; j++ {
+			re.Data[base+j] = real(buf[j])
+			im.Data[base+j] = imag(buf[j])
+		}
+	}
+	r.Round(re.Data) // stage 1: the complex spectrum leaves the butterflies
+	r.Round(im.Data)
+
+	out := tensor.NewMatrix(in.Rows, in.Cols)
+	for i := range out.Data {
+		out.Data[i] = math.Hypot(re.Data[i], im.Data[i])
+	}
+	r.Round(out.Data) // stage 2
+	return out, nil
+}
+
+// FFTInPlace computes the in-place iterative radix-2 Cooley-Tukey DFT of x;
+// len(x) must be a power of two.
+func FFTInPlace(x []complex128) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// IFFTInPlace computes the inverse DFT (with 1/n normalization); used by
+// tests to validate the transform.
+func IFFTInPlace(x []complex128) {
+	n := len(x)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	FFTInPlace(x)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) / complex(float64(n), 0)
+	}
+}

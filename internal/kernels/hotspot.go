@@ -1,0 +1,64 @@
+package kernels
+
+import (
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// execHotspot performs one step of Rodinia's Hotspot transient thermal
+// simulation: inputs are the temperature grid and the per-cell power grid;
+// the update is an explicit 5-point stencil
+//
+//	T' = T + dt/cap * (P + (T_n + T_s - 2T)/Ry + (T_w + T_e - 2T)/Rx + (Tamb - T)/Rz)
+//
+// Attributes (all optional, defaults follow Rodinia's 0.5 mm chip
+// parameters scaled per cell): "dt_cap" (dt/capacitance, default 0.1),
+// "rx", "ry", "rz" (thermal resistances, defaults 1, 1, 4) and "tamb"
+// (ambient temperature, default 80.0).
+//
+// The "steps" attribute (default 1) iterates the update, as Rodinia's
+// transient simulation does; the runtime widens the partition halo to match
+// (see vop.Opcode.HaloFor), so multi-step partitions remain independent.
+//
+// Stage boundaries: per step, the neighbour-delta accumulation and the
+// update (2 stages).
+func execHotspot(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
+	if err := checkInputs(vop.OpStencil, inputs, 2); err != nil {
+		return nil, err
+	}
+	temp, power := inputs[0], inputs[1]
+	dtCap := a.get("dt_cap", 0.1)
+	rx := a.get("rx", 1)
+	ry := a.get("ry", 1)
+	rz := a.get("rz", 4)
+	tamb := a.get("tamb", 80)
+	steps := int(a.get("steps", 1))
+	if steps < 1 {
+		steps = 1
+	}
+
+	rows, cols := temp.Rows, temp.Cols
+	cur := temp
+	delta := tensor.NewMatrix(rows, cols)
+	for s := 0; s < steps; s++ {
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				t := cur.At(i, j)
+				d := power.At(i, j) +
+					(atClamp(cur, i-1, j)+atClamp(cur, i+1, j)-2*t)/ry +
+					(atClamp(cur, i, j-1)+atClamp(cur, i, j+1)-2*t)/rx +
+					(tamb-t)/rz
+				delta.Set(i, j, d)
+			}
+		}
+		r.Round(delta.Data) // stage 1
+
+		next := tensor.NewMatrix(rows, cols)
+		for i := range next.Data {
+			next.Data[i] = cur.Data[i] + dtCap*delta.Data[i]
+		}
+		r.Round(next.Data) // stage 2
+		cur = next
+	}
+	return cur, nil
+}

@@ -1,0 +1,111 @@
+package kernels
+
+import (
+	"math"
+
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// Image kernels (Laplacian, Sobel, Mean Filter) use replicate boundary
+// handling, matching OpenCV's BORDER_REPLICATE default in the paper's
+// baselines. Each has a single stage boundary.
+
+func execLaplacian(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+	if err := checkInputs(vop.OpLaplacian, inputs, 1); err != nil {
+		return nil, err
+	}
+	in := inputs[0]
+	out := tensor.NewMatrix(in.Rows, in.Cols)
+	for i := 0; i < in.Rows; i++ {
+		for j := 0; j < in.Cols; j++ {
+			c := in.At(i, j)
+			out.Set(i, j, atClamp(in, i-1, j)+atClamp(in, i+1, j)+
+				atClamp(in, i, j-1)+atClamp(in, i, j+1)-4*c)
+		}
+	}
+	r.Round(out.Data)
+	return out, nil
+}
+
+func execSobel(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+	if err := checkInputs(vop.OpSobel, inputs, 1); err != nil {
+		return nil, err
+	}
+	in := inputs[0]
+	out := tensor.NewMatrix(in.Rows, in.Cols)
+	for i := 0; i < in.Rows; i++ {
+		for j := 0; j < in.Cols; j++ {
+			gx := -atClamp(in, i-1, j-1) + atClamp(in, i-1, j+1) +
+				-2*atClamp(in, i, j-1) + 2*atClamp(in, i, j+1) +
+				-atClamp(in, i+1, j-1) + atClamp(in, i+1, j+1)
+			gy := -atClamp(in, i-1, j-1) - 2*atClamp(in, i-1, j) - atClamp(in, i-1, j+1) +
+				atClamp(in, i+1, j-1) + 2*atClamp(in, i+1, j) + atClamp(in, i+1, j+1)
+			out.Set(i, j, math.Hypot(gx, gy))
+		}
+	}
+	r.Round(out.Data)
+	return out, nil
+}
+
+func execMeanFilter(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+	if err := checkInputs(vop.OpMeanFilter, inputs, 1); err != nil {
+		return nil, err
+	}
+	in := inputs[0]
+	out := tensor.NewMatrix(in.Rows, in.Cols)
+	for i := 0; i < in.Rows; i++ {
+		for j := 0; j < in.Cols; j++ {
+			var s float64
+			for di := -1; di <= 1; di++ {
+				for dj := -1; dj <= 1; dj++ {
+					s += atClamp(in, i+di, j+dj)
+				}
+			}
+			out.Set(i, j, s/9)
+		}
+	}
+	r.Round(out.Data)
+	return out, nil
+}
+
+// execConv computes the 2-D cross-correlation of the input with an odd
+// square kernel (the conv VOP; matches what a convolution layer computes).
+func execConv(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+	if err := checkInputs(vop.OpConv, inputs, 2); err != nil {
+		return nil, err
+	}
+	in, k := inputs[0], inputs[1]
+	rad := k.Rows / 2
+	out := tensor.NewMatrix(in.Rows, in.Cols)
+	for i := 0; i < in.Rows; i++ {
+		for j := 0; j < in.Cols; j++ {
+			var s float64
+			for di := -rad; di <= rad; di++ {
+				for dj := -rad; dj <= rad; dj++ {
+					s += atClamp(in, i+di, j+dj) * k.At(di+rad, dj+rad)
+				}
+			}
+			out.Set(i, j, s)
+		}
+	}
+	r.Round(out.Data)
+	return out, nil
+}
+
+// atClamp reads in[i,j] with replicate boundary handling.
+func atClamp(in *tensor.Matrix, i, j int) float64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= in.Rows {
+		i = in.Rows - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j >= in.Cols {
+		j = in.Cols - 1
+	}
+	return in.Data[i*in.Cols+j]
+}

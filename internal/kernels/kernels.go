@@ -1,0 +1,172 @@
+// Package kernels implements the compute kernels of the paper's ten
+// benchmark applications (Table 2) and the primitive VOPs of Table 1, in
+// pure Go.
+//
+// Every kernel is written once against float64 data and parameterized by a
+// Rounder that is applied in place at each internal stage boundary. Running
+// with the Exact rounder gives the reference result (the role of the paper's
+// CPU/GPU baseline); the F32 rounder reproduces the GPU's single-precision
+// path; the Int8 rounder reproduces the Edge TPU's per-layer requantization
+// (NPU mode), so quality loss is genuinely computed arithmetic, not a model.
+package kernels
+
+import (
+	"fmt"
+
+	"shmt/internal/quant"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// Rounder degrades a stage's intermediate values to a device's native
+// precision, in place.
+type Rounder interface {
+	Round(data []float64)
+	Name() string
+}
+
+// Exact performs no rounding: full float64 precision (CPU reference path).
+type Exact struct{}
+
+// Round is a no-op.
+func (Exact) Round([]float64) {}
+
+// Name implements Rounder.
+func (Exact) Name() string { return "fp64" }
+
+// F32 rounds every value to float32, the GPU's native precision.
+type F32 struct{}
+
+// Round implements Rounder.
+func (F32) Round(data []float64) {
+	for i, v := range data {
+		data[i] = float64(float32(v))
+	}
+}
+
+// Name implements Rounder.
+func (F32) Name() string { return "fp32" }
+
+// F16 rounds every value to IEEE binary16, the GPU's AI/ML half-precision
+// mode.
+type F16 struct{}
+
+// Round implements Rounder.
+func (F16) Round(data []float64) {
+	for i, v := range data {
+		data[i] = quant.FP16FromFloat(v).Float()
+	}
+}
+
+// Name implements Rounder.
+func (F16) Name() string { return "fp16" }
+
+// Int8 requantizes every value through affine INT8, recalibrating scale and
+// zero point on the stage's own distribution — the per-layer requantization
+// a TFLite-compiled Edge TPU model performs between operators.
+type Int8 struct{}
+
+// Round implements Rounder.
+func (Int8) Round(data []float64) {
+	p := quant.CalibrateAffine(data)
+	for i, v := range data {
+		data[i] = p.DequantizeOne(p.QuantizeOne(v))
+	}
+}
+
+// Name implements Rounder.
+func (Int8) Name() string { return "int8" }
+
+// attrs provides defaulted access to a VOP's scalar attributes.
+type attrs map[string]float64
+
+func (a attrs) get(name string, def float64) float64 {
+	if a == nil {
+		return def
+	}
+	if v, ok := a[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Exec runs one kernel over whole matrices at the precision of r. For
+// stencil opcodes the input is expected to already include any halo the
+// caller wants honoured; boundaries replicate edge values.
+//
+// Reduction opcodes return partial results in the canonical partial shape
+// (see ReducePartialShape); MergePartials combines them.
+func Exec(op vop.Opcode, inputs []*tensor.Matrix, at map[string]float64, r Rounder) (*tensor.Matrix, error) {
+	if r == nil {
+		r = Exact{}
+	}
+	a := attrs(at)
+	switch op {
+	case vop.OpAdd, vop.OpSub, vop.OpMultiply, vop.OpMax, vop.OpMin:
+		return execBinary(op, inputs, r)
+	case vop.OpLog, vop.OpSqrt, vop.OpRsqrt, vop.OpTanh, vop.OpRelu:
+		return execUnary(op, inputs, r)
+	case vop.OpReduceSum, vop.OpReduceAverage, vop.OpReduceMax, vop.OpReduceMin, vop.OpReduceHist256:
+		return execReduce(op, inputs, a, r)
+	case vop.OpParabolicPDE:
+		return execBlackScholes(inputs, a, r)
+	case vop.OpGEMM:
+		return execGEMM(inputs, r)
+	case vop.OpConv:
+		return execConv(inputs, r)
+	case vop.OpDCT8x8:
+		return execDCT8x8(inputs, r)
+	case vop.OpFDWT97:
+		return execFDWT97(inputs, a, r)
+	case vop.OpFFT:
+		return execFFT(inputs, r)
+	case vop.OpLaplacian:
+		return execLaplacian(inputs, r)
+	case vop.OpMeanFilter:
+		return execMeanFilter(inputs, r)
+	case vop.OpSobel:
+		return execSobel(inputs, r)
+	case vop.OpSRAD:
+		return execSRAD(inputs, a, r)
+	case vop.OpStencil:
+		return execHotspot(inputs, a, r)
+	default:
+		return nil, fmt.Errorf("kernels: unsupported opcode %s", op)
+	}
+}
+
+// Stages returns the number of internal stage boundaries (Rounder
+// applications) the kernel performs — the "layer count" the NPU topology of
+// an Edge TPU model would have. Used by the device cost models.
+func Stages(op vop.Opcode) int {
+	switch op {
+	case vop.OpParabolicPDE:
+		return 4
+	case vop.OpDCT8x8, vop.OpFDWT97:
+		return 2
+	case vop.OpFFT:
+		return 2
+	case vop.OpSRAD:
+		return 3
+	case vop.OpStencil:
+		return 2
+	case vop.OpGEMM, vop.OpConv:
+		return 1
+	case vop.OpLaplacian, vop.OpSobel, vop.OpMeanFilter:
+		return 1
+	default:
+		return 1
+	}
+}
+
+func checkInputs(op vop.Opcode, inputs []*tensor.Matrix, want int) error {
+	if len(inputs) != want {
+		return fmt.Errorf("kernels: %s wants %d inputs, got %d", op, want, len(inputs))
+	}
+	for i, in := range inputs {
+		if in == nil {
+			return fmt.Errorf("kernels: %s input %d is nil", op, i)
+		}
+	}
+	return nil
+}

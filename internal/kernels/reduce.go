@@ -1,0 +1,178 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// Reduction kernels produce canonical partial results so that per-partition
+// partials from different devices can be merged:
+//
+//	reduce_sum      -> 1x1  [sum]
+//	reduce_average  -> 1x2  [sum, count]   (finalized to 1x1 by MergePartials)
+//	reduce_max      -> 1x1  [max]
+//	reduce_min      -> 1x1  [min]
+//	reduce_hist256  -> 1x256 bin counts over [histLo, histHi)
+//
+// The histogram range comes from the "hist_lo"/"hist_hi" attributes
+// (defaults 0 and 1), mirroring OpenCV's calcHist with fixed ranges.
+
+// ReducePartialShape returns the rows/cols of one partition's partial result.
+func ReducePartialShape(op vop.Opcode) (rows, cols int) {
+	switch op {
+	case vop.OpReduceHist256:
+		return 1, 256
+	case vop.OpReduceAverage:
+		return 1, 2
+	default:
+		return 1, 1
+	}
+}
+
+func execReduce(op vop.Opcode, inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
+	if err := checkInputs(op, inputs, 1); err != nil {
+		return nil, err
+	}
+	in := inputs[0]
+	switch op {
+	case vop.OpReduceSum:
+		out := tensor.NewMatrix(1, 1)
+		out.Data[0] = kahanSum(in.Data)
+		r.Round(out.Data)
+		return out, nil
+	case vop.OpReduceAverage:
+		out := tensor.NewMatrix(1, 2)
+		out.Data[0] = kahanSum(in.Data)
+		out.Data[1] = float64(in.Len())
+		r.Round(out.Data[:1]) // the count is exact bookkeeping, never rounded
+		return out, nil
+	case vop.OpReduceMax:
+		out := tensor.NewMatrix(1, 1)
+		m := math.Inf(-1)
+		for _, v := range in.Data {
+			if v > m {
+				m = v
+			}
+		}
+		out.Data[0] = m
+		r.Round(out.Data)
+		return out, nil
+	case vop.OpReduceMin:
+		out := tensor.NewMatrix(1, 1)
+		m := math.Inf(1)
+		for _, v := range in.Data {
+			if v < m {
+				m = v
+			}
+		}
+		out.Data[0] = m
+		r.Round(out.Data)
+		return out, nil
+	case vop.OpReduceHist256:
+		lo := a.get("hist_lo", 0)
+		hi := a.get("hist_hi", 1)
+		if hi <= lo {
+			return nil, fmt.Errorf("kernels: reduce_hist256 range [%g,%g) is empty", lo, hi)
+		}
+		out := tensor.NewMatrix(1, 256)
+		// The Edge TPU path quantizes the *input* before binning (binning
+		// itself is integer bookkeeping), so round a working copy.
+		data := in.Data
+		if _, exact := r.(Exact); !exact {
+			data = append([]float64(nil), in.Data...)
+			r.Round(data)
+		}
+		scale := 256 / (hi - lo)
+		for _, v := range data {
+			bin := int((v - lo) * scale)
+			if bin < 0 {
+				bin = 0
+			}
+			if bin > 255 {
+				bin = 255
+			}
+			out.Data[bin]++
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("kernels: %s is not a reduction", op)
+	}
+}
+
+// MergePartials combines per-partition reduction partials into the final VOP
+// output. totalN is the total element count of the VOP input (needed for
+// reduce_average).
+func MergePartials(op vop.Opcode, partials []*tensor.Matrix, totalN int) (*tensor.Matrix, error) {
+	if len(partials) == 0 {
+		return nil, fmt.Errorf("kernels: no partials to merge for %s", op)
+	}
+	switch op {
+	case vop.OpReduceSum:
+		out := tensor.NewMatrix(1, 1)
+		for _, p := range partials {
+			out.Data[0] += p.Data[0]
+		}
+		return out, nil
+	case vop.OpReduceAverage:
+		var sum, cnt float64
+		for _, p := range partials {
+			sum += p.Data[0]
+			cnt += p.Data[1]
+		}
+		if cnt == 0 {
+			cnt = float64(totalN)
+		}
+		out := tensor.NewMatrix(1, 1)
+		if cnt > 0 {
+			out.Data[0] = sum / cnt
+		}
+		return out, nil
+	case vop.OpReduceMax:
+		out := tensor.NewMatrix(1, 1)
+		out.Data[0] = math.Inf(-1)
+		for _, p := range partials {
+			if p.Data[0] > out.Data[0] {
+				out.Data[0] = p.Data[0]
+			}
+		}
+		return out, nil
+	case vop.OpReduceMin:
+		out := tensor.NewMatrix(1, 1)
+		out.Data[0] = math.Inf(1)
+		for _, p := range partials {
+			if p.Data[0] < out.Data[0] {
+				out.Data[0] = p.Data[0]
+			}
+		}
+		return out, nil
+	case vop.OpReduceHist256:
+		out := tensor.NewMatrix(1, 256)
+		for _, p := range partials {
+			if p.Len() != 256 {
+				return nil, fmt.Errorf("kernels: histogram partial has %d bins", p.Len())
+			}
+			for i, v := range p.Data {
+				out.Data[i] += v
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("kernels: %s is not a reduction", op)
+	}
+}
+
+// kahanSum adds values with compensated summation so the fp64 reference is
+// stable on the paper's 64M-element inputs.
+func kahanSum(vals []float64) float64 {
+	var sum, c float64
+	for _, v := range vals {
+		y := v - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum
+}

@@ -1,0 +1,215 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// ---- DCT ----
+
+func TestDCTConstantBlockIsDCOnly(t *testing.T) {
+	in := tensor.NewMatrix(8, 8)
+	for i := range in.Data {
+		in.Data[i] = 3
+	}
+	out, err := Exec(vop.OpDCT8x8, []*tensor.Matrix{in}, nil, Exact{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orthonormal DCT of a constant c over an 8x8 block: DC = 8c.
+	if math.Abs(out.At(0, 0)-24) > 1e-9 {
+		t.Fatalf("DC = %g want 24", out.At(0, 0))
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i == 0 && j == 0 {
+				continue
+			}
+			if math.Abs(out.At(i, j)) > 1e-9 {
+				t.Fatalf("AC(%d,%d) = %g want 0", i, j, out.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDCTInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randMatrix(16, 16, seed, -10, 10)
+		out, err := Exec(vop.OpDCT8x8, []*tensor.Matrix{in}, nil, Exact{})
+		if err != nil {
+			return false
+		}
+		back, err := IDCT8x8(out)
+		if err != nil {
+			return false
+		}
+		return maxAbsDiff(back.Data, in.Data) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCTParseval(t *testing.T) {
+	in := randMatrix(8, 8, 7, -1, 1)
+	out, _ := Exec(vop.OpDCT8x8, []*tensor.Matrix{in}, nil, Exact{})
+	var eIn, eOut float64
+	for i := range in.Data {
+		eIn += in.Data[i] * in.Data[i]
+		eOut += out.Data[i] * out.Data[i]
+	}
+	if math.Abs(eIn-eOut) > 1e-9*eIn {
+		t.Fatalf("energy not preserved: %g vs %g", eIn, eOut)
+	}
+}
+
+func TestDCTAlignmentError(t *testing.T) {
+	if _, err := Exec(vop.OpDCT8x8, []*tensor.Matrix{tensor.NewMatrix(12, 8)}, nil, Exact{}); err == nil {
+		t.Fatal("unaligned input should error")
+	}
+	if _, err := IDCT8x8(tensor.NewMatrix(12, 8)); err == nil {
+		t.Fatal("unaligned IDCT should error")
+	}
+}
+
+// ---- DWT ----
+
+func TestDWTRowInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 * (2 + r.Intn(30)) // even lengths
+		row := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range row {
+			row[i] = r.NormFloat64()
+			orig[i] = row[i]
+		}
+		FDWT97Row(row)
+		IDWT97Row(row)
+		return maxAbsDiff(row, orig) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDWTConstantSignalHighPassIsZero(t *testing.T) {
+	row := make([]float64, 16)
+	for i := range row {
+		row[i] = 5
+	}
+	FDWT97Row(row)
+	// High-pass half (second half) of a constant signal must vanish.
+	for i := 8; i < 16; i++ {
+		if math.Abs(row[i]) > 1e-9 {
+			t.Fatalf("high-pass[%d] = %g want 0", i, row[i])
+		}
+	}
+}
+
+func Test2DDWTShapeAndDeterminism(t *testing.T) {
+	in := randMatrix(32, 32, 11, 0, 1)
+	a, err := Exec(vop.OpFDWT97, []*tensor.Matrix{in}, nil, Exact{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Exec(vop.OpFDWT97, []*tensor.Matrix{in}, nil, Exact{})
+	if !a.Equal(b) {
+		t.Fatal("DWT not deterministic")
+	}
+	if a.Rows != 32 || a.Cols != 32 {
+		t.Fatal("DWT changed shape")
+	}
+}
+
+// ---- FFT ----
+
+func TestFFTImpulseIsFlat(t *testing.T) {
+	in := tensor.NewMatrix(1, 16)
+	in.Data[0] = 1 // unit impulse
+	out, err := Exec(vop.OpFFT, []*tensor.Matrix{in}, nil, Exact{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Data {
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("bin %d magnitude %g want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSinePeaksAtBin(t *testing.T) {
+	const n, k = 64, 5
+	in := tensor.NewMatrix(1, n)
+	for i := 0; i < n; i++ {
+		in.Data[i] = math.Sin(2 * math.Pi * k * float64(i) / n)
+	}
+	out, _ := Exec(vop.OpFFT, []*tensor.Matrix{in}, nil, Exact{})
+	// A pure sine puts n/2 magnitude at bins k and n-k.
+	if math.Abs(out.Data[k]-n/2) > 1e-9 || math.Abs(out.Data[n-k]-n/2) > 1e-9 {
+		t.Fatalf("peaks: %g/%g want %d", out.Data[k], out.Data[n-k], n/2)
+	}
+	for i := range out.Data {
+		if i == k || i == n-k {
+			continue
+		}
+		if out.Data[i] > 1e-9 {
+			t.Fatalf("leakage at bin %d: %g", i, out.Data[i])
+		}
+	}
+}
+
+func TestFFTInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 << (2 + r.Intn(7))
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			orig[i] = x[i]
+		}
+		FFTInPlace(x)
+		IFFTInPlace(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 128
+	x := make([]complex128, n)
+	var eTime float64
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), 0)
+		eTime += real(x[i]) * real(x[i])
+	}
+	FFTInPlace(x)
+	var eFreq float64
+	for i := range x {
+		eFreq += cmplx.Abs(x[i]) * cmplx.Abs(x[i])
+	}
+	if math.Abs(eFreq/float64(n)-eTime) > 1e-9*eTime {
+		t.Fatalf("Parseval violated: %g vs %g", eFreq/float64(n), eTime)
+	}
+}
+
+func TestFFTNonPow2Error(t *testing.T) {
+	if _, err := Exec(vop.OpFFT, []*tensor.Matrix{tensor.NewMatrix(2, 12)}, nil, Exact{}); err == nil {
+		t.Fatal("non-pow2 FFT should error")
+	}
+}

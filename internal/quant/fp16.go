@@ -1,0 +1,104 @@
+package quant
+
+import "math"
+
+// FP16 is an IEEE 754 binary16 value stored in its 16-bit encoding. The
+// simulated GPU exposes half precision for AI/ML-mode HLOPs, mirroring the
+// FP16 support of the paper's Maxwell GPU.
+type FP16 uint16
+
+// FP16FromFloat converts a float64 to the nearest binary16 value
+// (round-to-nearest-even), saturating to ±Inf beyond the representable range.
+func FP16FromFloat(f float64) FP16 {
+	f32 := float32(f)
+	bits := math.Float32bits(f32)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp == 128: // Inf or NaN
+		if mant != 0 {
+			return FP16(sign | 0x7e00) // quiet NaN
+		}
+		return FP16(sign | 0x7c00)
+	case exp > 15: // overflow -> Inf
+		return FP16(sign | 0x7c00)
+	case exp >= -14: // normal
+		// 10-bit mantissa; round to nearest even on the dropped 13 bits.
+		m := mant >> 13
+		rem := mant & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && m&1 == 1) {
+			m++
+		}
+		e := uint32(exp+15)<<10 + m // mantissa carry can bump the exponent
+		if e >= 0x7c00 {
+			return FP16(sign | 0x7c00)
+		}
+		return FP16(sign | uint16(e))
+	case exp >= -24: // subnormal
+		shift := uint32(-exp - 1) // 14..24 -> 14 means shift 24 total below
+		full := mant | 0x800000   // implicit leading 1
+		// Align so that 10 mantissa bits remain: drop (14+shift) bits... derive:
+		drop := 14 + shift // bits to discard from the 24-bit significand
+		m := full >> drop
+		rem := full & ((1 << drop) - 1)
+		half := uint32(1) << (drop - 1)
+		if rem > half || (rem == half && m&1 == 1) {
+			m++
+		}
+		return FP16(sign | uint16(m))
+	default: // underflow to signed zero
+		return FP16(sign)
+	}
+}
+
+// Float returns the float64 value of the half-precision number.
+func (h FP16) Float() float64 {
+	sign := uint32(h>>15) & 1
+	exp := uint32(h>>10) & 0x1f
+	mant := uint32(h) & 0x3ff
+
+	var bits uint32
+	switch {
+	case exp == 0 && mant == 0:
+		bits = sign << 31
+	case exp == 0: // subnormal: normalize into binary32
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		bits = sign<<31 | e<<23 | mant<<13
+	case exp == 0x1f:
+		if mant == 0 {
+			bits = sign<<31 | 0xff<<23
+		} else {
+			bits = sign<<31 | 0xff<<23 | mant<<13 | 1
+		}
+	default:
+		bits = sign<<31 | (exp-15+127)<<23 | mant<<13
+	}
+	return float64(math.Float32frombits(bits))
+}
+
+// FP16RoundTrip converts every element through binary16 and back, the value
+// degradation of executing in half precision.
+func FP16RoundTrip(data []float64) []float64 {
+	out := make([]float64, len(data))
+	for i, v := range data {
+		out[i] = FP16FromFloat(v).Float()
+	}
+	return out
+}
+
+// Float32RoundTrip converts every element through binary32 and back, the
+// value degradation of the GPU's native single-precision path.
+func Float32RoundTrip(data []float64) []float64 {
+	out := make([]float64, len(data))
+	for i, v := range data {
+		out[i] = float64(float32(v))
+	}
+	return out
+}

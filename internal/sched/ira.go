@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"sort"
+
+	"shmt/internal/device"
+	"shmt/internal/hlop"
+	"shmt/internal/sampling"
+)
+
+// IRACanaryRate is the fraction of each partition IRA actually computes as
+// its canary input. Calibrated so the full IRA-sampling baseline lands near
+// the paper's measurement ("implementing the full features of IRA-sampling
+// will result in a 45% slowdown and render SHMT unusable", §5.2): the canary
+// runs serially on the host before any HLOP dispatches.
+const IRACanaryRate = 1.0 / 24
+
+// IRASampling reproduces the input-responsiveness-approximation baseline
+// (Laurenzano et al., PLDI'16) the paper compares QAWS against: it runs the
+// actual kernel on a canary subset of every partition to judge quality
+// impact, then assigns like Top-K. Quality is excellent (Fig. 7's best
+// non-oracle MAPE) but the canary computation makes it slower than the GPU
+// baseline.
+type IRASampling struct {
+	// K is the critical fraction (default: the VOP hint, then 0.25).
+	K float64
+}
+
+// Name implements Policy.
+func (IRASampling) Name() string { return "IRA-sampling" }
+
+// Assign implements Policy.
+func (p IRASampling) Assign(ctx *Context, hs []*hlop.HLOP) (float64, error) {
+	if len(hs) == 0 {
+		return 0, nil
+	}
+	// IRA evaluates the canary with a dense strided read of the partition,
+	// then computes on it; criticality is exact over the canary subset.
+	s := sampling.New(sampling.Striding, IRACanaryRate, ctx.Seed)
+	var overhead float64
+	var cpu device.Device
+	for _, d := range ctx.Reg.Devices() {
+		if d.Kind() == device.CPU {
+			cpu = d
+			break
+		}
+	}
+	for _, h := range hs {
+		vals := s.SampleRegion(h.Inputs[0], h.InputRegion())
+		h.Criticality = sampling.Criticality(vals)
+		canaryElems := len(vals)
+		if cpu != nil {
+			// The canary *computation* is the expensive part: the kernel
+			// itself runs over the canary subset on the host.
+			overhead += cpu.ExecTime(h.Op, canaryElems) + cpu.DispatchOverhead()
+		} else {
+			overhead += float64(canaryElems) * TouchCostStriding * 50 * ctx.hostScale()
+		}
+		overhead += float64(canaryElems)*TouchCostStriding*ctx.hostScale() + PerPartitionCost
+	}
+
+	k := p.K
+	if k <= 0 {
+		if cf := hs[0].Parent.CriticalFraction; cf > 0 {
+			k = cf
+		} else {
+			k = 0.25
+		}
+	}
+	ordered := ctx.EligibleFor(hs[0].Op)
+	accurate, loose := ordered[0], ordered[len(ordered)-1]
+	ranked := make([]*hlop.HLOP, len(hs))
+	copy(ranked, hs)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		return ranked[a].Criticality > ranked[b].Criticality
+	})
+	topK := int(float64(len(ranked))*k + 0.5)
+	for i, h := range ranked {
+		if i < topK {
+			h.AssignedQueue = accurate
+			h.Critical = true
+		} else {
+			h.AssignedQueue = loose
+		}
+	}
+	return overhead, validateQueues(ctx, hs)
+}
+
+// StealingEnabled implements Policy.
+func (IRASampling) StealingEnabled() bool { return true }
+
+// CanSteal implements Policy: same accuracy-ordered constraint as QAWS.
+func (IRASampling) CanSteal(ctx *Context, thief, victim int, h *hlop.HLOP) bool {
+	if thief == victim || !ctx.IsEligible(thief) || !ctx.Reg.Get(thief).Supports(h.Op) {
+		return false
+	}
+	return ctx.Reg.Get(thief).AccuracyRank() <= ctx.Reg.Get(victim).AccuracyRank()
+}
+
+// Oracle assigns criticality from a full, free scan of every partition —
+// the paper's "oracle" scenario "where we manually identify critical input
+// data regions and assign HLOPs accordingly without considering the
+// performance" (§5.3). No overhead is charged; it exists to bound quality.
+type Oracle struct {
+	// K is the critical fraction (default: the VOP hint, then 0.25).
+	K float64
+}
+
+// Name implements Policy.
+func (Oracle) Name() string { return "oracle" }
+
+// Assign implements Policy.
+func (p Oracle) Assign(ctx *Context, hs []*hlop.HLOP) (float64, error) {
+	if len(hs) == 0 {
+		return 0, nil
+	}
+	for _, h := range hs {
+		// Full-scan criticality: exact range and deviation of the input.
+		reg := h.InputRegion()
+		vals := make([]float64, 0, reg.Len())
+		for i := 0; i < reg.Height; i++ {
+			row := (reg.Row + i) * h.Inputs[0].Cols
+			vals = append(vals, h.Inputs[0].Data[row+reg.Col:row+reg.Col+reg.Width]...)
+		}
+		h.Criticality = sampling.Criticality(vals)
+	}
+	k := p.K
+	if k <= 0 {
+		if cf := hs[0].Parent.CriticalFraction; cf > 0 {
+			k = cf
+		} else {
+			k = 0.25
+		}
+	}
+	ordered := ctx.EligibleFor(hs[0].Op)
+	accurate, loose := ordered[0], ordered[len(ordered)-1]
+	ranked := make([]*hlop.HLOP, len(hs))
+	copy(ranked, hs)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		return ranked[a].Criticality > ranked[b].Criticality
+	})
+	topK := int(float64(len(ranked))*k + 0.5)
+	for i, h := range ranked {
+		if i < topK {
+			h.AssignedQueue = accurate
+			h.Critical = true
+		} else {
+			h.AssignedQueue = loose
+		}
+	}
+	return 0, validateQueues(ctx, hs)
+}
+
+// StealingEnabled implements Policy: the oracle fixes the mapping outright.
+func (Oracle) StealingEnabled() bool { return false }
+
+// CanSteal implements Policy.
+func (Oracle) CanSteal(*Context, int, int, *hlop.HLOP) bool { return false }

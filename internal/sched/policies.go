@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"fmt"
+
+	"shmt/internal/hlop"
+)
+
+// SingleDevice routes every HLOP to one named device: the conventional
+// execution model (GPU baseline, Edge-TPU-only) the paper compares against.
+type SingleDevice struct {
+	// Device is the target device name ("gpu", "tpu", "cpu").
+	Device string
+}
+
+// Name implements Policy.
+func (p SingleDevice) Name() string { return p.Device + "-only" }
+
+// Assign implements Policy.
+func (p SingleDevice) Assign(ctx *Context, hs []*hlop.HLOP) (float64, error) {
+	q := ctx.Reg.Index(p.Device)
+	if q < 0 {
+		return 0, fmt.Errorf("sched: no device named %q", p.Device)
+	}
+	for _, h := range hs {
+		h.AssignedQueue = q
+	}
+	return 0, nil
+}
+
+// StealingEnabled implements Policy: a single queue has nothing to steal.
+func (p SingleDevice) StealingEnabled() bool { return false }
+
+// CanSteal implements Policy.
+func (p SingleDevice) CanSteal(*Context, int, int, *hlop.HLOP) bool { return false }
+
+// EvenDistribution statically round-robins HLOPs across the accelerators
+// with no stealing and no quality control — the paper's "even distribution"
+// reference, whose performance is "bounded by the slower hardware" (§5.2).
+type EvenDistribution struct{}
+
+// Name implements Policy.
+func (EvenDistribution) Name() string { return "even-distribution" }
+
+// Assign implements Policy.
+func (EvenDistribution) Assign(ctx *Context, hs []*hlop.HLOP) (float64, error) {
+	if len(hs) == 0 {
+		return 0, nil
+	}
+	el := ctx.EligibleFor(hs[0].Op)
+	for i, h := range hs {
+		h.AssignedQueue = el[i%len(el)]
+	}
+	return 0, validateQueues(ctx, hs)
+}
+
+// StealingEnabled implements Policy.
+func (EvenDistribution) StealingEnabled() bool { return false }
+
+// CanSteal implements Policy.
+func (EvenDistribution) CanSteal(*Context, int, int, *hlop.HLOP) bool { return false }
+
+// WorkStealing is the basic scheduler of §3.4: an even initial plan, then
+// unconstrained stealing between accelerators, letting "faster hardware
+// perform more HLOPs and slower hardware [act] as an auxiliary device". It
+// applies no quality control, so it bounds SHMT's speedup from above
+// (Fig. 6) and its quality from below (Fig. 7).
+type WorkStealing struct{}
+
+// Name implements Policy.
+func (WorkStealing) Name() string { return "work-stealing" }
+
+// Assign implements Policy.
+func (WorkStealing) Assign(ctx *Context, hs []*hlop.HLOP) (float64, error) {
+	if len(hs) == 0 {
+		return 0, nil
+	}
+	el := ctx.EligibleFor(hs[0].Op)
+	for i, h := range hs {
+		h.AssignedQueue = el[i%len(el)]
+	}
+	return 0, validateQueues(ctx, hs)
+}
+
+// StealingEnabled implements Policy.
+func (WorkStealing) StealingEnabled() bool { return true }
+
+// CanSteal implements Policy: any accelerator may steal from any other (the
+// CPU hosts the runtime and does not take kernel work).
+func (WorkStealing) CanSteal(ctx *Context, thief, victim int, h *hlop.HLOP) bool {
+	return thief != victim && ctx.IsEligible(thief) && ctx.Reg.Get(thief).Supports(h.Op)
+}

@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"shmt/internal/hlop"
+	"shmt/internal/sampling"
+)
+
+// Assignment selects which of QAWS's two criticality-to-device mappings to
+// use (§3.5).
+type Assignment int
+
+const (
+	// TopK ranks criticality within a window of partitions and routes the
+	// top K% to the most accurate device (Algorithm 2). Policy prefix "T".
+	TopK Assignment = iota
+	// DeviceLimits compares sampled criticality against per-device hardware
+	// limits (Algorithm 1). Policy prefix "L".
+	DeviceLimits
+)
+
+func (a Assignment) Prefix() string {
+	if a == DeviceLimits {
+		return "L"
+	}
+	return "T"
+}
+
+// Limit pairs a criticality ceiling with the queue index that accepts
+// partitions below it — one entry of Algorithm 1's `limits` input.
+type Limit struct {
+	Max   float64
+	Queue int
+}
+
+// QAWS is the quality-aware work-stealing policy family: QAWS-{T,L}{S,U,R}
+// in the paper's naming (assignment × sampling mechanism).
+type QAWS struct {
+	// Assignment picks Algorithm 1 (DeviceLimits) or Algorithm 2 (TopK).
+	Assignment Assignment
+	// Method is the sampling mechanism (Algorithms 3–5).
+	Method sampling.Method
+	// Rate is the sampling rate (portion of elements sampled); default
+	// 2^-15, the knee of Fig. 9.
+	Rate float64
+	// K is the top-K fraction for Algorithm 2; zero uses the VOP's
+	// CriticalFraction hint, falling back to 0.25.
+	K float64
+	// W is Algorithm 2's ranking window in partitions (default 16).
+	W int
+	// Tiers optionally gives Algorithm 2's per-device window fractions in
+	// accuracy order ("top-K% ... second-L% ... and so on", §3.5); the last
+	// eligible device absorbs any remainder. Empty derives a default from K.
+	Tiers []float64
+	// Limits is Algorithm 1's device-limit table. Empty derives a default:
+	// the least accurate device accepts criticality below DefaultTPULimit
+	// and everything else routes to the most accurate device.
+	Limits []Limit
+	// DefaultTPULimit is the derived criticality ceiling for the least
+	// accurate device when Limits is empty, as a multiple of the VOP's
+	// median partition criticality (default 2: the INT8 device only accepts
+	// partitions whose value spread stays within 1.5x the typical spread,
+	// a more conservative gate than Top-K ranking — which is why the
+	// paper finds the L-variants slower but comparably accurate).
+	DefaultTPULimit float64
+}
+
+// Name implements Policy, producing the paper's labels (QAWS-TS … QAWS-LR).
+func (p QAWS) Name() string {
+	return "QAWS-" + p.Assignment.Prefix() + p.Method.Suffix()
+}
+
+func (p QAWS) rate() float64 {
+	if p.Rate > 0 {
+		return p.Rate
+	}
+	return 1.0 / (1 << 15)
+}
+
+// Assign implements Policy: sample every partition (charging the modelled
+// host overhead), then run the selected assignment algorithm.
+func (p QAWS) Assign(ctx *Context, hs []*hlop.HLOP) (float64, error) {
+	if len(hs) == 0 {
+		return 0, nil
+	}
+	s := sampling.New(p.Method, p.rate(), ctx.Seed)
+	overhead := samplePartitions(ctx, s, hs)
+
+	switch p.Assignment {
+	case TopK:
+		p.assignTopK(ctx, hs)
+	case DeviceLimits:
+		p.assignLimits(ctx, hs)
+	default:
+		return 0, fmt.Errorf("sched: unknown QAWS assignment %d", int(p.Assignment))
+	}
+	return overhead, validateQueues(ctx, hs)
+}
+
+// assignTopK is Algorithm 2 in its general multi-tier form: within each
+// window of W partitions, the top K% by criticality go to the most accurate
+// device, "second-L% to the second-most accurate device, and so on" (§3.5);
+// whatever remains lands on the least accurate one. With the default
+// two-device accelerator set this degenerates to the paper's binary GPU/TPU
+// split.
+func (p QAWS) assignTopK(ctx *Context, hs []*hlop.HLOP) {
+	w := p.W
+	if w <= 0 {
+		w = 16
+	}
+	ordered := ctx.EligibleFor(hs[0].Op) // most accurate first
+	tiers := p.tierFractions(hs, len(ordered))
+
+	for start := 0; start < len(hs); start += w {
+		end := start + w
+		if end > len(hs) {
+			end = len(hs)
+		}
+		window := make([]*hlop.HLOP, end-start)
+		copy(window, hs[start:end])
+		sort.SliceStable(window, func(a, b int) bool {
+			return window[a].Criticality > window[b].Criticality
+		})
+		j := 0
+		for tier, frac := range tiers {
+			take := len(window) - j // the final tier absorbs the remainder
+			if tier < len(tiers)-1 {
+				take = int(float64(len(window))*frac + 0.5)
+				if take > len(window)-j {
+					take = len(window) - j
+				}
+			}
+			for n := 0; n < take; n++ {
+				window[j].AssignedQueue = ordered[tier]
+				window[j].Critical = tier == 0
+				j++
+			}
+		}
+		for ; j < len(window); j++ { // numeric slack lands on the last tier
+			window[j].AssignedQueue = ordered[len(ordered)-1]
+			window[j].Critical = false
+		}
+	}
+}
+
+// tierFractions resolves the per-device window fractions for Algorithm 2:
+// explicit Tiers win; otherwise the top-K hint feeds the first tier, middle
+// devices share half the remainder, and the least accurate device takes the
+// rest.
+func (p QAWS) tierFractions(hs []*hlop.HLOP, devices int) []float64 {
+	if devices < 1 {
+		return nil
+	}
+	if len(p.Tiers) > 0 {
+		tiers := make([]float64, devices)
+		copy(tiers, p.Tiers)
+		return tiers
+	}
+	k := p.K
+	if k <= 0 {
+		if cf := hs[0].Parent.CriticalFraction; cf > 0 {
+			k = cf
+		} else {
+			k = 0.25
+		}
+	}
+	if k > 1 {
+		k = 1
+	}
+	tiers := make([]float64, devices)
+	tiers[0] = k
+	if devices > 2 {
+		mid := (1 - k) / 2 / float64(devices-2)
+		for i := 1; i < devices-1; i++ {
+			tiers[i] = mid
+		}
+	}
+	if devices > 1 {
+		var used float64
+		for _, f := range tiers[:devices-1] {
+			used += f
+		}
+		tiers[devices-1] = 1 - used
+	}
+	return tiers
+}
+
+// assignLimits is Algorithm 1: walk the limit table in ascending-ceiling
+// order and place the partition on the first queue whose limit exceeds its
+// criticality; partitions over every limit default to the most accurate
+// queue.
+//
+// When no explicit table is given, the default limit is *relative*: INT8
+// quantization error scales with a partition's value spread relative to the
+// data's typical spread, so the Edge TPU's hardware limit is expressed as a
+// multiple (DefaultTPULimit) of the VOP's median partition
+// criticality. An explicit Limits table is taken as absolute ceilings.
+func (p QAWS) assignLimits(ctx *Context, hs []*hlop.HLOP) {
+	ordered := ctx.EligibleFor(hs[0].Op)
+	limits := p.Limits
+	if len(limits) == 0 {
+		lim := p.DefaultTPULimit
+		if lim <= 0 {
+			lim = 1.5
+		}
+		limits = []Limit{{Max: lim * medianCriticality(hs), Queue: ordered[len(ordered)-1]}}
+	}
+	sorted := append([]Limit(nil), limits...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Max < sorted[b].Max })
+	def := ordered[0]
+
+	for _, h := range hs {
+		h.AssignedQueue = def
+		h.Critical = true
+		for _, l := range sorted {
+			if h.Criticality < l.Max {
+				h.AssignedQueue = l.Queue
+				h.Critical = l.Queue == def
+				break
+			}
+		}
+	}
+}
+
+// medianCriticality returns the median sampled criticality (0 for no HLOPs).
+func medianCriticality(hs []*hlop.HLOP) float64 {
+	if len(hs) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(hs))
+	for i, h := range hs {
+		vals[i] = h.Criticality
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2]
+}
+
+// StealingEnabled implements Policy.
+func (QAWS) StealingEnabled() bool { return true }
+
+// CanSteal implements Policy: a device may only steal work routed to devices
+// of equal or lower accuracy ("QAWS only allows a device with higher
+// accuracy to steal HLOPs from another device with the same or a lower
+// accuracy", §3.5) — so the GPU drains the TPU's backlog but never the
+// reverse.
+func (p QAWS) CanSteal(ctx *Context, thief, victim int, h *hlop.HLOP) bool {
+	if thief == victim || !ctx.IsEligible(thief) || !ctx.Reg.Get(thief).Supports(h.Op) {
+		return false
+	}
+	return ctx.Reg.Get(thief).AccuracyRank() <= ctx.Reg.Get(victim).AccuracyRank()
+}

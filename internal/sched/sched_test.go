@@ -1,0 +1,402 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"shmt/internal/device"
+	"shmt/internal/device/cpu"
+	"shmt/internal/device/gpu"
+	"shmt/internal/device/tpu"
+	"shmt/internal/hlop"
+	"shmt/internal/sampling"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+	"shmt/internal/workload"
+)
+
+// testCtx builds the standard cpu/gpu/tpu context (queue indices 0/1/2).
+func testCtx(t *testing.T) *Context {
+	t.Helper()
+	reg, err := device.NewRegistry(cpu.New(1), gpu.New(gpu.Config{}), tpu.New(tpu.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Context{Reg: reg, Seed: 1}
+}
+
+// partitioned builds HLOPs over a Mixed workload with criticality structure
+// (a modest critical fraction keeps the median criticality at background
+// level, which the relative device-limit policy depends on).
+func partitioned(t *testing.T, parts int) []*hlop.HLOP {
+	t.Helper()
+	m := workload.Mixed(256, 256, workload.Profile{CriticalFraction: 0.15, TileSize: 64}, 3)
+	v, err := vop.New(vop.OpSobel, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := hlop.Partition(v, hlop.Spec{TargetPartitions: parts, MinTile: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hs
+}
+
+func TestContextEligibleExcludesCPU(t *testing.T) {
+	ctx := testCtx(t)
+	el := ctx.Eligible()
+	if len(el) != 2 {
+		t.Fatalf("eligible = %v", el)
+	}
+	for _, i := range el {
+		if ctx.Reg.Get(i).Kind() == device.CPU {
+			t.Fatal("CPU must not take kernel work when accelerators exist")
+		}
+	}
+	if ctx.IsEligible(ctx.Reg.Index("cpu")) {
+		t.Fatal("CPU should not be eligible")
+	}
+	if !ctx.IsEligible(ctx.Reg.Index("gpu")) {
+		t.Fatal("GPU should be eligible")
+	}
+}
+
+func TestContextEligibleFallsBackToCPU(t *testing.T) {
+	reg, _ := device.NewRegistry(cpu.New(1))
+	ctx := &Context{Reg: reg}
+	if el := ctx.Eligible(); len(el) != 1 || el[0] != 0 {
+		t.Fatalf("cpu-only eligible = %v", el)
+	}
+}
+
+func TestAccuracyExtremes(t *testing.T) {
+	ctx := testCtx(t)
+	if ctx.Reg.Get(ctx.MostAccurate()).Name() != "gpu" {
+		t.Fatal("GPU should be the most accurate accelerator")
+	}
+	if ctx.Reg.Get(ctx.LeastAccurate()).Name() != "tpu" {
+		t.Fatal("TPU should be the least accurate accelerator")
+	}
+}
+
+func TestSingleDevice(t *testing.T) {
+	ctx := testCtx(t)
+	hs := partitioned(t, 8)
+	p := SingleDevice{Device: "tpu"}
+	if p.Name() != "tpu-only" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	ovh, err := p.Assign(ctx, hs)
+	if err != nil || ovh != 0 {
+		t.Fatalf("assign: %v / %g", err, ovh)
+	}
+	tq := ctx.Reg.Index("tpu")
+	for _, h := range hs {
+		if h.AssignedQueue != tq {
+			t.Fatal("not all HLOPs on the tpu queue")
+		}
+	}
+	if p.StealingEnabled() || p.CanSteal(ctx, 1, 2, hs[0]) {
+		t.Fatal("single-device policy must not steal")
+	}
+	if _, err := (SingleDevice{Device: "dsp"}).Assign(ctx, hs); err == nil {
+		t.Fatal("unknown device should error")
+	}
+}
+
+func TestEvenDistribution(t *testing.T) {
+	ctx := testCtx(t)
+	hs := partitioned(t, 8)
+	p := EvenDistribution{}
+	if _, err := p.Assign(ctx, hs); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, h := range hs {
+		counts[h.AssignedQueue]++
+	}
+	g, tq := ctx.Reg.Index("gpu"), ctx.Reg.Index("tpu")
+	if d := counts[g] - counts[tq]; d < -1 || d > 1 {
+		t.Fatalf("uneven split: %v", counts)
+	}
+	if counts[ctx.Reg.Index("cpu")] != 0 {
+		t.Fatal("CPU must not receive kernel HLOPs")
+	}
+	if p.StealingEnabled() {
+		t.Fatal("even distribution must not steal")
+	}
+}
+
+func TestWorkStealingPermissions(t *testing.T) {
+	ctx := testCtx(t)
+	hs := partitioned(t, 8)
+	p := WorkStealing{}
+	if _, err := p.Assign(ctx, hs); err != nil {
+		t.Fatal(err)
+	}
+	c, g, tq := ctx.Reg.Index("cpu"), ctx.Reg.Index("gpu"), ctx.Reg.Index("tpu")
+	if !p.CanSteal(ctx, g, tq, hs[0]) || !p.CanSteal(ctx, tq, g, hs[0]) {
+		t.Fatal("accelerators should steal freely under basic work stealing")
+	}
+	if p.CanSteal(ctx, c, g, hs[0]) {
+		t.Fatal("the CPU must not steal kernel work")
+	}
+	if p.CanSteal(ctx, g, g, hs[0]) {
+		t.Fatal("self-steal should be forbidden")
+	}
+}
+
+func TestQAWSNames(t *testing.T) {
+	cases := map[string]QAWS{
+		"QAWS-TS": {Assignment: TopK, Method: sampling.Striding},
+		"QAWS-TU": {Assignment: TopK, Method: sampling.UniformRandom},
+		"QAWS-TR": {Assignment: TopK, Method: sampling.Reduction},
+		"QAWS-LS": {Assignment: DeviceLimits, Method: sampling.Striding},
+		"QAWS-LU": {Assignment: DeviceLimits, Method: sampling.UniformRandom},
+		"QAWS-LR": {Assignment: DeviceLimits, Method: sampling.Reduction},
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("name = %q want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestQAWSTopKRoutesCriticalToGPU(t *testing.T) {
+	ctx := testCtx(t)
+	hs := partitioned(t, 16)
+	p := QAWS{Assignment: TopK, Method: sampling.Striding, Rate: 0.01, K: 0.25, W: 16}
+	ovh, err := p.Assign(ctx, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ovh <= 0 {
+		t.Fatal("sampling must cost something")
+	}
+	g, tq := ctx.Reg.Index("gpu"), ctx.Reg.Index("tpu")
+	var nCrit int
+	for _, h := range hs {
+		if h.Critical {
+			nCrit++
+			if h.AssignedQueue != g {
+				t.Fatal("critical partition not on the accurate device")
+			}
+		} else if h.AssignedQueue != tq {
+			t.Fatal("non-critical partition not on the TPU queue")
+		}
+	}
+	if want := 4; nCrit != want { // 25% of 16
+		t.Fatalf("critical count = %d want %d", nCrit, want)
+	}
+	// Ranking correctness: every critical partition must out-rank every
+	// non-critical one within the (single) window.
+	minCrit, maxNon := 1e300, -1e300
+	for _, h := range hs {
+		if h.Critical && h.Criticality < minCrit {
+			minCrit = h.Criticality
+		}
+		if !h.Critical && h.Criticality > maxNon {
+			maxNon = h.Criticality
+		}
+	}
+	if minCrit < maxNon {
+		t.Fatalf("top-K ranking violated: %g < %g", minCrit, maxNon)
+	}
+}
+
+func TestQAWSDeviceLimits(t *testing.T) {
+	// Exercise Algorithm 1 directly on known criticalities: 12 background
+	// partitions (criticality ~1) and 4 wide ones (~10); the derived limit
+	// is 4x the median, so the wide ones must land on the GPU.
+	ctx := testCtx(t)
+	var hs []*hlop.HLOP
+	for i := 0; i < 16; i++ {
+		h := &hlop.HLOP{ID: i, Criticality: 1}
+		if i%4 == 0 {
+			h.Criticality = 10
+		}
+		hs = append(hs, h)
+	}
+	p := QAWS{Assignment: DeviceLimits, DefaultTPULimit: 4}
+	p.assignLimits(ctx, hs)
+	g, tq := ctx.Reg.Index("gpu"), ctx.Reg.Index("tpu")
+	for _, h := range hs {
+		if h.Criticality == 10 && h.AssignedQueue != g {
+			t.Fatal("wide partition not routed to the accurate device")
+		}
+		if h.Criticality == 1 && h.AssignedQueue != tq {
+			t.Fatal("background partition not routed to the TPU")
+		}
+	}
+}
+
+func TestQAWSDeviceLimitsEndToEnd(t *testing.T) {
+	// The full sampled path must still be monotone: anything on the GPU
+	// ranks at or above anything on the TPU.
+	ctx := testCtx(t)
+	hs := partitioned(t, 16)
+	p := QAWS{Assignment: DeviceLimits, Method: sampling.Striding, Rate: 0.01, DefaultTPULimit: 4}
+	if _, err := p.Assign(ctx, hs); err != nil {
+		t.Fatal(err)
+	}
+	g, tq := ctx.Reg.Index("gpu"), ctx.Reg.Index("tpu")
+	for _, a := range hs {
+		if a.AssignedQueue != g {
+			continue
+		}
+		for _, b := range hs {
+			if b.AssignedQueue == tq && a.Criticality < b.Criticality {
+				t.Fatal("limit threshold not monotone")
+			}
+		}
+	}
+}
+
+func TestQAWSExplicitLimits(t *testing.T) {
+	ctx := testCtx(t)
+	hs := partitioned(t, 8)
+	p := QAWS{Assignment: DeviceLimits, Method: sampling.Striding, Rate: 0.01,
+		Limits: []Limit{{Max: 1e12, Queue: ctx.Reg.Index("tpu")}}}
+	if _, err := p.Assign(ctx, hs); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hs {
+		if h.AssignedQueue != ctx.Reg.Index("tpu") {
+			t.Fatal("an unbounded explicit limit should route everything to the TPU")
+		}
+	}
+}
+
+func TestQAWSStealOnlyTowardAccuracy(t *testing.T) {
+	ctx := testCtx(t)
+	p := QAWS{}
+	h := &hlop.HLOP{Op: vop.OpSobel}
+	g, tq := ctx.Reg.Index("gpu"), ctx.Reg.Index("tpu")
+	if !p.CanSteal(ctx, g, tq, h) {
+		t.Fatal("the GPU must be able to drain the TPU's queue")
+	}
+	if p.CanSteal(ctx, tq, g, h) {
+		t.Fatal("the TPU must never steal GPU-protected work")
+	}
+	if p.CanSteal(ctx, ctx.Reg.Index("cpu"), tq, h) {
+		t.Fatal("the CPU must not steal kernel work")
+	}
+}
+
+func TestQAWSSamplingOverheadOrdering(t *testing.T) {
+	ctx := testCtx(t)
+	rate := 1.0 / (1 << 8)
+	var overheads []float64
+	for _, m := range []sampling.Method{sampling.Striding, sampling.UniformRandom, sampling.Reduction} {
+		hs := partitioned(t, 16)
+		p := QAWS{Assignment: TopK, Method: m, Rate: rate}
+		ovh, err := p.Assign(ctx, hs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overheads = append(overheads, ovh)
+	}
+	if !(overheads[0] < overheads[1]) {
+		t.Fatalf("striding %g should be cheaper than uniform %g", overheads[0], overheads[1])
+	}
+	if !(overheads[1] < overheads[2]) {
+		t.Fatalf("uniform %g should be cheaper than reduction %g (the paper's slowest)", overheads[1], overheads[2])
+	}
+}
+
+func TestIRAOverheadDominates(t *testing.T) {
+	// At the paper's scale (virtual slowdown 64 standing in for full-size
+	// partitions), IRA's canary computation dwarfs QAWS's sampling.
+	reg, err := device.NewRegistry(cpu.New(64), gpu.New(gpu.Config{Slowdown: 64}), tpu.New(tpu.Config{Slowdown: 64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{Reg: reg, Seed: 1, HostScale: 64}
+	hs := partitioned(t, 16)
+	ira := IRASampling{}
+	iraOvh, err := ira.Assign(ctx, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := partitioned(t, 16)
+	qaws := QAWS{Assignment: TopK, Method: sampling.Striding}
+	qawsOvh, _ := qaws.Assign(ctx, hs2)
+	if iraOvh <= 5*qawsOvh {
+		t.Fatalf("IRA canary computation (%g) should dwarf QAWS sampling (%g)", iraOvh, qawsOvh)
+	}
+	if !ira.StealingEnabled() {
+		t.Fatal("IRA schedules on top of work stealing")
+	}
+}
+
+func TestOracleUsesFullScanAndChargesNothing(t *testing.T) {
+	ctx := testCtx(t)
+	hs := partitioned(t, 16)
+	o := Oracle{K: 0.25}
+	ovh, err := o.Assign(ctx, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ovh != 0 {
+		t.Fatalf("oracle overhead = %g want 0", ovh)
+	}
+	if o.StealingEnabled() {
+		t.Fatal("oracle fixes the mapping")
+	}
+	// Global top-K by exact criticality must be on the GPU.
+	g := ctx.Reg.Index("gpu")
+	var critOnGPU int
+	for _, h := range hs {
+		if h.Critical {
+			critOnGPU++
+			if h.AssignedQueue != g {
+				t.Fatal("oracle-critical partition not on GPU")
+			}
+		}
+	}
+	if critOnGPU != 4 {
+		t.Fatalf("oracle critical count = %d", critOnGPU)
+	}
+}
+
+func TestValidateQueuesRejectsBadAssignment(t *testing.T) {
+	ctx := testCtx(t)
+	hs := partitioned(t, 4)
+	hs[0].AssignedQueue = 99
+	if err := validateQueues(ctx, hs); err == nil {
+		t.Fatal("invalid queue index should be rejected")
+	}
+}
+
+func TestEmptyAssignments(t *testing.T) {
+	ctx := testCtx(t)
+	for _, p := range []Policy{QAWS{}, IRASampling{}, Oracle{}} {
+		if ovh, err := p.Assign(ctx, nil); err != nil || ovh != 0 {
+			t.Fatalf("%s empty assign: %g, %v", p.Name(), ovh, err)
+		}
+	}
+}
+
+func TestHostScaleMultipliesOverhead(t *testing.T) {
+	base := testCtx(t)
+	scaled := testCtx(t)
+	scaled.HostScale = 16
+	p := QAWS{Assignment: TopK, Method: sampling.Striding, Rate: 0.01}
+	a, _ := p.Assign(base, partitioned(t, 8))
+	b, _ := p.Assign(scaled, partitioned(t, 8))
+	if b <= a {
+		t.Fatalf("host scale should inflate overhead: %g vs %g", a, b)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	ctx := testCtx(t)
+	a, b := ctx.Rand(), ctx.Rand()
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("context RNG should be reproducible")
+		}
+	}
+	_ = rand.Int // keep the import honest if helpers change
+	_ = tensor.Region{}
+}

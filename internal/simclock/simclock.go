@@ -1,0 +1,93 @@
+// Package simclock provides the deterministic virtual-time substrate the
+// SHMT engine schedules on.
+//
+// The paper measures end-to-end latency on a physical Jetson Nano + Edge
+// TPU board. This reproduction replaces the board's wall clock with
+// discrete-event virtual time: each processing resource owns a Timeline that
+// advances by modelled execution and transfer costs. Scheduling decisions
+// (queue depths, stealing) read these timelines, so the dynamics the paper's
+// runtime exhibits — faster devices draining more HLOPs, stealing from the
+// most-loaded queue — play out identically, just against modelled instead of
+// measured durations.
+package simclock
+
+import "fmt"
+
+// Seconds is virtual time in seconds.
+type Seconds = float64
+
+// Interval is a half-open busy span [Start, End) on a timeline.
+type Interval struct {
+	Start, End Seconds
+	Label      string
+}
+
+// Duration returns End-Start.
+func (iv Interval) Duration() Seconds { return iv.End - iv.Start }
+
+// Timeline is one resource's clock. The zero value is ready to use.
+type Timeline struct {
+	name      string
+	now       Seconds
+	busy      Seconds
+	intervals []Interval
+	record    bool
+}
+
+// NewTimeline names a fresh timeline. If record is true every busy interval
+// is kept for tracing.
+func NewTimeline(name string, record bool) *Timeline {
+	return &Timeline{name: name, record: record}
+}
+
+// Name returns the resource name.
+func (t *Timeline) Name() string { return t.name }
+
+// Now returns the resource's current virtual time.
+func (t *Timeline) Now() Seconds { return t.now }
+
+// BusyTime returns the total time the resource spent executing.
+func (t *Timeline) BusyTime() Seconds { return t.busy }
+
+// Intervals returns recorded busy intervals (nil unless recording).
+func (t *Timeline) Intervals() []Interval { return t.intervals }
+
+// Advance executes work of duration d starting now, returning the busy
+// interval. Negative durations panic: the engine must never model negative
+// cost.
+func (t *Timeline) Advance(d Seconds, label string) Interval {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative duration %g on %s", d, t.name))
+	}
+	iv := Interval{Start: t.now, End: t.now + d, Label: label}
+	t.now = iv.End
+	t.busy += d
+	if t.record {
+		t.intervals = append(t.intervals, iv)
+	}
+	return iv
+}
+
+// WaitUntil idles the resource until at least ts (no-op if already past).
+func (t *Timeline) WaitUntil(ts Seconds) {
+	if ts > t.now {
+		t.now = ts
+	}
+}
+
+// Reset rewinds the timeline to zero, discarding history.
+func (t *Timeline) Reset() {
+	t.now, t.busy, t.intervals = 0, 0, nil
+}
+
+// Makespan returns the latest Now() across timelines — the end-to-end
+// virtual latency of the run.
+func Makespan(ts []*Timeline) Seconds {
+	var m Seconds
+	for _, t := range ts {
+		if t.Now() > m {
+			m = t.Now()
+		}
+	}
+	return m
+}

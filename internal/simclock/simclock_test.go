@@ -1,0 +1,82 @@
+package simclock
+
+import "testing"
+
+func TestAdvance(t *testing.T) {
+	tl := NewTimeline("gpu", false)
+	iv := tl.Advance(2.5, "kernel")
+	if iv.Start != 0 || iv.End != 2.5 || iv.Duration() != 2.5 {
+		t.Fatalf("interval = %+v", iv)
+	}
+	if tl.Now() != 2.5 || tl.BusyTime() != 2.5 {
+		t.Fatalf("now=%g busy=%g", tl.Now(), tl.BusyTime())
+	}
+	tl.Advance(1, "next")
+	if tl.Now() != 3.5 {
+		t.Fatalf("now = %g", tl.Now())
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	tl := NewTimeline("tpu", false)
+	tl.WaitUntil(5)
+	if tl.Now() != 5 || tl.BusyTime() != 0 {
+		t.Fatal("WaitUntil should idle, not work")
+	}
+	tl.WaitUntil(3) // no going backwards
+	if tl.Now() != 5 {
+		t.Fatal("WaitUntil moved time backwards")
+	}
+}
+
+func TestRecordingIntervals(t *testing.T) {
+	tl := NewTimeline("cpu", true)
+	tl.Advance(1, "a")
+	tl.Advance(2, "b")
+	ivs := tl.Intervals()
+	if len(ivs) != 2 || ivs[0].Label != "a" || ivs[1].Label != "b" {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+	if ivs[1].Start != 1 || ivs[1].End != 3 {
+		t.Fatalf("second interval = %+v", ivs[1])
+	}
+	off := NewTimeline("x", false)
+	off.Advance(1, "a")
+	if off.Intervals() != nil {
+		t.Fatal("non-recording timeline kept intervals")
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative duration")
+		}
+	}()
+	NewTimeline("bad", false).Advance(-1, "x")
+}
+
+func TestReset(t *testing.T) {
+	tl := NewTimeline("gpu", true)
+	tl.Advance(4, "x")
+	tl.Reset()
+	if tl.Now() != 0 || tl.BusyTime() != 0 || tl.Intervals() != nil {
+		t.Fatal("reset incomplete")
+	}
+	if tl.Name() != "gpu" {
+		t.Fatal("reset lost the name")
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	a := NewTimeline("a", false)
+	b := NewTimeline("b", false)
+	a.Advance(3, "x")
+	b.Advance(7, "y")
+	if Makespan([]*Timeline{a, b}) != 7 {
+		t.Fatalf("makespan = %g", Makespan([]*Timeline{a, b}))
+	}
+	if Makespan(nil) != 0 {
+		t.Fatal("empty makespan should be 0")
+	}
+}

@@ -1,0 +1,235 @@
+// Package tensor provides the dense numeric containers that SHMT moves
+// between devices: 1-D vectors and 2-D row-major matrices of float64, plus
+// the strided region copies the runtime uses to scatter and gather HLOP
+// partitions (the role cudaMemcpy2D plays in the paper's prototype).
+//
+// All SHMT-visible data is held in float64 on the host; devices convert to
+// their native precision (FP32 on the GPU, INT8 on the Edge TPU) at the
+// boundary, exactly as the paper's runtime performs data-type casting before
+// distributing input data.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major 2-D array. The zero value is an empty matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a Rows×Cols matrix of zeros.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data as a rows×cols matrix without copying.
+// len(data) must equal rows*cols.
+func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	if rows*cols != len(data) {
+		return nil, fmt.Errorf("tensor: %dx%d needs %d elements, got %d", rows, cols, rows*cols, len(data))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at row r, column c.
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Len returns the number of elements.
+func (m *Matrix) Len() int { return m.Rows * m.Cols }
+
+// Bytes returns the footprint of the matrix payload in bytes at the given
+// element width (8 for FP64, 4 for FP32, 1 for INT8).
+func (m *Matrix) Bytes(elemSize int) int64 { return int64(m.Len()) * int64(elemSize) }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Equal reports whether two matrices have identical shape and elements.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != o.Data[i] && !(math.IsNaN(v) && math.IsNaN(o.Data[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// Region identifies a rectangular sub-block of a matrix.
+type Region struct {
+	Row, Col      int // top-left corner
+	Height, Width int
+}
+
+// Len returns the number of elements covered by the region.
+func (r Region) Len() int { return r.Height * r.Width }
+
+// Bytes returns the payload size of the region at elemSize bytes per element.
+func (r Region) Bytes(elemSize int) int64 { return int64(r.Len()) * int64(elemSize) }
+
+// In reports whether the region lies entirely inside an rows×cols matrix.
+func (r Region) In(rows, cols int) bool {
+	return r.Row >= 0 && r.Col >= 0 && r.Height >= 0 && r.Width >= 0 &&
+		r.Row+r.Height <= rows && r.Col+r.Width <= cols
+}
+
+func (r Region) String() string {
+	return fmt.Sprintf("[%d:%d,%d:%d]", r.Row, r.Row+r.Height, r.Col, r.Col+r.Width)
+}
+
+// ErrRegionBounds is returned when a region does not fit in its matrix.
+var ErrRegionBounds = errors.New("tensor: region out of bounds")
+
+// CopyOut extracts region r of src into a freshly allocated Height×Width
+// matrix. It is the gather half of the runtime's cudaMemcpy2D equivalent.
+func CopyOut(src *Matrix, r Region) (*Matrix, error) {
+	if !r.In(src.Rows, src.Cols) {
+		return nil, fmt.Errorf("%w: %v in %dx%d", ErrRegionBounds, r, src.Rows, src.Cols)
+	}
+	dst := NewMatrix(r.Height, r.Width)
+	for i := 0; i < r.Height; i++ {
+		srcOff := (r.Row+i)*src.Cols + r.Col
+		copy(dst.Data[i*r.Width:(i+1)*r.Width], src.Data[srcOff:srcOff+r.Width])
+	}
+	return dst, nil
+}
+
+// CopyIn writes block into region r of dst. Block must be exactly
+// r.Height×r.Width. It is the scatter half used during aggregation.
+func CopyIn(dst *Matrix, r Region, block *Matrix) error {
+	if !r.In(dst.Rows, dst.Cols) {
+		return fmt.Errorf("%w: %v in %dx%d", ErrRegionBounds, r, dst.Rows, dst.Cols)
+	}
+	if block.Rows != r.Height || block.Cols != r.Width {
+		return fmt.Errorf("tensor: block %dx%d does not match region %v", block.Rows, block.Cols, r)
+	}
+	for i := 0; i < r.Height; i++ {
+		dstOff := (r.Row+i)*dst.Cols + r.Col
+		copy(dst.Data[dstOff:dstOff+r.Width], block.Data[i*r.Width:(i+1)*r.Width])
+	}
+	return nil
+}
+
+// CopyOutHalo extracts region r of src expanded by up to halo real cells on
+// every side, truncating at the matrix edges. Stencil kernels (Hotspot,
+// Sobel, Laplacian, MeanFilter, SRAD) need neighbouring rows and columns
+// from adjacent partitions; the runtime ships them along with the partition,
+// which is also how the paper's data distribution avoids inter-device
+// synchronization within a VOP.
+//
+// Truncation (rather than replicate padding) makes the block's edges
+// coincide with the true matrix edges wherever the region touches them, so a
+// clamp-boundary kernel run over the block computes exactly the
+// whole-matrix semantics on the interior — including for iterated stencils,
+// where replicated padding rows would evolve divergently.
+//
+// The returned region locates the interior block inside the returned matrix.
+func CopyOutHalo(src *Matrix, r Region, halo int) (*Matrix, Region, error) {
+	if !r.In(src.Rows, src.Cols) {
+		return nil, Region{}, fmt.Errorf("%w: %v in %dx%d", ErrRegionBounds, r, src.Rows, src.Cols)
+	}
+	if halo < 0 {
+		return nil, Region{}, fmt.Errorf("tensor: negative halo %d", halo)
+	}
+	top := min(halo, r.Row)
+	left := min(halo, r.Col)
+	bottom := min(halo, src.Rows-(r.Row+r.Height))
+	right := min(halo, src.Cols-(r.Col+r.Width))
+	big := Region{
+		Row: r.Row - top, Col: r.Col - left,
+		Height: r.Height + top + bottom, Width: r.Width + left + right,
+	}
+	blk, err := CopyOut(src, big)
+	if err != nil {
+		return nil, Region{}, err
+	}
+	return blk, Region{Row: top, Col: left, Height: r.Height, Width: r.Width}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ToFloat32 converts the matrix payload to float32, the GPU's native
+// precision.
+func (m *Matrix) ToFloat32() []float32 {
+	out := make([]float32, len(m.Data))
+	for i, v := range m.Data {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// FromFloat32 builds a float64 matrix from FP32 device output.
+func FromFloat32(rows, cols int, data []float32) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i, v := range data {
+		m.Data[i] = float64(v)
+	}
+	return m
+}
+
+// Stats summarises the value distribution of a slice: the two criticality
+// metrics QAWS uses (data range and standard deviation) plus the mean.
+type Stats struct {
+	Min, Max, Mean, Std float64
+	N                   int
+}
+
+// Range returns Max-Min.
+func (s Stats) Range() float64 { return s.Max - s.Min }
+
+// Summarize computes Stats over data. Empty input yields a zero Stats.
+func Summarize(data []float64) Stats {
+	if len(data) == 0 {
+		return Stats{}
+	}
+	s := Stats{Min: data[0], Max: data[0], N: len(data)}
+	var sum float64
+	for _, v := range data {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	s.Mean = sum / float64(len(data))
+	var ss float64
+	for _, v := range data {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(data)))
+	return s
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the trace as a fixed-width ASCII timeline, one row per
+// device, so a run's overlap structure — who worked when, where stealing
+// rebalanced, how long a device idled at the tail — is visible at a glance:
+//
+//	gpu  |██████████████████████████░░░|  22 hlops
+//	tpu  |████████████████████████████▒|  42 hlops (6 stolen)
+//
+// '█' marks executed HLOPs, '▒' stolen ones, '░' idle time. width is the
+// number of timeline columns (default 60 when ≤ 0).
+func (t *Trace) Gantt(width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if len(t.Events) == 0 {
+		return "(no events)\n"
+	}
+
+	var tEnd float64
+	devices := map[string][]Event{}
+	for _, e := range t.Events {
+		devices[e.Device] = append(devices[e.Device], e)
+		if e.End > tEnd {
+			tEnd = e.End
+		}
+	}
+	if tEnd <= 0 {
+		tEnd = 1
+	}
+	names := make([]string, 0, len(devices))
+	nameW := 0
+	for n := range devices {
+		names = append(names, n)
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		cells := make([]rune, width)
+		for i := range cells {
+			cells[i] = '░'
+		}
+		var stolen int
+		for _, e := range devices[n] {
+			if e.Stolen {
+				stolen++
+			}
+			lo := int(e.Start / tEnd * float64(width))
+			hi := int(e.End / tEnd * float64(width))
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				if e.Stolen {
+					cells[i] = '▒'
+				} else if cells[i] != '▒' {
+					cells[i] = '█'
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|  %d hlops", nameW, n, string(cells), len(devices[n]))
+		if stolen > 0 {
+			fmt.Fprintf(&b, " (%d stolen)", stolen)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-*s  0%s%.3gs\n", nameW, "", strings.Repeat(" ", width-len(fmt.Sprintf("%.3gs", tEnd))), tEnd)
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package shmt
+
+import (
+	"fmt"
+
+	"shmt/internal/sched"
+)
+
+// PolicyName selects the scheduling policy, matching the legends of the
+// paper's Figs. 6–8.
+type PolicyName string
+
+const (
+	// PolicyGPUBaseline delegates everything to the GPU with no
+	// transfer/compute overlap: the conventional baseline every speedup in
+	// the paper normalizes to.
+	PolicyGPUBaseline PolicyName = "gpu-baseline"
+	// PolicySWPipelining is the GPU baseline with software pipelining
+	// (double-buffered staging) — the "SW pipelining" reference of Fig. 6.
+	PolicySWPipelining PolicyName = "sw-pipelining"
+	// PolicyTPUOnly delegates everything to the Edge TPU (the "edge TPU"
+	// bars of Figs. 2 and 7).
+	PolicyTPUOnly PolicyName = "tpu-only"
+	// PolicyCPUOnly executes exactly on the host — the quality reference.
+	PolicyCPUOnly PolicyName = "cpu-only"
+	// PolicyEven statically splits HLOPs evenly across accelerators.
+	PolicyEven PolicyName = "even-distribution"
+	// PolicyWorkStealing is §3.4's basic scheduler: no quality control,
+	// best speedup.
+	PolicyWorkStealing PolicyName = "work-stealing"
+	// PolicyQAWSTS … PolicyQAWSLR are the six QAWS variants (§3.5):
+	// assignment ∈ {T: top-K, L: device limits} × sampling ∈ {S: striding,
+	// U: uniform random, R: reduction}.
+	PolicyQAWSTS PolicyName = "QAWS-TS"
+	PolicyQAWSTU PolicyName = "QAWS-TU"
+	PolicyQAWSTR PolicyName = "QAWS-TR"
+	PolicyQAWSLS PolicyName = "QAWS-LS"
+	PolicyQAWSLU PolicyName = "QAWS-LU"
+	PolicyQAWSLR PolicyName = "QAWS-LR"
+	// PolicyIRA is the IRA-sampling baseline: canary computation per
+	// partition, excellent quality, net slowdown.
+	PolicyIRA PolicyName = "IRA-sampling"
+	// PolicyOracle assigns criticality from a free full scan — the quality
+	// upper bound of Figs. 7–8.
+	PolicyOracle PolicyName = "oracle"
+)
+
+// AllQAWSPolicies lists the six QAWS variants in the paper's order.
+func AllQAWSPolicies() []PolicyName {
+	return []PolicyName{PolicyQAWSTS, PolicyQAWSTU, PolicyQAWSTR, PolicyQAWSLS, PolicyQAWSLU, PolicyQAWSLR}
+}
+
+// Config configures a Session. The zero value enables all three devices
+// with the QAWS-TS policy at the paper's defaults.
+type Config struct {
+	// Device selection; if none of UseCPU/UseGPU/UseTPU is set, all three
+	// (the paper's prototype) are enabled. UseDSP is additive: it registers
+	// the 24-bit image DSP extension device (§2.1) on top of whatever else
+	// is selected.
+	UseCPU, UseGPU, UseTPU bool
+	UseDSP                 bool
+	// Policy is the scheduling policy (default PolicyQAWSTS).
+	Policy PolicyName
+	// TargetPartitions is the HLOP count per VOP (default 64).
+	TargetPartitions int
+	// SamplingRate is QAWS's sampling rate (default 2^-15, Fig. 9's knee).
+	SamplingRate float64
+	// CriticalFraction is the application's top-K hint (default 0.25).
+	CriticalFraction float64
+	// Window is the top-K ranking window in partitions (default 16).
+	Window int
+	// TPULimit is the device-limits policy's criticality ceiling for the
+	// Edge TPU, as a multiple of the VOP's median partition criticality
+	// (default 1.5; see sched.QAWS.DefaultTPULimit).
+	TPULimit float64
+	// Seed drives sampling and the synthetic components (default 1).
+	Seed int64
+	// Concurrent runs the goroutine engine instead of the deterministic
+	// discrete-event engine.
+	Concurrent bool
+	// RecordTrace keeps per-HLOP events in each Report.
+	RecordTrace bool
+	// GPUHalfPrecision switches the GPU to its FP16 AI/ML mode.
+	GPUHalfPrecision bool
+	// TPUQuantAware builds all Edge TPU NPU models quantization-aware.
+	TPUQuantAware bool
+	// VirtualScale ≥ 1 slows the simulated platform down by that factor
+	// (device throughputs and link bandwidths divide by it, host sampling
+	// costs multiply by it). Running an N-element input at VirtualScale =
+	// Nfull/N reproduces the virtual timeline of the full-size run exactly
+	// — same HLOP count, same per-HLOP costs, same overhead ratios — while
+	// quality is measured on the smaller (size-invariant) data. Default 1.
+	VirtualScale float64
+}
+
+func (c Config) withDefaults() Config {
+	if !c.UseCPU && !c.UseGPU && !c.UseTPU {
+		c.UseCPU, c.UseGPU, c.UseTPU = true, true, true
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyQAWSTS
+	}
+	if c.TargetPartitions <= 0 {
+		c.TargetPartitions = 64
+	}
+	if c.SamplingRate <= 0 {
+		c.SamplingRate = 1.0 / (1 << 15)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.VirtualScale < 1 {
+		c.VirtualScale = 1
+	}
+	return c
+}
+
+// policy materializes the named policy and reports whether the engine
+// should double-buffer transfers (SHMT policies and software pipelining do;
+// the conventional baselines do not).
+func (c Config) policy() (sched.Policy, bool, error) {
+	qaws := func(a sched.Assignment, m SamplingMethod) (sched.Policy, bool, error) {
+		return sched.QAWS{
+			Assignment:      a,
+			Method:          m,
+			Rate:            c.SamplingRate,
+			K:               c.CriticalFraction,
+			W:               c.Window,
+			DefaultTPULimit: c.TPULimit,
+		}, true, nil
+	}
+	switch c.Policy {
+	case PolicyGPUBaseline:
+		return sched.SingleDevice{Device: "gpu"}, false, nil
+	case PolicySWPipelining:
+		return sched.SingleDevice{Device: "gpu"}, true, nil
+	case PolicyTPUOnly:
+		return sched.SingleDevice{Device: "tpu"}, true, nil
+	case PolicyCPUOnly:
+		return sched.SingleDevice{Device: "cpu"}, false, nil
+	case PolicyEven:
+		return sched.EvenDistribution{}, false, nil
+	case PolicyWorkStealing:
+		return sched.WorkStealing{}, true, nil
+	case PolicyQAWSTS:
+		return qaws(sched.TopK, SamplingStriding)
+	case PolicyQAWSTU:
+		return qaws(sched.TopK, SamplingUniform)
+	case PolicyQAWSTR:
+		return qaws(sched.TopK, SamplingReduction)
+	case PolicyQAWSLS:
+		return qaws(sched.DeviceLimits, SamplingStriding)
+	case PolicyQAWSLU:
+		return qaws(sched.DeviceLimits, SamplingUniform)
+	case PolicyQAWSLR:
+		return qaws(sched.DeviceLimits, SamplingReduction)
+	case PolicyIRA:
+		return sched.IRASampling{K: c.CriticalFraction}, true, nil
+	case PolicyOracle:
+		return sched.Oracle{K: c.CriticalFraction}, true, nil
+	default:
+		return nil, false, fmt.Errorf("shmt: unknown policy %q", c.Policy)
+	}
+}
+
+// AllPolicies lists every policy name this library implements, in the order
+// Fig. 6 reports them.
+func AllPolicies() []PolicyName {
+	return []PolicyName{
+		PolicyGPUBaseline, PolicyTPUOnly, PolicyCPUOnly, PolicyIRA,
+		PolicySWPipelining, PolicyEven, PolicyWorkStealing,
+		PolicyQAWSTS, PolicyQAWSTU, PolicyQAWSTR,
+		PolicyQAWSLS, PolicyQAWSLU, PolicyQAWSLR, PolicyOracle,
+	}
+}

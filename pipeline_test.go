@@ -1,0 +1,111 @@
+package shmt_test
+
+import (
+	"testing"
+
+	"shmt"
+	"shmt/internal/workload"
+)
+
+func pipelineStages() []shmt.Stage {
+	return []shmt.Stage{
+		{Name: "denoise", Op: shmt.OpMeanFilter},
+		{Name: "edges", Op: shmt.OpSobel},
+		{Name: "transform", Op: shmt.OpDCT8x8},
+	}
+}
+
+func TestPipelineModes(t *testing.T) {
+	s := newSession(t, shmt.Config{Policy: shmt.PolicyQAWSTS, TargetPartitions: 16, VirtualScale: 64})
+	img := workload.Image(256, 256, 30)
+
+	var results [3]*shmt.PipelineResult
+	for i, mode := range []shmt.PipelineMode{shmt.PipelineConventional, shmt.PipelineSoftware, shmt.PipelineSHMT} {
+		res, err := s.ExecutePipeline(img, pipelineStages(), mode)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if res.Output == nil || res.Output.Rows != 256 {
+			t.Fatalf("%s: malformed output", mode)
+		}
+		if len(res.Stages) != 3 {
+			t.Fatalf("%s: stages = %d", mode, len(res.Stages))
+		}
+		if res.Makespan <= 0 || res.EnergyJoules <= 0 {
+			t.Fatalf("%s: degenerate accounting", mode)
+		}
+		results[i] = res
+	}
+
+	conv, pipe, sh := results[0], results[1], results[2]
+	// Fig. 1's qualitative claim: SHMT < pipelined < conventional latency.
+	if !(pipe.Makespan < conv.Makespan) {
+		t.Fatalf("software pipelining (%g) should beat conventional (%g)", pipe.Makespan, conv.Makespan)
+	}
+	if !(sh.Makespan < conv.Makespan) {
+		t.Fatalf("SHMT (%g) should beat conventional (%g)", sh.Makespan, conv.Makespan)
+	}
+	// Data flow is real: all three modes produce results of the same kernel
+	// chain (modest numeric differences only, from device precisions).
+	var diff float64
+	for i := range conv.Output.Data {
+		d := conv.Output.Data[i] - sh.Output.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		diff += d
+	}
+	if diff/float64(conv.Output.Len()) > 10 {
+		t.Fatalf("modes diverged numerically: mean |diff| = %g", diff/float64(conv.Output.Len()))
+	}
+}
+
+func TestPipelineConventionalDeviceChoice(t *testing.T) {
+	s := newSession(t, shmt.Config{TargetPartitions: 8})
+	img := workload.Image(128, 128, 31)
+	// SRAD's Fig. 2 ratio is 2.30: a conventional framework delegates it to
+	// the TPU; Sobel's is 0.71: it stays on the GPU.
+	res, err := s.ExecutePipeline(img, []shmt.Stage{
+		{Name: "despeckle", Op: shmt.OpSRAD, Attrs: map[string]float64{"lambda": 0.5, "q0sqr": 0.05}},
+		{Name: "edges", Op: shmt.OpSobel},
+	}, shmt.PipelineConventional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages[0].Device != "tpu" || res.Stages[1].Device != "gpu" {
+		t.Fatalf("device choices = %s/%s, want tpu/gpu", res.Stages[0].Device, res.Stages[1].Device)
+	}
+}
+
+func TestPipelineMultiInputStage(t *testing.T) {
+	s := newSession(t, shmt.Config{TargetPartitions: 8})
+	temp := workload.Uniform(64, 64, 70, 90, 32)
+	power := workload.Uniform(64, 64, 0, 1, 33)
+	res, err := s.ExecutePipeline(temp, []shmt.Stage{
+		{Name: "thermal", Op: shmt.OpStencil, Extra: []*shmt.Matrix{power}},
+		{Name: "edges", Op: shmt.OpSobel},
+	}, shmt.PipelineSHMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Rows != 64 {
+		t.Fatal("pipeline output malformed")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	s := newSession(t, shmt.Config{})
+	if _, err := s.ExecutePipeline(nil, pipelineStages(), shmt.PipelineSHMT); err == nil {
+		t.Fatal("nil input should fail")
+	}
+	img := workload.Image(64, 64, 34)
+	if _, err := s.ExecutePipeline(img, nil, shmt.PipelineSHMT); err == nil {
+		t.Fatal("empty pipeline should fail")
+	}
+	if _, err := s.ExecutePipeline(img, pipelineStages(), shmt.PipelineMode(99)); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+	if shmt.PipelineSHMT.String() != "SHMT" || shmt.PipelineConventional.String() == "" {
+		t.Fatal("mode names wrong")
+	}
+}

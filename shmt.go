@@ -1,0 +1,290 @@
+package shmt
+
+import (
+	"errors"
+	"fmt"
+
+	"shmt/internal/core"
+	"shmt/internal/device"
+	"shmt/internal/device/cpu"
+	"shmt/internal/device/dsp"
+	"shmt/internal/device/gpu"
+	"shmt/internal/device/tpu"
+	"shmt/internal/energy"
+	"shmt/internal/hlop"
+	"shmt/internal/interconnect"
+	"shmt/internal/sampling"
+	"shmt/internal/sched"
+	"shmt/internal/tensor"
+	"shmt/internal/trace"
+	"shmt/internal/vop"
+)
+
+// Matrix is the dense row-major float64 container VOPs consume and produce.
+type Matrix = tensor.Matrix
+
+// NewMatrix allocates a rows×cols matrix of zeros.
+func NewMatrix(rows, cols int) *Matrix { return tensor.NewMatrix(rows, cols) }
+
+// FromSlice wraps data as a rows×cols matrix without copying.
+func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	return tensor.FromSlice(rows, cols, data)
+}
+
+// Op identifies a virtual operation (VOP). The set mirrors Table 1 of the
+// paper; see the Op* constants.
+type Op = vop.Opcode
+
+// The VOP set (Table 1). Vector-model opcodes partition element-wise; tile
+// opcodes partition into matrix tiles.
+const (
+	OpAdd           = vop.OpAdd
+	OpSub           = vop.OpSub
+	OpMultiply      = vop.OpMultiply
+	OpLog           = vop.OpLog
+	OpSqrt          = vop.OpSqrt
+	OpRsqrt         = vop.OpRsqrt
+	OpTanh          = vop.OpTanh
+	OpRelu          = vop.OpRelu
+	OpMax           = vop.OpMax
+	OpMin           = vop.OpMin
+	OpReduceSum     = vop.OpReduceSum
+	OpReduceAverage = vop.OpReduceAverage
+	OpReduceMax     = vop.OpReduceMax
+	OpReduceMin     = vop.OpReduceMin
+	OpReduceHist256 = vop.OpReduceHist256
+	OpParabolicPDE  = vop.OpParabolicPDE
+	OpConv          = vop.OpConv
+	OpGEMM          = vop.OpGEMM
+	OpDCT8x8        = vop.OpDCT8x8
+	OpFDWT97        = vop.OpFDWT97
+	OpFFT           = vop.OpFFT
+	OpLaplacian     = vop.OpLaplacian
+	OpMeanFilter    = vop.OpMeanFilter
+	OpSobel         = vop.OpSobel
+	OpSRAD          = vop.OpSRAD
+	OpStencil       = vop.OpStencil
+)
+
+// Report summarises one VOP execution: virtual latency, per-device busy
+// time, integrated energy, data-movement and footprint accounting.
+type Report = core.Report
+
+// EnergyBreakdown splits a run's energy into active and idle components.
+type EnergyBreakdown = energy.Breakdown
+
+// CommTracker carries the data-movement accounting of a run.
+type CommTracker = interconnect.Tracker
+
+// Trace holds per-HLOP execution events (enable with Config.RecordTrace).
+type Trace = trace.Trace
+
+// Session is SHMT's virtual hardware device: it owns the simulated device
+// set and the runtime engine, and executes VOPs submitted through Execute or
+// the convenience kernel methods.
+type Session struct {
+	cfg Config
+	reg *device.Registry
+	eng *core.Engine
+}
+
+// NewSession builds a session from cfg (zero value = all three devices,
+// QAWS-TS policy, paper-default partitioning).
+func NewSession(cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+
+	var devs []device.Device
+	if cfg.UseCPU {
+		devs = append(devs, cpu.New(cfg.VirtualScale))
+	}
+	if cfg.UseGPU {
+		devs = append(devs, gpu.New(gpu.Config{HalfPrecision: cfg.GPUHalfPrecision, Slowdown: cfg.VirtualScale}))
+	}
+	if cfg.UseTPU {
+		devs = append(devs, tpu.New(tpu.Config{QuantAware: cfg.TPUQuantAware, Slowdown: cfg.VirtualScale}))
+	}
+	if cfg.UseDSP {
+		devs = append(devs, dsp.New(dsp.Config{Slowdown: cfg.VirtualScale}))
+	}
+	reg, err := device.NewRegistry(devs...)
+	if err != nil {
+		return nil, fmt.Errorf("shmt: %w", err)
+	}
+
+	pol, doubleBuffer, err := cfg.policy()
+	if err != nil {
+		return nil, err
+	}
+	eng := &core.Engine{
+		Reg:          reg,
+		Policy:       pol,
+		Spec:         hlop.Spec{TargetPartitions: cfg.TargetPartitions},
+		DoubleBuffer: doubleBuffer,
+		Seed:         cfg.Seed,
+		HostScale:    cfg.VirtualScale,
+		RecordTrace:  cfg.RecordTrace,
+		Concurrent:   cfg.Concurrent,
+	}
+	return &Session{cfg: cfg, reg: reg, eng: eng}, nil
+}
+
+// Close releases the session. (The simulated devices hold no external
+// resources; Close exists so call sites read like the driver-backed API the
+// paper describes.)
+func (s *Session) Close() error { return nil }
+
+// Devices lists the session's device names in queue-index order.
+func (s *Session) Devices() []string {
+	names := make([]string, s.reg.Len())
+	for i, d := range s.reg.Devices() {
+		names[i] = d.Name()
+	}
+	return names
+}
+
+// PolicyName returns the active scheduling policy's label.
+func (s *Session) PolicyName() string { return s.eng.Policy.Name() }
+
+// Execute submits one VOP: opcode, input tensors, and optional scalar
+// attributes (kernel parameters such as SRAD's "lambda"). The returned
+// Report carries the output and the run's accounting.
+func (s *Session) Execute(op Op, inputs []*Matrix, attrs map[string]float64) (*Report, error) {
+	v, err := vop.New(op, inputs...)
+	if err != nil {
+		return nil, err
+	}
+	for k, x := range attrs {
+		v.SetAttr(k, x)
+	}
+	if s.cfg.CriticalFraction > 0 {
+		v.CriticalFraction = s.cfg.CriticalFraction
+	}
+	return s.eng.Run(v)
+}
+
+// Reference executes the VOP bit-exactly (float64 on the CPU device, same
+// partitioning) — the quality baseline MAPE/SSIM compare against.
+func (s *Session) Reference(op Op, inputs []*Matrix, attrs map[string]float64) (*Matrix, error) {
+	ref, err := NewSession(Config{
+		UseCPU:           true,
+		Policy:           PolicyCPUOnly,
+		TargetPartitions: s.cfg.TargetPartitions,
+		Seed:             s.cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := ref.Execute(op, inputs, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Output, nil
+}
+
+var errNilInput = errors.New("shmt: nil input matrix")
+
+// MatMul multiplies a·b through the GEMM VOP (the paper's running example:
+// tf.matmul lowering to shmt::matmul).
+func (s *Session) MatMul(a, b *Matrix) (*Matrix, *Report, error) {
+	if a == nil || b == nil {
+		return nil, nil, errNilInput
+	}
+	rep, err := s.Execute(OpGEMM, []*Matrix{a, b}, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep.Output, rep, nil
+}
+
+// BlackScholes prices European call options for spot matrix S and strike
+// matrix K at riskfree rate r, volatility sigma, and expiry t (years).
+func (s *Session) BlackScholes(spot, strike *Matrix, r, sigma, t float64) (*Matrix, *Report, error) {
+	if spot == nil || strike == nil {
+		return nil, nil, errNilInput
+	}
+	rep, err := s.Execute(OpParabolicPDE, []*Matrix{spot, strike},
+		map[string]float64{"r": r, "sigma": sigma, "t": t})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep.Output, rep, nil
+}
+
+// Sobel computes the gradient-magnitude edge map of img.
+func (s *Session) Sobel(img *Matrix) (*Matrix, *Report, error) {
+	return s.unary(OpSobel, img, nil)
+}
+
+// Laplacian applies the 3×3 Laplacian filter to img.
+func (s *Session) Laplacian(img *Matrix) (*Matrix, *Report, error) {
+	return s.unary(OpLaplacian, img, nil)
+}
+
+// MeanFilter applies a 3×3 box blur to img.
+func (s *Session) MeanFilter(img *Matrix) (*Matrix, *Report, error) {
+	return s.unary(OpMeanFilter, img, nil)
+}
+
+// SRAD performs one speckle-reducing anisotropic diffusion step on img.
+func (s *Session) SRAD(img *Matrix, lambda, q0sqr float64) (*Matrix, *Report, error) {
+	return s.unary(OpSRAD, img, map[string]float64{"lambda": lambda, "q0sqr": q0sqr})
+}
+
+// DCT8x8 computes the blockwise 8×8 2-D DCT of img (dimensions must be
+// multiples of 8).
+func (s *Session) DCT8x8(img *Matrix) (*Matrix, *Report, error) {
+	return s.unary(OpDCT8x8, img, nil)
+}
+
+// DWT97 computes one level of the CDF 9/7 forward wavelet transform.
+func (s *Session) DWT97(img *Matrix) (*Matrix, *Report, error) {
+	return s.unary(OpFDWT97, img, nil)
+}
+
+// FFT computes the per-row magnitude spectrum (row length must be a power
+// of two).
+func (s *Session) FFT(m *Matrix) (*Matrix, *Report, error) {
+	return s.unary(OpFFT, m, nil)
+}
+
+// Histogram256 bins the values of m into 256 buckets over [lo, hi).
+func (s *Session) Histogram256(m *Matrix, lo, hi float64) (*Matrix, *Report, error) {
+	return s.unary(OpReduceHist256, m, map[string]float64{"hist_lo": lo, "hist_hi": hi})
+}
+
+// Hotspot advances the thermal grid one step given the power map.
+func (s *Session) Hotspot(temp, power *Matrix) (*Matrix, *Report, error) {
+	if temp == nil || power == nil {
+		return nil, nil, errNilInput
+	}
+	rep, err := s.Execute(OpStencil, []*Matrix{temp, power}, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep.Output, rep, nil
+}
+
+func (s *Session) unary(op Op, m *Matrix, attrs map[string]float64) (*Matrix, *Report, error) {
+	if m == nil {
+		return nil, nil, errNilInput
+	}
+	rep, err := s.Execute(op, []*Matrix{m}, attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep.Output, rep, nil
+}
+
+// SamplingMethod re-exports the QAWS sampling mechanisms for option setting.
+type SamplingMethod = sampling.Method
+
+// QAWS sampling mechanisms (Algorithms 3–5).
+const (
+	SamplingStriding  = sampling.Striding
+	SamplingUniform   = sampling.UniformRandom
+	SamplingReduction = sampling.Reduction
+)
+
+// ensure sched is referenced from this file's imports (policy construction
+// lives in options.go).
+var _ sched.Policy = sched.WorkStealing{}

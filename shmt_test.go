@@ -1,0 +1,294 @@
+package shmt_test
+
+import (
+	"math"
+	"testing"
+
+	"shmt"
+	"shmt/internal/metrics"
+	"shmt/internal/workload"
+)
+
+func newSession(t *testing.T, cfg shmt.Config) *shmt.Session {
+	t.Helper()
+	s, err := shmt.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestSessionDefaults(t *testing.T) {
+	s := newSession(t, shmt.Config{})
+	devs := s.Devices()
+	if len(devs) != 3 || devs[0] != "cpu" || devs[1] != "gpu" || devs[2] != "tpu" {
+		t.Fatalf("devices = %v", devs)
+	}
+	if s.PolicyName() != "QAWS-TS" {
+		t.Fatalf("default policy = %q", s.PolicyName())
+	}
+}
+
+func TestSessionDeviceSelection(t *testing.T) {
+	s := newSession(t, shmt.Config{UseGPU: true, Policy: shmt.PolicyGPUBaseline})
+	if devs := s.Devices(); len(devs) != 1 || devs[0] != "gpu" {
+		t.Fatalf("devices = %v", devs)
+	}
+}
+
+func TestSessionUnknownPolicy(t *testing.T) {
+	if _, err := shmt.NewSession(shmt.Config{Policy: "bogus"}); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+}
+
+func TestSessionPolicyNeedsDevice(t *testing.T) {
+	s := newSession(t, shmt.Config{UseGPU: true, Policy: shmt.PolicyTPUOnly})
+	img := workload.Uniform(64, 64, 0, 1, 1)
+	if _, err := s.Execute(shmt.OpSobel, []*shmt.Matrix{img}, nil); err == nil {
+		t.Fatal("tpu-only without a TPU should fail at execution")
+	}
+}
+
+func TestExecuteAllPolicies(t *testing.T) {
+	img := workload.Mixed(128, 128, workload.Profile{TileSize: 32}, 2)
+	for _, pol := range shmt.AllPolicies() {
+		s := newSession(t, shmt.Config{Policy: pol, TargetPartitions: 8})
+		rep, err := s.Execute(shmt.OpSobel, []*shmt.Matrix{img}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if rep.Output == nil || rep.Makespan <= 0 {
+			t.Fatalf("%s: degenerate report", pol)
+		}
+	}
+	if len(shmt.AllQAWSPolicies()) != 6 {
+		t.Fatal("six QAWS variants expected")
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	s := newSession(t, shmt.Config{})
+	if _, err := s.Execute(shmt.OpAdd, []*shmt.Matrix{shmt.NewMatrix(4, 4)}, nil); err == nil {
+		t.Fatal("arity error should surface")
+	}
+}
+
+func TestMatMulCorrectness(t *testing.T) {
+	s := newSession(t, shmt.Config{Policy: shmt.PolicyCPUOnly, TargetPartitions: 4})
+	a := workload.Uniform(16, 8, 0, 1, 3)
+	b := workload.Uniform(8, 12, 0, 1, 4)
+	c, rep, err := s.MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HLOPs == 0 {
+		t.Fatal("no HLOPs reported")
+	}
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 12; j++ {
+			var want float64
+			for k := 0; k < 8; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if math.Abs(c.At(i, j)-want) > 1e-9 {
+				t.Fatalf("C(%d,%d) = %g want %g", i, j, c.At(i, j), want)
+			}
+		}
+	}
+	if _, _, err := s.MatMul(nil, b); err == nil {
+		t.Fatal("nil input should fail")
+	}
+}
+
+func TestConvenienceKernels(t *testing.T) {
+	s := newSession(t, shmt.Config{Policy: shmt.PolicyWorkStealing, TargetPartitions: 4})
+	img := workload.Image(128, 128, 5)
+
+	if out, rep, err := s.Sobel(img); err != nil || out == nil || rep == nil {
+		t.Fatalf("Sobel: %v", err)
+	}
+	if _, _, err := s.Laplacian(img); err != nil {
+		t.Fatalf("Laplacian: %v", err)
+	}
+	if _, _, err := s.MeanFilter(img); err != nil {
+		t.Fatalf("MeanFilter: %v", err)
+	}
+	if _, _, err := s.DCT8x8(img); err != nil {
+		t.Fatalf("DCT8x8: %v", err)
+	}
+	if _, _, err := s.DWT97(img); err != nil {
+		t.Fatalf("DWT97: %v", err)
+	}
+	if _, _, err := s.FFT(img); err != nil {
+		t.Fatalf("FFT: %v", err)
+	}
+	pos := img.Clone()
+	for i := range pos.Data {
+		if pos.Data[i] < 1 {
+			pos.Data[i] = 1
+		}
+	}
+	if _, _, err := s.SRAD(pos, 0.5, 0.05); err != nil {
+		t.Fatalf("SRAD: %v", err)
+	}
+	if _, _, err := s.Sobel(nil); err == nil {
+		t.Fatal("nil image should fail")
+	}
+
+	hist, _, err := s.Histogram256(img, 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range hist.Data {
+		total += v
+	}
+	if total != float64(img.Len()) {
+		t.Fatalf("histogram total = %g want %d", total, img.Len())
+	}
+
+	temp := workload.Uniform(64, 64, 70, 90, 6)
+	power := workload.Uniform(64, 64, 0, 1, 7)
+	if _, _, err := s.Hotspot(temp, power); err != nil {
+		t.Fatalf("Hotspot: %v", err)
+	}
+	if _, _, err := s.Hotspot(nil, power); err == nil {
+		t.Fatal("nil temperature should fail")
+	}
+
+	spot := workload.Uniform(32, 32, 80, 120, 8)
+	strike := workload.Uniform(32, 32, 90, 110, 9)
+	if _, _, err := s.BlackScholes(spot, strike, 0.02, 0.3, 1); err != nil {
+		t.Fatalf("BlackScholes: %v", err)
+	}
+}
+
+func TestReferenceIsExact(t *testing.T) {
+	s := newSession(t, shmt.Config{TargetPartitions: 4})
+	img := workload.Uniform(64, 64, 0, 1, 10)
+	ref, err := s.Reference(shmt.OpSobel, []*shmt.Matrix{img}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Running the same reference twice is bit-identical.
+	ref2, _ := s.Reference(shmt.OpSobel, []*shmt.Matrix{img}, nil)
+	if !ref.Equal(ref2) {
+		t.Fatal("reference not deterministic")
+	}
+}
+
+func TestQualityOrderingEndToEnd(t *testing.T) {
+	// TPU-only must be least accurate; QAWS must improve on plain work
+	// stealing; the GPU baseline is exact up to FP32.
+	img := workload.Mixed(256, 256, workload.Profile{TileSize: 64}, 11)
+	s0 := newSession(t, shmt.Config{Policy: shmt.PolicyCPUOnly, TargetPartitions: 16})
+	refRep, err := s0.Execute(shmt.OpSobel, []*shmt.Matrix{img}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapeOf := func(pol shmt.PolicyName) float64 {
+		s := newSession(t, shmt.Config{Policy: pol, TargetPartitions: 16, SamplingRate: 0.01})
+		rep, err := s.Execute(shmt.OpSobel, []*shmt.Matrix{img}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := metrics.MAPE(refRep.Output.Data, rep.Output.Data)
+		return m
+	}
+	tpu := mapeOf(shmt.PolicyTPUOnly)
+	ws := mapeOf(shmt.PolicyWorkStealing)
+	qaws := mapeOf(shmt.PolicyQAWSTS)
+	gpuBase := mapeOf(shmt.PolicyGPUBaseline)
+	if !(gpuBase < qaws && qaws < ws && ws < tpu) {
+		t.Fatalf("quality ordering violated: gpu=%g qaws=%g ws=%g tpu=%g", gpuBase, qaws, ws, tpu)
+	}
+}
+
+func TestVirtualScaleTimelineInvariance(t *testing.T) {
+	// The same virtual platform at half the data size and 4x slowdown must
+	// produce (nearly) the same virtual makespan.
+	mk := func(side int) float64 {
+		scale := float64(512*512) / float64(side*side)
+		s := newSession(t, shmt.Config{Policy: shmt.PolicyWorkStealing,
+			TargetPartitions: 16, VirtualScale: scale})
+		img := workload.Mixed(side, side, workload.Profile{TileSize: side / 8}, 12)
+		rep, err := s.Execute(shmt.OpSobel, []*shmt.Matrix{img}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Makespan
+	}
+	full, scaled := mk(512), mk(256)
+	if math.Abs(full-scaled)/full > 0.05 {
+		t.Fatalf("virtual scaling drifted: %g vs %g", full, scaled)
+	}
+}
+
+func TestConcurrentSessionWorks(t *testing.T) {
+	s := newSession(t, shmt.Config{Policy: shmt.PolicyQAWSTS, TargetPartitions: 8, Concurrent: true})
+	img := workload.Mixed(128, 128, workload.Profile{TileSize: 32}, 13)
+	rep, err := s.Execute(shmt.OpSobel, []*shmt.Matrix{img}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Output.Rows != 128 {
+		t.Fatal("concurrent output malformed")
+	}
+}
+
+func TestRecordTrace(t *testing.T) {
+	s := newSession(t, shmt.Config{Policy: shmt.PolicyWorkStealing, TargetPartitions: 8, RecordTrace: true})
+	img := workload.Uniform(128, 128, 0, 1, 14)
+	rep, err := s.Execute(shmt.OpSobel, []*shmt.Matrix{img}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == nil || len(rep.Trace.Events) == 0 {
+		t.Fatal("trace not recorded")
+	}
+	s2 := newSession(t, shmt.Config{Policy: shmt.PolicyWorkStealing, TargetPartitions: 8})
+	rep2, _ := s2.Execute(shmt.OpSobel, []*shmt.Matrix{img}, nil)
+	if rep2.Trace != nil {
+		t.Fatal("trace recorded without opting in")
+	}
+}
+
+func TestFromSliceHelper(t *testing.T) {
+	m, err := shmt.FromSlice(2, 2, []float64{1, 2, 3, 4})
+	if err != nil || m.At(1, 1) != 4 {
+		t.Fatalf("FromSlice: %v", err)
+	}
+	if _, err := shmt.FromSlice(2, 2, []float64{1}); err == nil {
+		t.Fatal("bad FromSlice should fail")
+	}
+}
+
+func TestFourDeviceSession(t *testing.T) {
+	s := newSession(t, shmt.Config{UseCPU: true, UseGPU: true, UseTPU: true, UseDSP: true,
+		Policy: shmt.PolicyQAWSTS, TargetPartitions: 16, SamplingRate: 0.01, RecordTrace: true})
+	devs := s.Devices()
+	if len(devs) != 4 || devs[3] != "dsp" {
+		t.Fatalf("devices = %v", devs)
+	}
+	img := workload.Image(256, 256, 20)
+	rep, err := s.Execute(shmt.OpSobel, []*shmt.Matrix{img}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three accelerators should participate on a home-domain kernel.
+	counts := rep.Trace.CountByDevice()
+	if counts["gpu"] == 0 || counts["tpu"] == 0 || counts["dsp"] == 0 {
+		t.Fatalf("not all accelerators participated: %v", counts)
+	}
+	// The DSP must not see out-of-domain work.
+	rep2, err := s.Execute(shmt.OpParabolicPDE,
+		[]*shmt.Matrix{workload.Uniform(256, 256, 80, 120, 21), workload.Uniform(256, 256, 90, 110, 22)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Trace.CountByDevice()["dsp"] != 0 {
+		t.Fatal("DSP executed an opcode outside its home domain")
+	}
+}
