@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fmt vet clean
+.PHONY: all check build test race bench benchsmoke experiments examples fmt vet clean
 
-all: build vet test
+all: check
+
+# check is the pre-merge gate: build, vet, tests, the race detector over the
+# whole module (the host worker pool runs everywhere now), and a one-shot
+# benchmark pass so the bench suites can't silently rot.
+check: build vet test race benchsmoke
 
 build:
 	$(GO) build ./...
@@ -13,10 +18,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ .
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+benchsmoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Regenerate every table and figure of the paper's evaluation (plus the
 # ablations and the seed-stability study). Takes several minutes.

@@ -3,9 +3,12 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"shmt/internal/hlop"
 	"shmt/internal/kernels"
+	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
@@ -13,9 +16,16 @@ import (
 // aggregate merges completed HLOP results into the VOP's output tensor: the
 // data-aggregation/synchronization step the runtime performs from the
 // completion queues (§3.3.1). Reduction partials merge semantically; every
-// other opcode scatters each partition's interior back with strided copies.
-// It returns the output and the total bytes copied (for the host-time
-// accounting).
+// other opcode scatters each partition's interior back with strided copies,
+// fanned out over the host pool (each HLOP owns a disjoint output region, so
+// the copies are race-free). It returns the output and the total bytes
+// copied (for the host-time accounting).
+//
+// Aggregation is also where HLOP staging buffers die: each partition's
+// result and its non-shared input blocks return to the tensor arena here, so
+// the partition → execute → aggregate loop recycles its buffers instead of
+// growing the heap. Inputs aliased from the parent VOP (GEMM's whole B
+// matrix, the convolution kernel) stay untouched.
 func aggregate(v *vop.VOP, done []doneHLOP) (*tensor.Matrix, int64, error) {
 	if len(done) == 0 {
 		return nil, 0, fmt.Errorf("core: no completed HLOPs to aggregate")
@@ -31,28 +41,77 @@ func aggregate(v *vop.VOP, done []doneHLOP) (*tensor.Matrix, int64, error) {
 			bytes += d.h.Result.Bytes(8)
 		}
 		out, err := kernels.MergePartials(v.Op, partials, v.Inputs[0].Len())
-		return out, bytes, err
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, d := range ordered {
+			releaseHLOPBuffers(v, d.h)
+		}
+		return out, bytes, nil
 	}
 
 	rows, cols := v.OutputShape()
 	out := tensor.NewMatrix(rows, cols)
-	var bytes int64
-	for _, d := range done {
-		h := d.h
-		block := h.Result
-		if h.Op.Halo() > 0 {
-			interior, err := tensor.CopyOut(block, h.Interior)
-			if err != nil {
-				return nil, 0, fmt.Errorf("core: extracting interior of HLOP %d: %w", h.ID, err)
-			}
-			block = interior
+	var bytes atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
-		if err := tensor.CopyIn(out, h.Region, block); err != nil {
-			return nil, 0, fmt.Errorf("core: aggregating HLOP %d: %w", h.ID, err)
-		}
-		bytes += h.Region.Bytes(8)
+		errMu.Unlock()
 	}
-	return out, bytes, nil
+	parallel.For(len(done), 1, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			h := done[x].h
+			block := h.Result
+			if h.Op.Halo() > 0 {
+				interior, err := tensor.CopyOut(block, h.Interior)
+				if err != nil {
+					setErr(fmt.Errorf("core: extracting interior of HLOP %d: %w", h.ID, err))
+					continue
+				}
+				block = interior
+			}
+			err := tensor.CopyIn(out, h.Region, block)
+			if block != h.Result {
+				tensor.PutMatrix(block)
+			}
+			if err != nil {
+				setErr(fmt.Errorf("core: aggregating HLOP %d: %w", h.ID, err))
+				continue
+			}
+			bytes.Add(h.Region.Bytes(8))
+			releaseHLOPBuffers(v, h)
+		}
+	})
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return out, bytes.Load(), nil
+}
+
+// releaseHLOPBuffers returns an aggregated HLOP's result and its private
+// input blocks to the tensor arena. Inputs that alias the parent VOP's
+// matrices are skipped; everything else was CopyOut-extracted for this HLOP
+// alone and is dead once its region has been scattered.
+func releaseHLOPBuffers(v *vop.VOP, h *hlop.HLOP) {
+	tensor.PutMatrix(h.Result)
+	h.Result = nil
+	for _, in := range h.Inputs {
+		shared := false
+		for _, vin := range v.Inputs {
+			if in == vin {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			tensor.PutMatrix(in)
+		}
+	}
+	h.Inputs = nil
 }
 
 // coverageError verifies that completed HLOPs tile the output exactly once;

@@ -43,25 +43,19 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 	retries := map[*hlop.HLOP]int{}
 	var firstErr error
 
+	// aborted makes failure terminal for every worker. Draining the queues
+	// alone is not enough: a worker holding a popped-but-unfinished HLOP
+	// keeps outstanding above zero after the queues empty, and the surviving
+	// workers would spin on outstanding.Load() forever.
+	var aborted atomic.Bool
+
 	fail := func(err error) {
 		mu.Lock()
 		if firstErr == nil {
 			firstErr = err
 		}
 		mu.Unlock()
-		// Drop all remaining work so every worker exits.
-		for outstanding.Load() > 0 {
-			dropped := false
-			for _, q := range queues {
-				if _, ok := q.Pop(); ok {
-					outstanding.Add(-1)
-					dropped = true
-				}
-			}
-			if !dropped {
-				break
-			}
-		}
+		aborted.Store(true)
 	}
 
 	type workerState struct {
@@ -83,7 +77,8 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 		go func(qi int, st *workerState) {
 			defer wg.Done()
 			dev := e.Reg.Get(qi)
-			for outstanding.Load() > 0 {
+			etc := device.NewExecTimeCache() // per-worker: the cache is not concurrency-safe
+			for outstanding.Load() > 0 && !aborted.Load() {
 				h, stolen := e.obtainConcurrent(ctx, pol, queues, qi)
 				if h == nil {
 					runtime.Gosched()
@@ -123,9 +118,9 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 				}
 
 				start := st.devTime
-				dur, xferT, exposedT, bytes := e.hlopCost(dev, h, st.prevExec)
+				dur, xferT, exposedT, bytes := e.hlopCost(dev, h, st.prevExec, etc)
 				st.devTime += dur
-				st.prevExec = dev.ExecTime(h.Op, h.Elems)
+				st.prevExec = etc.ExecTime(dev, h.Op, h.Elems)
 				st.busy += dur
 				st.ran = true
 				st.comm.bytes += bytes

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"shmt/internal/device"
+	"shmt/internal/device/cpu"
+	"shmt/internal/device/gpu"
+	"shmt/internal/hlop"
+	"shmt/internal/sched"
+)
+
+// TestConcurrentPermanentFailureTerminates is the regression test for the
+// concurrent engine's failure path. A worker that hits a terminal error
+// while holding a popped HLOP never decrements outstanding for it, so
+// draining the queues alone left outstanding > 0 and every other worker spun
+// in its obtain loop forever. With the CPU hosting the runtime, the only
+// kernel-eligible device here is the permanently failing GPU: its worker
+// fails terminally with an HLOP in hand while the CPU worker idles — the
+// exact livelock shape. The run must surface the injected error promptly.
+func TestConcurrentPermanentFailureTerminates(t *testing.T) {
+	flaky := &flakyDevice{Device: gpu.New(gpu.Config{})}
+	flaky.failures.Store(1 << 20) // never recovers
+	reg, err := device.NewRegistry(cpu.New(1), flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Reg: reg, Policy: sched.WorkStealing{}, Concurrent: true,
+		Spec: hlop.Spec{TargetPartitions: 4, MinTile: 8}}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Run(sobelVOP(t, 64, 21))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("permanent failure with no fallback must surface")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent engine livelocked after a terminal device failure")
+	}
+}

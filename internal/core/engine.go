@@ -141,7 +141,6 @@ func (e *Engine) Run(v *vop.VOP) (*Report, error) {
 	if aggT > makespan {
 		makespan = aggT
 	}
-	_ = aggBytes
 
 	rep := &Report{
 		Output:        out,
@@ -198,6 +197,7 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 	remaining := len(hs)
 	res := &runResult{busy: map[string]float64{}}
 	retries := make(map[*hlop.HLOP]int)
+	etc := device.NewExecTimeCache()
 
 	for remaining > 0 {
 		// Choose the earliest device that can obtain work.
@@ -208,7 +208,7 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 			if len(queues[i]) > 0 {
 				ok, vict = true, -1
 			} else if pol.StealingEnabled() {
-				vict = e.pickVictim(ctx, pol, queues, i)
+				vict = e.pickVictim(ctx, pol, queues, i, etc)
 				ok = vict >= 0
 			}
 			if ok && (pick < 0 || devTime[i] < devTime[pick]) {
@@ -262,9 +262,9 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 		start := devTime[pick]
 		stageB := e.stagingBytes(dev, h)
 		tr.AllocStaging(stageB)
-		dur, xferT, exposedT, bytes := e.hlopCost(dev, h, prevExec[pick])
+		dur, xferT, exposedT, bytes := e.hlopCost(dev, h, prevExec[pick], etc)
 		devTime[pick] = start + dur
-		prevExec[pick] = dev.ExecTime(h.Op, h.Elems)
+		prevExec[pick] = etc.ExecTime(dev, h.Op, h.Elems)
 		ran[pick] = true
 		res.busy[dev.Name()] += dur
 		res.comm.Add(bytes, xferT, exposedT)
@@ -299,7 +299,7 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 // mixed-opcode pools (ExecuteBatch) a device gravitates toward work it is
 // relatively fast at. For single-opcode runs every victim scores equally and
 // this reduces to the paper's steal-from-the-deepest-queue rule.
-func (e *Engine) pickVictim(ctx *sched.Context, pol sched.Policy, queues [][]*hlop.HLOP, thief int) int {
+func (e *Engine) pickVictim(ctx *sched.Context, pol sched.Policy, queues [][]*hlop.HLOP, thief int, etc *device.ExecTimeCache) int {
 	thiefDev := e.Reg.Get(thief)
 	best, bestLen := -1, 0
 	bestScore := 0.0
@@ -313,7 +313,7 @@ func (e *Engine) pickVictim(ctx *sched.Context, pol sched.Policy, queues [][]*hl
 		}
 		// Relative affinity: how much faster the thief runs this opcode
 		// than the queue's owner would.
-		score := e.Reg.Get(vq).ExecTime(tail.Op, tail.Elems) / thiefDev.ExecTime(tail.Op, tail.Elems)
+		score := etc.ExecTime(e.Reg.Get(vq), tail.Op, tail.Elems) / etc.ExecTime(thiefDev, tail.Op, tail.Elems)
 		if best < 0 || score > bestScore*1.001 ||
 			(score > bestScore*0.999 && len(queues[vq]) > bestLen) {
 			best, bestLen, bestScore = vq, len(queues[vq]), score
@@ -341,8 +341,8 @@ func (e *Engine) fallbackQueue(ctx *sched.Context, failed int, h *hlop.HLOP) int
 // transfer + execution + exposed output transfer. Devices with private
 // memory (Edge TPU) move raw payload over their link; host-memory devices
 // (CPU, GPU) stage the opcode's calibrated traffic through LPDDR4.
-func (e *Engine) hlopCost(dev device.Device, h *hlop.HLOP, prevExec float64) (total, xferT, exposedT float64, bytes int64) {
-	exec := dev.ExecTime(h.Op, h.Elems)
+func (e *Engine) hlopCost(dev device.Device, h *hlop.HLOP, prevExec float64, etc *device.ExecTimeCache) (total, xferT, exposedT float64, bytes int64) {
+	exec := etc.ExecTime(dev, h.Op, h.Elems)
 	inB := h.InputBytes(dev.ElemBytes())
 	outB := h.OutputBytes(dev.ElemBytes())
 	if dev.MemoryBytes() == 0 {

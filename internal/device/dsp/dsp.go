@@ -16,6 +16,7 @@ import (
 	"shmt/internal/device"
 	"shmt/internal/interconnect"
 	"shmt/internal/kernels"
+	"shmt/internal/parallel"
 	"shmt/internal/quant"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
@@ -81,12 +82,15 @@ func (d *Device) Supports(op vop.Opcode) bool { return homeDomain[op] }
 // per stage — the DSP's kernels.Rounder.
 type Fixed24 struct{}
 
-// Round implements kernels.Rounder.
+// Round implements kernels.Rounder. Calibration is a sequential scan (its
+// result is order-independent); the per-element round-trip parallelizes.
 func (Fixed24) Round(data []float64) {
 	p := quant.CalibrateFixed24(data)
-	for i, v := range data {
-		data[i] = p.DequantizeOne(p.QuantizeOne(v))
-	}
+	parallel.For(len(data), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = p.DequantizeOne(p.QuantizeOne(data[i]))
+		}
+	})
 }
 
 // Name implements kernels.Rounder.
@@ -97,10 +101,16 @@ func (d *Device) Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[strin
 	var r kernels.Rounder = Fixed24{}
 	cast := make([]*tensor.Matrix, len(inputs))
 	for i, in := range inputs {
-		cast[i] = in.Clone()
-		r.Round(cast[i].Data)
+		c := tensor.GetMatrixUninit(in.Rows, in.Cols)
+		copy(c.Data, in.Data)
+		r.Round(c.Data)
+		cast[i] = c
 	}
-	return kernels.Exec(op, cast, attrs, r)
+	out, err := kernels.Exec(op, cast, attrs, r)
+	for _, c := range cast {
+		tensor.PutMatrix(c) // kernels never retain or return their inputs
+	}
+	return out, err
 }
 
 // dspRatio scales the GPU throughput: dedicated filter pipelines make the

@@ -1,0 +1,35 @@
+package device
+
+import "shmt/internal/vop"
+
+// ExecTimeCache memoizes Device.ExecTime lookups. The cost model is a pure
+// function of (device, opcode, element count), but the scheduling loops ask
+// for the same triple O(devices²) times per step — every steal decision
+// scores each victim's tail HLOP against both devices — so the engines keep
+// one cache per run (per worker in the concurrent engine; the cache is not
+// safe for concurrent use) and hit the model once per distinct shape.
+type ExecTimeCache struct {
+	m map[execTimeKey]float64
+}
+
+type execTimeKey struct {
+	dev   string
+	op    vop.Opcode
+	elems int
+}
+
+// NewExecTimeCache returns an empty cache.
+func NewExecTimeCache() *ExecTimeCache {
+	return &ExecTimeCache{m: make(map[execTimeKey]float64)}
+}
+
+// ExecTime returns dev.ExecTime(op, elems), memoized.
+func (c *ExecTimeCache) ExecTime(dev Device, op vop.Opcode, elems int) float64 {
+	k := execTimeKey{dev.Name(), op, elems}
+	if t, ok := c.m[k]; ok {
+		return t
+	}
+	t := dev.ExecTime(op, elems)
+	c.m[k] = t
+	return t
+}

@@ -88,10 +88,16 @@ func (d *Device) Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[strin
 	}
 	cast := make([]*tensor.Matrix, len(inputs))
 	for i, in := range inputs {
-		cast[i] = in.Clone()
-		r.Round(cast[i].Data)
+		c := tensor.GetMatrixUninit(in.Rows, in.Cols)
+		copy(c.Data, in.Data)
+		r.Round(c.Data)
+		cast[i] = c
 	}
-	return kernels.Exec(op, cast, attrs, r)
+	out, err := kernels.Exec(op, cast, attrs, r)
+	for _, c := range cast {
+		tensor.PutMatrix(c) // kernels never retain or return their inputs
+	}
+	return out, err
 }
 
 // ExecTime implements device.Device.

@@ -136,10 +136,15 @@ func (d *Device) Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[strin
 		r := kernels.Int8{}
 		cast := make([]*tensor.Matrix, len(inputs))
 		for i, in := range inputs {
-			cast[i] = in.Clone()
-			r.Round(cast[i].Data)
+			c := tensor.GetMatrixUninit(in.Rows, in.Cols)
+			copy(c.Data, in.Data)
+			r.Round(c.Data)
+			cast[i] = c
 		}
 		out, err := kernels.Exec(op, cast, attrs, kernels.Exact{})
+		for _, c := range cast {
+			tensor.PutMatrix(c) // kernels never retain or return their inputs
+		}
 		if err != nil {
 			return nil, err
 		}

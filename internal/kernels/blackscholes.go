@@ -3,6 +3,7 @@ package kernels
 import (
 	"math"
 
+	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
@@ -26,34 +27,46 @@ func execBlackScholes(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matr
 	t := a.get("t", 1)
 
 	n := s.Len()
-	d1 := make([]float64, n)
-	d2 := make([]float64, n)
+	d1 := tensor.GetFloats(n)
+	d2 := tensor.GetFloats(n)
 	volSqrtT := sigma * math.Sqrt(t)
-	for i := 0; i < n; i++ {
-		d1[i] = (math.Log(s.Data[i]/k.Data[i]) + (rate+0.5*sigma*sigma)*t) / volSqrtT
-	}
+	parallel.For(n, parGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d1[i] = (math.Log(s.Data[i]/k.Data[i]) + (rate+0.5*sigma*sigma)*t) / volSqrtT
+		}
+	})
 	r.Round(d1) // stage 1
 
-	for i := 0; i < n; i++ {
-		d2[i] = d1[i] - volSqrtT
-	}
+	parallel.For(n, parGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d2[i] = d1[i] - volSqrtT
+		}
+	})
 	r.Round(d2) // stage 2
 
-	nd1 := make([]float64, n)
-	nd2 := make([]float64, n)
-	for i := 0; i < n; i++ {
-		nd1[i] = cnd(d1[i])
-		nd2[i] = cnd(d2[i])
-	}
+	nd1 := tensor.GetFloats(n)
+	nd2 := tensor.GetFloats(n)
+	parallel.For(n, parGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			nd1[i] = cnd(d1[i])
+			nd2[i] = cnd(d2[i])
+		}
+	})
 	r.Round(nd1) // stage 3 (both CNDs evaluate in the same layer)
 	r.Round(nd2)
 
-	out := tensor.NewMatrix(s.Rows, s.Cols)
+	out := tensor.GetMatrixUninit(s.Rows, s.Cols)
 	expRT := math.Exp(-rate * t)
-	for i := 0; i < n; i++ {
-		out.Data[i] = s.Data[i]*nd1[i] - k.Data[i]*expRT*nd2[i]
-	}
+	parallel.For(n, parGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = s.Data[i]*nd1[i] - k.Data[i]*expRT*nd2[i]
+		}
+	})
 	r.Round(out.Data) // stage 4
+	tensor.PutFloats(d1)
+	tensor.PutFloats(d2)
+	tensor.PutFloats(nd1)
+	tensor.PutFloats(nd2)
 	return out, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
@@ -36,35 +37,42 @@ func execDCT8x8(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 		return nil, fmt.Errorf("kernels: DCT8x8 input %dx%d not a multiple of 8", in.Rows, in.Cols)
 	}
 	// Row pass: for each 8-wide strip of each row, tmp[k] = Σx basis[k][x]*v[x].
-	tmp := tensor.NewMatrix(in.Rows, in.Cols)
-	for row := 0; row < in.Rows; row++ {
-		base := row * in.Cols
-		for bc := 0; bc < in.Cols; bc += 8 {
-			for k := 0; k < 8; k++ {
-				var s float64
-				for x := 0; x < 8; x++ {
-					s += dct8Basis[k][x] * in.Data[base+bc+x]
+	// Rows are independent, so the sweep parallelizes bit-identically.
+	tmp := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	parallel.For(in.Rows, parallel.RowGrain(in.Cols), func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			base := row * in.Cols
+			for bc := 0; bc < in.Cols; bc += 8 {
+				for k := 0; k < 8; k++ {
+					var s float64
+					for x := 0; x < 8; x++ {
+						s += dct8Basis[k][x] * in.Data[base+bc+x]
+					}
+					tmp.Data[base+bc+k] = s
 				}
-				tmp.Data[base+bc+k] = s
 			}
 		}
-	}
+	})
 	r.Round(tmp.Data) // stage 1
 
-	// Column pass within each 8-tall block.
-	out := tensor.NewMatrix(in.Rows, in.Cols)
-	for br := 0; br < in.Rows; br += 8 {
-		for col := 0; col < in.Cols; col++ {
-			for k := 0; k < 8; k++ {
-				var s float64
-				for y := 0; y < 8; y++ {
-					s += dct8Basis[k][y] * tmp.Data[(br+y)*in.Cols+col]
+	// Column pass within each 8-tall block; blocks are independent.
+	out := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	parallel.For(in.Rows/8, parallel.RowGrain(8*in.Cols), func(lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			br := blk * 8
+			for col := 0; col < in.Cols; col++ {
+				for k := 0; k < 8; k++ {
+					var s float64
+					for y := 0; y < 8; y++ {
+						s += dct8Basis[k][y] * tmp.Data[(br+y)*in.Cols+col]
+					}
+					out.Data[(br+k)*in.Cols+col] = s
 				}
-				out.Data[(br+k)*in.Cols+col] = s
 			}
 		}
-	}
+	})
 	r.Round(out.Data) // stage 2
+	tensor.PutMatrix(tmp)
 	return out, nil
 }
 

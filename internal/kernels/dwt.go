@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
@@ -31,7 +32,8 @@ func execFDWT97(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, er
 	if levels < 1 {
 		levels = 1
 	}
-	tmp := in.Clone()
+	tmp := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	copy(tmp.Data, in.Data)
 
 	rows, cols := in.Rows, in.Cols
 	for lvl := 0; lvl < levels && rows >= 2 && cols >= 2; lvl++ {
@@ -42,34 +44,46 @@ func execFDWT97(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, er
 	return tmp, nil
 }
 
-// dwtLevel transforms the top-left rows×cols block of m in place.
+// dwtLevel transforms the top-left rows×cols block of m in place. Rows
+// (then columns) are independent 1-D lifts, so each pass fans out over the
+// worker pool with per-chunk scratch; every row/column is produced by
+// exactly one worker in the sequential order, keeping results bit-identical.
 func dwtLevel(m *tensor.Matrix, rows, cols int, r Rounder) {
 	// Horizontal pass.
-	row := make([]float64, cols)
-	for i := 0; i < rows; i++ {
-		copy(row, m.Data[i*m.Cols:i*m.Cols+cols])
-		lift97(row)
-		copy(m.Data[i*m.Cols:i*m.Cols+cols], row)
-	}
+	parallel.For(rows, parallel.RowGrain(cols), func(lo, hi int) {
+		scratch := tensor.GetFloats(2 * cols)
+		row, buf := scratch[:cols], scratch[cols:]
+		for i := lo; i < hi; i++ {
+			copy(row, m.Data[i*m.Cols:i*m.Cols+cols])
+			lift97Scratch(row, buf)
+			copy(m.Data[i*m.Cols:i*m.Cols+cols], row)
+		}
+		tensor.PutFloats(scratch)
+	})
 	r.Round(m.Data) // stage 1
 
 	// Vertical pass.
-	col := make([]float64, rows)
-	for j := 0; j < cols; j++ {
-		for i := 0; i < rows; i++ {
-			col[i] = m.Data[i*m.Cols+j]
+	parallel.For(cols, parallel.RowGrain(rows), func(lo, hi int) {
+		scratch := tensor.GetFloats(2 * rows)
+		col, buf := scratch[:rows], scratch[rows:]
+		for j := lo; j < hi; j++ {
+			for i := 0; i < rows; i++ {
+				col[i] = m.Data[i*m.Cols+j]
+			}
+			lift97Scratch(col, buf)
+			for i := 0; i < rows; i++ {
+				m.Data[i*m.Cols+j] = col[i]
+			}
 		}
-		lift97(col)
-		for i := 0; i < rows; i++ {
-			m.Data[i*m.Cols+j] = col[i]
-		}
-	}
+		tensor.PutFloats(scratch)
+	})
 	r.Round(m.Data) // stage 2
 }
 
-// lift97 runs the forward 9/7 lifting steps in place and deinterleaves the
-// result into [low | high] halves. Boundaries use symmetric extension.
-func lift97(x []float64) {
+// lift97Scratch runs the forward 9/7 lifting steps in place and
+// deinterleaves the result into [low | high] halves using buf (len ≥ len(x))
+// as scratch. Boundaries use symmetric extension.
+func lift97Scratch(x, buf []float64) {
 	n := len(x)
 	if n < 2 {
 		return
@@ -108,7 +122,6 @@ func lift97(x []float64) {
 		}
 	}
 	// Deinterleave: evens (low) first, odds (high) second.
-	buf := make([]float64, n)
 	half := (n + 1) / 2
 	for i := 0; i < n; i++ {
 		if i%2 == 0 {
@@ -117,7 +130,12 @@ func lift97(x []float64) {
 			buf[half+i/2] = x[i]
 		}
 	}
-	copy(x, buf)
+	copy(x, buf[:n])
+}
+
+// lift97 is the allocating convenience form of lift97Scratch.
+func lift97(x []float64) {
+	lift97Scratch(x, make([]float64, len(x)))
 }
 
 // unlift97 inverts lift97 exactly; used by tests.

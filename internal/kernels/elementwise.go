@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"math"
 
+	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
 
-// execBinary evaluates the element-wise two-operand vector VOPs.
+// execBinary evaluates the element-wise two-operand vector VOPs. Chunks are
+// disjoint index ranges, so the parallel sweep writes each element exactly
+// once and the result is bit-identical at any worker count.
 func execBinary(op vop.Opcode, inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(op, inputs, 2); err != nil {
 		return nil, err
@@ -17,31 +20,44 @@ func execBinary(op vop.Opcode, inputs []*tensor.Matrix, r Rounder) (*tensor.Matr
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		return nil, fmt.Errorf("kernels: %s shapes %dx%d and %dx%d differ", op, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	out := tensor.NewMatrix(a.Rows, a.Cols)
+	out := tensor.GetMatrixUninit(a.Rows, a.Cols)
+	var fn func(lo, hi int)
 	switch op {
 	case vop.OpAdd:
-		for i := range out.Data {
-			out.Data[i] = a.Data[i] + b.Data[i]
+		fn = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Data[i] = a.Data[i] + b.Data[i]
+			}
 		}
 	case vop.OpSub:
-		for i := range out.Data {
-			out.Data[i] = a.Data[i] - b.Data[i]
+		fn = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Data[i] = a.Data[i] - b.Data[i]
+			}
 		}
 	case vop.OpMultiply:
-		for i := range out.Data {
-			out.Data[i] = a.Data[i] * b.Data[i]
+		fn = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Data[i] = a.Data[i] * b.Data[i]
+			}
 		}
 	case vop.OpMax:
-		for i := range out.Data {
-			out.Data[i] = math.Max(a.Data[i], b.Data[i])
+		fn = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Data[i] = math.Max(a.Data[i], b.Data[i])
+			}
 		}
 	case vop.OpMin:
-		for i := range out.Data {
-			out.Data[i] = math.Min(a.Data[i], b.Data[i])
+		fn = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Data[i] = math.Min(a.Data[i], b.Data[i])
+			}
 		}
 	default:
+		tensor.PutMatrix(out)
 		return nil, fmt.Errorf("kernels: %s is not a binary op", op)
 	}
+	parallel.For(len(out.Data), parGrain, fn)
 	r.Round(out.Data)
 	return out, nil
 }
@@ -52,31 +68,44 @@ func execUnary(op vop.Opcode, inputs []*tensor.Matrix, r Rounder) (*tensor.Matri
 		return nil, err
 	}
 	a := inputs[0]
-	out := tensor.NewMatrix(a.Rows, a.Cols)
+	out := tensor.GetMatrixUninit(a.Rows, a.Cols)
+	var fn func(lo, hi int)
 	switch op {
 	case vop.OpLog:
-		for i, v := range a.Data {
-			out.Data[i] = math.Log(v)
+		fn = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Data[i] = math.Log(a.Data[i])
+			}
 		}
 	case vop.OpSqrt:
-		for i, v := range a.Data {
-			out.Data[i] = math.Sqrt(v)
+		fn = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Data[i] = math.Sqrt(a.Data[i])
+			}
 		}
 	case vop.OpRsqrt:
-		for i, v := range a.Data {
-			out.Data[i] = 1 / math.Sqrt(v)
+		fn = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Data[i] = 1 / math.Sqrt(a.Data[i])
+			}
 		}
 	case vop.OpTanh:
-		for i, v := range a.Data {
-			out.Data[i] = math.Tanh(v)
+		fn = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Data[i] = math.Tanh(a.Data[i])
+			}
 		}
 	case vop.OpRelu:
-		for i, v := range a.Data {
-			out.Data[i] = math.Max(0, v)
+		fn = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Data[i] = math.Max(0, a.Data[i])
+			}
 		}
 	default:
+		tensor.PutMatrix(out)
 		return nil, fmt.Errorf("kernels: %s is not a unary op", op)
 	}
+	parallel.For(len(out.Data), parGrain, fn)
 	r.Round(out.Data)
 	return out, nil
 }

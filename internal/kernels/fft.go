@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/cmplx"
 
+	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
@@ -13,7 +14,8 @@ import (
 // must be a power of two) and returns the magnitude spectrum, matching how
 // the CUDA SDK sample post-processes batched 1-D FFTs for comparison. The
 // butterfly passes and the magnitude computation form the kernel's two stage
-// boundaries.
+// boundaries. Rows transform independently (each with its own scratch
+// buffer), so the parallel fan-out is bit-identical to the sequential loop.
 func execFFT(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpFFT, inputs, 1); err != nil {
 		return nil, err
@@ -22,28 +24,35 @@ func execFFT(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if in.Cols == 0 || in.Cols&(in.Cols-1) != 0 {
 		return nil, fmt.Errorf("kernels: FFT row length %d not a power of two", in.Cols)
 	}
-	re := tensor.NewMatrix(in.Rows, in.Cols)
-	im := tensor.NewMatrix(in.Rows, in.Cols)
-	buf := make([]complex128, in.Cols)
-	for row := 0; row < in.Rows; row++ {
-		base := row * in.Cols
-		for j := 0; j < in.Cols; j++ {
-			buf[j] = complex(in.Data[base+j], 0)
+	re := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	im := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	parallel.For(in.Rows, parallel.RowGrain(in.Cols), func(lo, hi int) {
+		buf := tensor.GetComplex(in.Cols)
+		for row := lo; row < hi; row++ {
+			base := row * in.Cols
+			for j := 0; j < in.Cols; j++ {
+				buf[j] = complex(in.Data[base+j], 0)
+			}
+			FFTInPlace(buf)
+			for j := 0; j < in.Cols; j++ {
+				re.Data[base+j] = real(buf[j])
+				im.Data[base+j] = imag(buf[j])
+			}
 		}
-		FFTInPlace(buf)
-		for j := 0; j < in.Cols; j++ {
-			re.Data[base+j] = real(buf[j])
-			im.Data[base+j] = imag(buf[j])
-		}
-	}
+		tensor.PutComplex(buf)
+	})
 	r.Round(re.Data) // stage 1: the complex spectrum leaves the butterflies
 	r.Round(im.Data)
 
-	out := tensor.NewMatrix(in.Rows, in.Cols)
-	for i := range out.Data {
-		out.Data[i] = math.Hypot(re.Data[i], im.Data[i])
-	}
+	out := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	parallel.For(len(out.Data), parGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = math.Hypot(re.Data[i], im.Data[i])
+		}
+	})
 	r.Round(out.Data) // stage 2
+	tensor.PutMatrix(re)
+	tensor.PutMatrix(im)
 	return out, nil
 }
 

@@ -3,14 +3,18 @@ package kernels
 import (
 	"fmt"
 
+	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
 
-// execGEMM computes C = A·B with a cache-blocked triple loop. The single
-// stage boundary is the completed product (Edge TPUs execute GEMM natively
-// in one systolic pass, so the INT8 path quantizes inputs and the final
-// accumulator only — accumulation itself is wide, as in real TPUs).
+// execGEMM computes C = A·B with a cache-blocked triple loop, row-blocks
+// fanned out over the host worker pool. Every output row is produced
+// entirely by one worker with the same kk/k accumulation order as the
+// sequential loop, so the product is bit-identical at any worker count. The
+// single stage boundary is the completed product (Edge TPUs execute GEMM
+// natively in one systolic pass, so the INT8 path quantizes inputs and the
+// final accumulator only — accumulation itself is wide, as in real TPUs).
 func execGEMM(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpGEMM, inputs, 2); err != nil {
 		return nil, err
@@ -19,28 +23,32 @@ func execGEMM(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("kernels: GEMM inner dimensions %d and %d differ", a.Cols, b.Rows)
 	}
-	out := tensor.NewMatrix(a.Rows, b.Cols)
+	out := tensor.GetMatrix(a.Rows, b.Cols)
 	const blk = 64
-	for ii := 0; ii < a.Rows; ii += blk {
-		iMax := min(ii+blk, a.Rows)
-		for kk := 0; kk < a.Cols; kk += blk {
-			kMax := min(kk+blk, a.Cols)
-			for i := ii; i < iMax; i++ {
-				arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-				crow := out.Data[i*b.Cols : (i+1)*b.Cols]
-				for k := kk; k < kMax; k++ {
-					av := arow[k]
-					if av == 0 {
-						continue
-					}
-					brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-					for j := range brow {
-						crow[j] += av * brow[j]
+	rowBlocks := (a.Rows + blk - 1) / blk
+	parallel.For(rowBlocks, 1, func(lo, hi int) {
+		for rb := lo; rb < hi; rb++ {
+			ii := rb * blk
+			iMax := min(ii+blk, a.Rows)
+			for kk := 0; kk < a.Cols; kk += blk {
+				kMax := min(kk+blk, a.Cols)
+				for i := ii; i < iMax; i++ {
+					arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+					crow := out.Data[i*b.Cols : (i+1)*b.Cols]
+					for k := kk; k < kMax; k++ {
+						av := arow[k]
+						if av == 0 {
+							continue
+						}
+						brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+						for j := range brow {
+							crow[j] += av * brow[j]
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 	r.Round(out.Data)
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
@@ -21,7 +22,9 @@ import (
 // (see vop.Opcode.HaloFor), so multi-step partitions remain independent.
 //
 // Stage boundaries: per step, the neighbour-delta accumulation and the
-// update (2 stages).
+// update (2 stages). Within a step both sweeps read only the previous
+// stage's grids, so the row-parallel fan-out is bit-identical to the
+// sequential loops.
 func execHotspot(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpStencil, inputs, 2); err != nil {
 		return nil, err
@@ -39,26 +42,35 @@ func execHotspot(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, e
 
 	rows, cols := temp.Rows, temp.Cols
 	cur := temp
-	delta := tensor.NewMatrix(rows, cols)
+	delta := tensor.GetMatrixUninit(rows, cols)
 	for s := 0; s < steps; s++ {
-		for i := 0; i < rows; i++ {
-			for j := 0; j < cols; j++ {
-				t := cur.At(i, j)
-				d := power.At(i, j) +
-					(atClamp(cur, i-1, j)+atClamp(cur, i+1, j)-2*t)/ry +
-					(atClamp(cur, i, j-1)+atClamp(cur, i, j+1)-2*t)/rx +
-					(tamb-t)/rz
-				delta.Set(i, j, d)
+		src := cur // capture for the closure; cur is reassigned below
+		parallel.For(rows, parallel.RowGrain(cols), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := 0; j < cols; j++ {
+					t := src.At(i, j)
+					d := power.At(i, j) +
+						(atClamp(src, i-1, j)+atClamp(src, i+1, j)-2*t)/ry +
+						(atClamp(src, i, j-1)+atClamp(src, i, j+1)-2*t)/rx +
+						(tamb-t)/rz
+					delta.Set(i, j, d)
+				}
 			}
-		}
+		})
 		r.Round(delta.Data) // stage 1
 
-		next := tensor.NewMatrix(rows, cols)
-		for i := range next.Data {
-			next.Data[i] = cur.Data[i] + dtCap*delta.Data[i]
-		}
+		next := tensor.GetMatrixUninit(rows, cols)
+		parallel.For(len(next.Data), parGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				next.Data[i] = src.Data[i] + dtCap*delta.Data[i]
+			}
+		})
 		r.Round(next.Data) // stage 2
+		if cur != temp {
+			tensor.PutMatrix(cur)
+		}
 		cur = next
 	}
+	tensor.PutMatrix(delta)
 	return cur, nil
 }

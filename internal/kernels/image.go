@@ -3,27 +3,32 @@ package kernels
 import (
 	"math"
 
+	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
 
 // Image kernels (Laplacian, Sobel, Mean Filter) use replicate boundary
 // handling, matching OpenCV's BORDER_REPLICATE default in the paper's
-// baselines. Each has a single stage boundary.
+// baselines. Each has a single stage boundary. Rows are independent (inputs
+// are read-only, each output row written by exactly one chunk), so the
+// row-parallel sweeps are bit-identical to the sequential loops.
 
 func execLaplacian(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpLaplacian, inputs, 1); err != nil {
 		return nil, err
 	}
 	in := inputs[0]
-	out := tensor.NewMatrix(in.Rows, in.Cols)
-	for i := 0; i < in.Rows; i++ {
-		for j := 0; j < in.Cols; j++ {
-			c := in.At(i, j)
-			out.Set(i, j, atClamp(in, i-1, j)+atClamp(in, i+1, j)+
-				atClamp(in, i, j-1)+atClamp(in, i, j+1)-4*c)
+	out := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	parallel.For(in.Rows, parallel.RowGrain(in.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < in.Cols; j++ {
+				c := in.At(i, j)
+				out.Set(i, j, atClamp(in, i-1, j)+atClamp(in, i+1, j)+
+					atClamp(in, i, j-1)+atClamp(in, i, j+1)-4*c)
+			}
 		}
-	}
+	})
 	r.Round(out.Data)
 	return out, nil
 }
@@ -33,17 +38,19 @@ func execSobel(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 		return nil, err
 	}
 	in := inputs[0]
-	out := tensor.NewMatrix(in.Rows, in.Cols)
-	for i := 0; i < in.Rows; i++ {
-		for j := 0; j < in.Cols; j++ {
-			gx := -atClamp(in, i-1, j-1) + atClamp(in, i-1, j+1) +
-				-2*atClamp(in, i, j-1) + 2*atClamp(in, i, j+1) +
-				-atClamp(in, i+1, j-1) + atClamp(in, i+1, j+1)
-			gy := -atClamp(in, i-1, j-1) - 2*atClamp(in, i-1, j) - atClamp(in, i-1, j+1) +
-				atClamp(in, i+1, j-1) + 2*atClamp(in, i+1, j) + atClamp(in, i+1, j+1)
-			out.Set(i, j, math.Hypot(gx, gy))
+	out := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	parallel.For(in.Rows, parallel.RowGrain(in.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < in.Cols; j++ {
+				gx := -atClamp(in, i-1, j-1) + atClamp(in, i-1, j+1) +
+					-2*atClamp(in, i, j-1) + 2*atClamp(in, i, j+1) +
+					-atClamp(in, i+1, j-1) + atClamp(in, i+1, j+1)
+				gy := -atClamp(in, i-1, j-1) - 2*atClamp(in, i-1, j) - atClamp(in, i-1, j+1) +
+					atClamp(in, i+1, j-1) + 2*atClamp(in, i+1, j) + atClamp(in, i+1, j+1)
+				out.Set(i, j, math.Hypot(gx, gy))
+			}
 		}
-	}
+	})
 	r.Round(out.Data)
 	return out, nil
 }
@@ -53,18 +60,20 @@ func execMeanFilter(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) 
 		return nil, err
 	}
 	in := inputs[0]
-	out := tensor.NewMatrix(in.Rows, in.Cols)
-	for i := 0; i < in.Rows; i++ {
-		for j := 0; j < in.Cols; j++ {
-			var s float64
-			for di := -1; di <= 1; di++ {
-				for dj := -1; dj <= 1; dj++ {
-					s += atClamp(in, i+di, j+dj)
+	out := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	parallel.For(in.Rows, parallel.RowGrain(in.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < in.Cols; j++ {
+				var s float64
+				for di := -1; di <= 1; di++ {
+					for dj := -1; dj <= 1; dj++ {
+						s += atClamp(in, i+di, j+dj)
+					}
 				}
+				out.Set(i, j, s/9)
 			}
-			out.Set(i, j, s/9)
 		}
-	}
+	})
 	r.Round(out.Data)
 	return out, nil
 }
@@ -77,18 +86,20 @@ func execConv(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	}
 	in, k := inputs[0], inputs[1]
 	rad := k.Rows / 2
-	out := tensor.NewMatrix(in.Rows, in.Cols)
-	for i := 0; i < in.Rows; i++ {
-		for j := 0; j < in.Cols; j++ {
-			var s float64
-			for di := -rad; di <= rad; di++ {
-				for dj := -rad; dj <= rad; dj++ {
-					s += atClamp(in, i+di, j+dj) * k.At(di+rad, dj+rad)
+	out := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	parallel.For(in.Rows, parallel.RowGrain(in.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < in.Cols; j++ {
+				var s float64
+				for di := -rad; di <= rad; di++ {
+					for dj := -rad; dj <= rad; dj++ {
+						s += atClamp(in, i+di, j+dj) * k.At(di+rad, dj+rad)
+					}
 				}
+				out.Set(i, j, s)
 			}
-			out.Set(i, j, s)
 		}
-	}
+	})
 	r.Round(out.Data)
 	return out, nil
 }

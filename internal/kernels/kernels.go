@@ -13,10 +13,16 @@ package kernels
 import (
 	"fmt"
 
+	"shmt/internal/parallel"
 	"shmt/internal/quant"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
+
+// parGrain is the elements-per-chunk grain for parallel element-wise
+// sweeps. Chunk boundaries derive only from the data length, so outputs are
+// bit-identical at every worker count (see internal/parallel).
+const parGrain = 4096
 
 // Rounder degrades a stage's intermediate values to a device's native
 // precision, in place.
@@ -39,9 +45,11 @@ type F32 struct{}
 
 // Round implements Rounder.
 func (F32) Round(data []float64) {
-	for i, v := range data {
-		data[i] = float64(float32(v))
-	}
+	parallel.For(len(data), parGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = float64(float32(data[i]))
+		}
+	})
 }
 
 // Name implements Rounder.
@@ -53,9 +61,11 @@ type F16 struct{}
 
 // Round implements Rounder.
 func (F16) Round(data []float64) {
-	for i, v := range data {
-		data[i] = quant.FP16FromFloat(v).Float()
-	}
+	parallel.For(len(data), parGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = quant.FP16FromFloat(data[i]).Float()
+		}
+	})
 }
 
 // Name implements Rounder.
@@ -68,10 +78,14 @@ type Int8 struct{}
 
 // Round implements Rounder.
 func (Int8) Round(data []float64) {
+	// Calibration is a sequential min/max scan (its result is
+	// order-independent); the per-element round-trip parallelizes.
 	p := quant.CalibrateAffine(data)
-	for i, v := range data {
-		data[i] = p.DequantizeOne(p.QuantizeOne(v))
-	}
+	parallel.For(len(data), parGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = p.DequantizeOne(p.QuantizeOne(data[i]))
+		}
+	})
 }
 
 // Name implements Rounder.

@@ -1,0 +1,66 @@
+package kernels
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"shmt/internal/parallel"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// BenchmarkKernelsParallel measures the host-parallel hot kernels at
+// 1024×1024 with the worker pool forced to 1 and to NumCPU — the headline
+// numbers for the host-execution speedup (ISSUE 1). Outputs are
+// bit-identical at both settings (TestParallelBitIdentity), so the ratio is
+// pure host throughput. -benchmem also exposes the arena's effect: at
+// steady state the kernels allocate only their escaping output matrix.
+func BenchmarkKernelsParallel(b *testing.B) {
+	const side = 1024
+	in := randMatrix(side, side, 1, 0.1, 1)
+	in2 := randMatrix(side, side, 2, 0.1, 1)
+	gemmA := randMatrix(side, side, 3, -1, 1)
+	gemmB := randMatrix(side, side, 4, -1, 1)
+
+	cases := []struct {
+		name   string
+		op     vop.Opcode
+		inputs []*tensor.Matrix
+	}{
+		{"GEMM", vop.OpGEMM, []*tensor.Matrix{gemmA, gemmB}},
+		{"FFT", vop.OpFFT, []*tensor.Matrix{in}},
+		{"SRAD", vop.OpSRAD, []*tensor.Matrix{in}},
+		{"Sobel", vop.OpSobel, []*tensor.Matrix{in}},
+		{"Stencil", vop.OpStencil, []*tensor.Matrix{in, in2}},
+		{"DCT8x8", vop.OpDCT8x8, []*tensor.Matrix{in}},
+		{"FDWT97", vop.OpFDWT97, []*tensor.Matrix{in}},
+		{"ReduceSum", vop.OpReduceSum, []*tensor.Matrix{in}},
+		{"Add", vop.OpAdd, []*tensor.Matrix{in, in2}},
+		{"BlackScholes", vop.OpParabolicPDE, []*tensor.Matrix{in, in2}},
+	}
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%s/workers=%d", c.name, workers), func(b *testing.B) {
+				prev := parallel.SetWorkers(workers)
+				defer parallel.SetWorkers(prev)
+				b.SetBytes(int64(c.inputs[0].Len() * 8))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, err := Exec(c.op, c.inputs, nil, Exact{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Recycle the output so the steady-state alloc numbers
+					// reflect the hot path, not benchmark-retained garbage.
+					tensor.PutMatrix(out)
+				}
+			})
+		}
+	}
+}

@@ -4,9 +4,18 @@ import (
 	"fmt"
 	"math"
 
+	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
+
+// reduceChunk is the fixed leaf size of the deterministic reduction tree:
+// the input is cut into ⌈n/reduceChunk⌉ chunks, each reduced sequentially,
+// and the per-chunk partials are merged in chunk order. The tree's shape
+// depends only on n — never on the worker count — so reductions are
+// bit-identical at any parallelism, and inputs at or below one chunk take
+// exactly the legacy sequential path.
+const reduceChunk = 1 << 16
 
 // Reduction kernels produce canonical partial results so that per-partition
 // partials from different devices can be merged:
@@ -39,36 +48,24 @@ func execReduce(op vop.Opcode, inputs []*tensor.Matrix, a attrs, r Rounder) (*te
 	in := inputs[0]
 	switch op {
 	case vop.OpReduceSum:
-		out := tensor.NewMatrix(1, 1)
-		out.Data[0] = kahanSum(in.Data)
+		out := tensor.GetMatrixUninit(1, 1)
+		out.Data[0] = chunkedKahanSum(in.Data)
 		r.Round(out.Data)
 		return out, nil
 	case vop.OpReduceAverage:
-		out := tensor.NewMatrix(1, 2)
-		out.Data[0] = kahanSum(in.Data)
+		out := tensor.GetMatrixUninit(1, 2)
+		out.Data[0] = chunkedKahanSum(in.Data)
 		out.Data[1] = float64(in.Len())
 		r.Round(out.Data[:1]) // the count is exact bookkeeping, never rounded
 		return out, nil
 	case vop.OpReduceMax:
-		out := tensor.NewMatrix(1, 1)
-		m := math.Inf(-1)
-		for _, v := range in.Data {
-			if v > m {
-				m = v
-			}
-		}
-		out.Data[0] = m
+		out := tensor.GetMatrixUninit(1, 1)
+		out.Data[0] = chunkedExtreme(in.Data, math.Inf(-1), func(a, b float64) bool { return a > b })
 		r.Round(out.Data)
 		return out, nil
 	case vop.OpReduceMin:
-		out := tensor.NewMatrix(1, 1)
-		m := math.Inf(1)
-		for _, v := range in.Data {
-			if v < m {
-				m = v
-			}
-		}
-		out.Data[0] = m
+		out := tensor.GetMatrixUninit(1, 1)
+		out.Data[0] = chunkedExtreme(in.Data, math.Inf(1), func(a, b float64) bool { return a < b })
 		r.Round(out.Data)
 		return out, nil
 	case vop.OpReduceHist256:
@@ -77,29 +74,108 @@ func execReduce(op vop.Opcode, inputs []*tensor.Matrix, a attrs, r Rounder) (*te
 		if hi <= lo {
 			return nil, fmt.Errorf("kernels: reduce_hist256 range [%g,%g) is empty", lo, hi)
 		}
-		out := tensor.NewMatrix(1, 256)
+		out := tensor.GetMatrix(1, 256)
 		// The Edge TPU path quantizes the *input* before binning (binning
 		// itself is integer bookkeeping), so round a working copy.
 		data := in.Data
+		var scratch []float64
 		if _, exact := r.(Exact); !exact {
-			data = append([]float64(nil), in.Data...)
-			r.Round(data)
+			scratch = tensor.GetFloats(len(in.Data))
+			copy(scratch, in.Data)
+			r.Round(scratch)
+			data = scratch
 		}
 		scale := 256 / (hi - lo)
-		for _, v := range data {
-			bin := int((v - lo) * scale)
-			if bin < 0 {
-				bin = 0
+		chunks := (len(data) + reduceChunk - 1) / reduceChunk
+		if chunks <= 1 {
+			histInto(out.Data, data, lo, scale)
+		} else {
+			// Bin counts are small-integer adds — exact in float64 and
+			// order-free — so per-chunk histograms merged in chunk order
+			// equal the sequential scan bit for bit.
+			partials := tensor.GetFloats(chunks * 256)
+			for i := range partials {
+				partials[i] = 0
 			}
-			if bin > 255 {
-				bin = 255
+			parallel.For(len(data), reduceChunk, func(clo, chi int) {
+				histInto(partials[(clo/reduceChunk)*256:][:256], data[clo:chi], lo, scale)
+			})
+			for c := 0; c < chunks; c++ {
+				for i, v := range partials[c*256 : (c+1)*256] {
+					out.Data[i] += v
+				}
 			}
-			out.Data[bin]++
+			tensor.PutFloats(partials)
 		}
+		tensor.PutFloats(scratch)
 		return out, nil
 	default:
 		return nil, fmt.Errorf("kernels: %s is not a reduction", op)
 	}
+}
+
+// histInto bins vals into the 256-entry counts slice.
+func histInto(counts, vals []float64, lo, scale float64) {
+	for _, v := range vals {
+		bin := int((v - lo) * scale)
+		if bin < 0 {
+			bin = 0
+		}
+		if bin > 255 {
+			bin = 255
+		}
+		counts[bin]++
+	}
+}
+
+// chunkedKahanSum reduces vals through the fixed-shape tree: per-chunk Kahan
+// sums, merged with Kahan compensation in chunk order. A single chunk
+// degenerates to plain kahanSum, preserving the legacy sequential result.
+func chunkedKahanSum(vals []float64) float64 {
+	chunks := (len(vals) + reduceChunk - 1) / reduceChunk
+	if chunks <= 1 {
+		return kahanSum(vals)
+	}
+	partials := tensor.GetFloats(chunks)
+	parallel.For(len(vals), reduceChunk, func(lo, hi int) {
+		partials[lo/reduceChunk] = kahanSum(vals[lo:hi])
+	})
+	sum := kahanSum(partials)
+	tensor.PutFloats(partials)
+	return sum
+}
+
+// chunkedExtreme reduces vals with the better predicate (max or min) over
+// the same fixed chunk tree; comparison merge is exact at any order.
+func chunkedExtreme(vals []float64, id float64, better func(a, b float64) bool) float64 {
+	chunks := (len(vals) + reduceChunk - 1) / reduceChunk
+	if chunks <= 1 {
+		m := id
+		for _, v := range vals {
+			if better(v, m) {
+				m = v
+			}
+		}
+		return m
+	}
+	partials := tensor.GetFloats(chunks)
+	parallel.For(len(vals), reduceChunk, func(lo, hi int) {
+		m := id
+		for _, v := range vals[lo:hi] {
+			if better(v, m) {
+				m = v
+			}
+		}
+		partials[lo/reduceChunk] = m
+	})
+	m := id
+	for _, v := range partials {
+		if better(v, m) {
+			m = v
+		}
+	}
+	tensor.PutFloats(partials)
+	return m
 }
 
 // MergePartials combines per-partition reduction partials into the final VOP

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
@@ -16,7 +17,8 @@ import (
 // cross-device synchronization inside a VOP.
 //
 // Stage boundaries: gradient/coefficient computation, coefficient smoothing,
-// and the diffusion update (3 stages).
+// and the diffusion update (3 stages). Each stage reads only earlier-stage
+// grids, so its row-parallel sweep is bit-identical to the sequential loop.
 func execSRAD(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpSRAD, inputs, 1); err != nil {
 		return nil, err
@@ -27,62 +29,74 @@ func execSRAD(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, erro
 
 	rows, cols := in.Rows, in.Cols
 	// Stage 1: directional derivatives and the diffusion coefficient c.
-	c := tensor.NewMatrix(rows, cols)
-	dN := tensor.NewMatrix(rows, cols)
-	dS := tensor.NewMatrix(rows, cols)
-	dW := tensor.NewMatrix(rows, cols)
-	dE := tensor.NewMatrix(rows, cols)
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			jc := in.At(i, j)
-			if jc == 0 {
-				jc = 1e-12 // guard the division; SRAD inputs are positive intensities
-			}
-			n := atClamp(in, i-1, j) - jc
-			s := atClamp(in, i+1, j) - jc
-			w := atClamp(in, i, j-1) - jc
-			e := atClamp(in, i, j+1) - jc
-			dN.Set(i, j, n)
-			dS.Set(i, j, s)
-			dW.Set(i, j, w)
-			dE.Set(i, j, e)
+	c := tensor.GetMatrixUninit(rows, cols)
+	dN := tensor.GetMatrixUninit(rows, cols)
+	dS := tensor.GetMatrixUninit(rows, cols)
+	dW := tensor.GetMatrixUninit(rows, cols)
+	dE := tensor.GetMatrixUninit(rows, cols)
+	parallel.For(rows, parallel.RowGrain(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < cols; j++ {
+				jc := in.At(i, j)
+				if jc == 0 {
+					jc = 1e-12 // guard the division; SRAD inputs are positive intensities
+				}
+				n := atClamp(in, i-1, j) - jc
+				s := atClamp(in, i+1, j) - jc
+				w := atClamp(in, i, j-1) - jc
+				e := atClamp(in, i, j+1) - jc
+				dN.Set(i, j, n)
+				dS.Set(i, j, s)
+				dW.Set(i, j, w)
+				dE.Set(i, j, e)
 
-			g2 := (n*n + s*s + w*w + e*e) / (jc * jc)
-			l := (n + s + w + e) / jc
-			num := 0.5*g2 - 0.0625*l*l
-			den := 1 + 0.25*l
-			qsqr := num / (den * den)
-			// Diffusion coefficient, clamped to [0,1].
-			cv := 1 / (1 + (qsqr-q0sqr)/(q0sqr*(1+q0sqr)))
-			if cv < 0 {
-				cv = 0
+				g2 := (n*n + s*s + w*w + e*e) / (jc * jc)
+				l := (n + s + w + e) / jc
+				num := 0.5*g2 - 0.0625*l*l
+				den := 1 + 0.25*l
+				qsqr := num / (den * den)
+				// Diffusion coefficient, clamped to [0,1].
+				cv := 1 / (1 + (qsqr-q0sqr)/(q0sqr*(1+q0sqr)))
+				if cv < 0 {
+					cv = 0
+				}
+				if cv > 1 {
+					cv = 1
+				}
+				c.Set(i, j, cv)
 			}
-			if cv > 1 {
-				cv = 1
-			}
-			c.Set(i, j, cv)
 		}
-	}
+	})
 	r.Round(c.Data) // stage 1
 
 	// Stage 2: divergence using the south/east neighbours' coefficients.
-	div := tensor.NewMatrix(rows, cols)
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			cN := c.At(i, j)
-			cW := c.At(i, j)
-			cS := atClamp(c, i+1, j)
-			cE := atClamp(c, i, j+1)
-			div.Set(i, j, cN*dN.At(i, j)+cS*dS.At(i, j)+cW*dW.At(i, j)+cE*dE.At(i, j))
+	div := tensor.GetMatrixUninit(rows, cols)
+	parallel.For(rows, parallel.RowGrain(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < cols; j++ {
+				cN := c.At(i, j)
+				cW := c.At(i, j)
+				cS := atClamp(c, i+1, j)
+				cE := atClamp(c, i, j+1)
+				div.Set(i, j, cN*dN.At(i, j)+cS*dS.At(i, j)+cW*dW.At(i, j)+cE*dE.At(i, j))
+			}
 		}
-	}
+	})
 	r.Round(div.Data) // stage 2
+	tensor.PutMatrix(dN)
+	tensor.PutMatrix(dS)
+	tensor.PutMatrix(dW)
+	tensor.PutMatrix(dE)
+	tensor.PutMatrix(c)
 
 	// Stage 3: explicit update.
-	out := tensor.NewMatrix(rows, cols)
-	for i := range out.Data {
-		out.Data[i] = in.Data[i] + 0.25*lambda*div.Data[i]
-	}
+	out := tensor.GetMatrixUninit(rows, cols)
+	parallel.For(len(out.Data), parGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = in.Data[i] + 0.25*lambda*div.Data[i]
+		}
+	})
 	r.Round(out.Data) // stage 3
+	tensor.PutMatrix(div)
 	return out, nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"shmt/internal/kernels"
 	"shmt/internal/metrics"
+	"shmt/internal/parallel"
 	"shmt/internal/quant"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
@@ -48,32 +49,46 @@ func (m Model) Run(inputs []*tensor.Matrix, attrs map[string]float64) (*tensor.M
 	r := m.Rounder()
 	q := make([]*tensor.Matrix, len(inputs))
 	for i, in := range inputs {
-		q[i] = in.Clone()
-		r.Round(q[i].Data) // input quantization at the host/TPU boundary
+		c := tensor.GetMatrixUninit(in.Rows, in.Cols)
+		copy(c.Data, in.Data)
+		r.Round(c.Data) // input quantization at the host/TPU boundary
+		q[i] = c
 	}
-	return kernels.Exec(m.Op, q, attrs, r)
+	out, err := kernels.Exec(m.Op, q, attrs, r)
+	for _, c := range q {
+		tensor.PutMatrix(c) // kernels never retain or return their inputs
+	}
+	return out, err
 }
 
 // BlockInt8 quantizes per fixed-size block, the finer calibration QAT
 // delivers.
 type BlockInt8 struct{ Block int }
 
-// Round implements kernels.Rounder.
+// Round implements kernels.Rounder. Each block calibrates and requantizes
+// independently, and parallel.For's chunks at grain Block are exactly the
+// blocks, so the fan-out reproduces the sequential result bit for bit.
 func (b BlockInt8) Round(data []float64) {
 	blk := b.Block
 	if blk <= 0 {
 		blk = 64
 	}
-	for off := 0; off < len(data); off += blk {
-		end := off + blk
-		if end > len(data) {
-			end = len(data)
+	// Grain is a multiple of the block size, so chunk edges always land on
+	// block boundaries and every block is calibrated over exactly the same
+	// elements as the sequential loop.
+	grain := (4096 + blk - 1) / blk * blk
+	parallel.For(len(data), grain, func(lo, hi int) {
+		for off := lo; off < hi; off += blk {
+			end := off + blk
+			if end > hi {
+				end = hi
+			}
+			p := quant.CalibrateAffine(data[off:end])
+			for i := off; i < end; i++ {
+				data[i] = p.DequantizeOne(p.QuantizeOne(data[i]))
+			}
 		}
-		p := quant.CalibrateAffine(data[off:end])
-		for i := off; i < end; i++ {
-			data[i] = p.DequantizeOne(p.QuantizeOne(data[i]))
-		}
-	}
+	})
 }
 
 // Name implements kernels.Rounder.

@@ -1,0 +1,187 @@
+// Package parallel provides the host-side execution pool the SHMT runtime
+// uses to keep every core of the *host* machine busy while the virtual-time
+// cost model keeps describing the simulated platform. The two layers are
+// deliberately independent: virtual time is computed from the calibrated
+// device models and never observes host concurrency, while the actual kernel
+// arithmetic fans out over a bounded worker pool.
+//
+// Determinism contract: For splits [0, n) into fixed chunks derived only
+// from n and grain — never from the worker count or from scheduling order —
+// and every chunk writes a disjoint output range. A kernel whose sequential
+// loop is independent per element (or per row) therefore produces
+// bit-identical results with 1, 2, or GOMAXPROCS workers; the property
+// tests in internal/kernels assert exactly that.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the configured fan-out width for For. It defaults to
+// GOMAXPROCS and may be overridden by the SHMT_WORKERS environment variable
+// or SetWorkers (the shmt.Config.Workers option).
+var workers atomic.Int64
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	if s := os.Getenv("SHMT_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	workers.Store(int64(n))
+}
+
+// Workers returns the current fan-out width.
+func Workers() int { return int(workers.Load()) }
+
+// SetWorkers sets the fan-out width (clamped to ≥ 1) and returns the
+// previous value, so tests and options can save/restore it.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// The pool: GOMAXPROCS long-lived helper goroutines fed through a bounded
+// channel. Helpers are an accelerator, never a dependency — if the pool is
+// saturated (e.g. the concurrent engine's per-device workers all fan out at
+// once), For degrades to running every chunk on the calling goroutine, so
+// nested or concurrent use cannot deadlock.
+var (
+	poolOnce sync.Once
+	tasks    chan func()
+)
+
+func startPool() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	tasks = make(chan func(), 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range tasks {
+				f()
+			}
+		}()
+	}
+}
+
+// submit hands f to a pool helper if one can accept it without blocking.
+func submit(f func()) bool {
+	poolOnce.Do(startPool)
+	select {
+	case tasks <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// For runs fn over [0, n) split into chunks of grain elements (the last
+// chunk may be shorter). Chunk boundaries depend only on n and grain, and
+// chunks are claimed from an atomic counter, so the set of (lo, hi) calls is
+// identical for every worker count — only their interleaving varies. fn must
+// treat [lo, hi) as its exclusive output range.
+//
+// With one worker the same chunks run in order on the calling goroutine;
+// that is the "sequential path" the determinism contract is stated against.
+// A panic in any chunk is re-raised on the caller.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	w := Workers()
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		// Sequential path: same chunk sequence, in order, on the caller.
+		for lo := 0; lo < n; lo += grain {
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+
+	var (
+		next      atomic.Int64
+		panicked  atomic.Bool
+		panicOnce sync.Once
+		panicVal  any
+	)
+	work := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() {
+					panicVal = r
+					panicked.Store(true)
+				})
+			}
+		}()
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks || panicked.Load() {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		wg.Add(1)
+		if !submit(func() {
+			defer wg.Done()
+			work()
+		}) {
+			wg.Done()
+			break // pool saturated: the caller drains the counter alone
+		}
+	}
+	work()
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// targetChunkElems is the per-chunk work For aims at when a caller sizes
+// grains from an element count: large enough to amortize chunk claiming,
+// small enough to balance uneven rows.
+const targetChunkElems = 1 << 15
+
+// RowGrain returns the For grain (in rows) for a rows×cols sweep: enough
+// rows per chunk to cover ~targetChunkElems elements. Deterministic in the
+// shape alone.
+func RowGrain(cols int) int {
+	if cols < 1 {
+		cols = 1
+	}
+	g := targetChunkElems / cols
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

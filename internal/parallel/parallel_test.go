@@ -1,0 +1,120 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
+		prev := SetWorkers(w)
+		n := 10_001
+		hits := make([]int32, n)
+		For(n, 97, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		SetWorkers(prev)
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, h)
+			}
+		}
+	}
+}
+
+func TestForChunkBoundariesIndependentOfWorkers(t *testing.T) {
+	collect := func(w int) map[[2]int]bool {
+		prev := SetWorkers(w)
+		defer SetWorkers(prev)
+		got := make(chan [2]int, 64)
+		For(1000, 64, func(lo, hi int) { got <- [2]int{lo, hi} })
+		close(got)
+		set := map[[2]int]bool{}
+		for c := range got {
+			set[c] = true
+		}
+		return set
+	}
+	a, b := collect(1), collect(4)
+	if len(a) != len(b) {
+		t.Fatalf("chunk count differs: %d vs %d", len(a), len(b))
+	}
+	for c := range a {
+		if !b[c] {
+			t.Fatalf("chunk %v missing with 4 workers", c)
+		}
+	}
+}
+
+func TestForEmptyAndSingle(t *testing.T) {
+	ran := false
+	For(0, 8, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("For(0) must not invoke fn")
+	}
+	For(1, 8, func(lo, hi int) {
+		if lo != 0 || hi != 1 {
+			t.Fatalf("got [%d,%d)", lo, hi)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("For(1) must invoke fn once")
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	For(1000, 10, func(lo, hi int) {
+		if lo == 500 {
+			panic("boom")
+		}
+	})
+	t.Fatal("unreachable: panic must propagate")
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	prev := SetWorkers(0)
+	if Workers() != 1 {
+		t.Fatalf("SetWorkers(0) -> %d, want clamp to 1", Workers())
+	}
+	SetWorkers(prev)
+	if Workers() != prev {
+		t.Fatalf("restore failed: %d != %d", Workers(), prev)
+	}
+}
+
+func TestRowGrain(t *testing.T) {
+	if g := RowGrain(1 << 20); g != 1 {
+		t.Fatalf("huge cols grain = %d, want 1", g)
+	}
+	if g := RowGrain(0); g < 1 {
+		t.Fatalf("zero cols grain = %d", g)
+	}
+	if g := RowGrain(1024); g != targetChunkElems/1024 {
+		t.Fatalf("1024-col grain = %d", g)
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var total atomic.Int64
+	For(8, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(100, 7, func(l, h int) { total.Add(int64(h - l)) })
+		}
+	})
+	if total.Load() != 800 {
+		t.Fatalf("nested total = %d, want 800", total.Load())
+	}
+}

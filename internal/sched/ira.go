@@ -45,6 +45,9 @@ func (p IRASampling) Assign(ctx *Context, hs []*hlop.HLOP) (float64, error) {
 			break
 		}
 	}
+	// Equal-size partitions yield the same canary size, so memoize the cost
+	// model instead of re-evaluating it per HLOP.
+	etc := device.NewExecTimeCache()
 	for _, h := range hs {
 		vals := s.SampleRegion(h.Inputs[0], h.InputRegion())
 		h.Criticality = sampling.Criticality(vals)
@@ -52,7 +55,7 @@ func (p IRASampling) Assign(ctx *Context, hs []*hlop.HLOP) (float64, error) {
 		if cpu != nil {
 			// The canary *computation* is the expensive part: the kernel
 			// itself runs over the canary subset on the host.
-			overhead += cpu.ExecTime(h.Op, canaryElems) + cpu.DispatchOverhead()
+			overhead += etc.ExecTime(cpu, h.Op, canaryElems) + cpu.DispatchOverhead()
 		} else {
 			overhead += float64(canaryElems) * TouchCostStriding * 50 * ctx.hostScale()
 		}

@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// The scratch arena: size-bucketed sync.Pools for the float64, complex128
+// and Matrix buffers the runtime churns through on its hot path. The
+// partition → execute → aggregate loop allocates a partition block, a device
+// cast copy, kernel stage intermediates, and the result for every HLOP; at
+// steady state all of them cycle through these pools instead of the garbage
+// collector.
+//
+// Ownership rules are strict and simple: Get* transfers exclusive ownership
+// to the caller; Put* transfers it back and the buffer must not be touched
+// afterwards. Buffers that escape to user code (Report.Output, results a
+// test holds on to) are simply never Put — the pools treat them as ordinary
+// garbage, so forgetting to Put is always safe, double-Putting never is.
+//
+// Buckets are powers of two: bucket b serves requests of up to 1<<b
+// elements and every pooled buffer in it has capacity ≥ 1<<b, so a Get can
+// always reslice a pooled buffer to the requested length.
+
+const arenaBuckets = 48 // 1<<47 elements ≫ any addressable tensor
+
+var (
+	floatPools   [arenaBuckets]sync.Pool // holds []float64
+	complexPools [arenaBuckets]sync.Pool // holds []complex128
+	matrixPools  [arenaBuckets]sync.Pool // holds *Matrix
+)
+
+// bucketCeil returns the smallest b with 1<<b ≥ n (n ≥ 1).
+func bucketCeil(n int) int { return bits.Len(uint(n - 1)) }
+
+// bucketFloor returns the largest b with 1<<b ≤ c (c ≥ 1).
+func bucketFloor(c int) int { return bits.Len(uint(c)) - 1 }
+
+// GetFloats returns a length-n float64 scratch slice with unspecified
+// contents. The caller owns it until PutFloats.
+func GetFloats(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	b := bucketCeil(n)
+	if b >= arenaBuckets {
+		return make([]float64, n)
+	}
+	if v := floatPools[b].Get(); v != nil {
+		return v.([]float64)[:n]
+	}
+	return make([]float64, n, 1<<b)
+}
+
+// PutFloats returns a slice obtained from GetFloats (or any float64 slice
+// the caller exclusively owns) to the arena.
+func PutFloats(s []float64) {
+	c := cap(s)
+	if c == 0 {
+		return
+	}
+	if b := bucketFloor(c); b < arenaBuckets {
+		floatPools[b].Put(s[:0:c])
+	}
+}
+
+// GetComplex returns a length-n complex128 scratch slice with unspecified
+// contents.
+func GetComplex(n int) []complex128 {
+	if n <= 0 {
+		return nil
+	}
+	b := bucketCeil(n)
+	if b >= arenaBuckets {
+		return make([]complex128, n)
+	}
+	if v := complexPools[b].Get(); v != nil {
+		return v.([]complex128)[:n]
+	}
+	return make([]complex128, n, 1<<b)
+}
+
+// PutComplex returns a slice obtained from GetComplex to the arena.
+func PutComplex(s []complex128) {
+	c := cap(s)
+	if c == 0 {
+		return
+	}
+	if b := bucketFloor(c); b < arenaBuckets {
+		complexPools[b].Put(s[:0:c])
+	}
+}
+
+// GetMatrix returns a zeroed rows×cols matrix from the arena — the pooled
+// equivalent of NewMatrix.
+func GetMatrix(rows, cols int) *Matrix {
+	m := GetMatrixUninit(rows, cols)
+	clearFloats(m.Data)
+	return m
+}
+
+// GetMatrixUninit returns a rows×cols matrix whose contents are
+// unspecified; the caller must write every element before reading any.
+func GetMatrixUninit(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		return NewMatrix(rows, cols) // panics with the canonical message
+	}
+	n := rows * cols
+	if n == 0 {
+		return &Matrix{Rows: rows, Cols: cols}
+	}
+	b := bucketCeil(n)
+	if b >= arenaBuckets {
+		return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n)}
+	}
+	if v := matrixPools[b].Get(); v != nil {
+		m := v.(*Matrix)
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:n]
+		return m
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n, 1<<b)}
+}
+
+// PutMatrix returns a matrix to the arena. The matrix (and any alias of its
+// Data) must not be used afterwards. Matrices from NewMatrix or FromSlice
+// may also be Put; nil and empty matrices are ignored.
+func PutMatrix(m *Matrix) {
+	if m == nil {
+		return
+	}
+	c := cap(m.Data)
+	if c == 0 {
+		return
+	}
+	if b := bucketFloor(c); b < arenaBuckets {
+		m.Data = m.Data[:0:c]
+		m.Rows, m.Cols = 0, 0
+		matrixPools[b].Put(m)
+	}
+}
+
+// clearFloats zeroes s (compiles to a memclr).
+func clearFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}

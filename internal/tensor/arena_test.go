@@ -1,0 +1,102 @@
+package tensor
+
+import "testing"
+
+func TestArenaMatrixRoundTrip(t *testing.T) {
+	m := GetMatrix(5, 7)
+	if m.Rows != 5 || m.Cols != 7 || len(m.Data) != 35 {
+		t.Fatalf("shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("GetMatrix not zeroed at %d: %g", i, v)
+		}
+	}
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	PutMatrix(m)
+
+	// A fresh zeroed Get must never expose the previous contents.
+	m2 := GetMatrix(5, 7)
+	for i, v := range m2.Data {
+		if v != 0 {
+			t.Fatalf("recycled matrix not zeroed at %d: %g", i, v)
+		}
+	}
+	PutMatrix(m2)
+}
+
+func TestArenaReusesCapacityAcrossSizes(t *testing.T) {
+	m := GetMatrixUninit(8, 8) // bucket 6 (64 elements)
+	base := &m.Data[0]
+	PutMatrix(m)
+	m2 := GetMatrixUninit(5, 9) // 45 elements, same bucket
+	if len(m2.Data) != 45 {
+		t.Fatalf("len = %d", len(m2.Data))
+	}
+	if &m2.Data[0] != base {
+		t.Log("arena did not reuse the buffer (GC or another pool user); not fatal")
+	}
+	PutMatrix(m2)
+}
+
+func TestArenaZeroAndNil(t *testing.T) {
+	PutMatrix(nil)
+	PutMatrix(&Matrix{})
+	m := GetMatrixUninit(0, 4)
+	if m.Rows != 0 || m.Cols != 4 || len(m.Data) != 0 {
+		t.Fatalf("empty matrix shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	PutFloats(nil)
+	if s := GetFloats(0); s != nil {
+		t.Fatalf("GetFloats(0) = %v", s)
+	}
+	PutComplex(nil)
+	if s := GetComplex(0); s != nil {
+		t.Fatalf("GetComplex(0) = %v", s)
+	}
+}
+
+func TestArenaSlices(t *testing.T) {
+	f := GetFloats(100)
+	if len(f) != 100 || cap(f) < 100 {
+		t.Fatalf("floats len %d cap %d", len(f), cap(f))
+	}
+	PutFloats(f)
+	c := GetComplex(33)
+	if len(c) != 33 {
+		t.Fatalf("complex len %d", len(c))
+	}
+	PutComplex(c)
+}
+
+func TestPutMatrixAcceptsForeignAllocations(t *testing.T) {
+	// NewMatrix capacities are exact (not power-of-two); the floor bucket
+	// must still guarantee capacity ≥ bucket size on the way out.
+	m := NewMatrix(3, 33) // 99 elements, floor bucket 6 (64)
+	PutMatrix(m)
+	got := GetMatrixUninit(8, 8) // bucket 6 wants cap ≥ 64
+	if cap(got.Data) < 64 {
+		t.Fatalf("recycled capacity %d < 64", cap(got.Data))
+	}
+	PutMatrix(got)
+}
+
+func TestCopyOutStillCorrectFromArena(t *testing.T) {
+	src := NewMatrix(4, 4)
+	for i := range src.Data {
+		src.Data[i] = float64(i)
+	}
+	blk, err := CopyOut(src, Region{Row: 1, Col: 1, Height: 2, Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 6, 9, 10}
+	for i, v := range want {
+		if blk.Data[i] != v {
+			t.Fatalf("blk.Data[%d] = %g want %g", i, blk.Data[i], v)
+		}
+	}
+	PutMatrix(blk)
+}

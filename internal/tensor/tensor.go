@@ -96,13 +96,15 @@ func (r Region) String() string {
 // ErrRegionBounds is returned when a region does not fit in its matrix.
 var ErrRegionBounds = errors.New("tensor: region out of bounds")
 
-// CopyOut extracts region r of src into a freshly allocated Height×Width
-// matrix. It is the gather half of the runtime's cudaMemcpy2D equivalent.
+// CopyOut extracts region r of src into a Height×Width matrix drawn from
+// the scratch arena (every element is overwritten, so no zeroing pass is
+// needed). It is the gather half of the runtime's cudaMemcpy2D equivalent;
+// callers on the steady-state path return the block with PutMatrix.
 func CopyOut(src *Matrix, r Region) (*Matrix, error) {
 	if !r.In(src.Rows, src.Cols) {
 		return nil, fmt.Errorf("%w: %v in %dx%d", ErrRegionBounds, r, src.Rows, src.Cols)
 	}
-	dst := NewMatrix(r.Height, r.Width)
+	dst := GetMatrixUninit(r.Height, r.Width)
 	for i := 0; i < r.Height; i++ {
 		srcOff := (r.Row+i)*src.Cols + r.Col
 		copy(dst.Data[i*r.Width:(i+1)*r.Width], src.Data[srcOff:srcOff+r.Width])

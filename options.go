@@ -91,6 +91,12 @@ type Config struct {
 	// — same HLOP count, same per-HLOP costs, same overhead ratios — while
 	// quality is measured on the smaller (size-invariant) data. Default 1.
 	VirtualScale float64
+	// Workers caps the host worker-pool size kernels fan out over (see
+	// internal/parallel). 0 keeps the current setting — GOMAXPROCS, or the
+	// SHMT_WORKERS environment variable when set. 1 forces sequential
+	// execution. Results are bit-identical at every setting; the pool is
+	// process-wide, so the last session configured wins.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

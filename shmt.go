@@ -13,6 +13,7 @@ import (
 	"shmt/internal/energy"
 	"shmt/internal/hlop"
 	"shmt/internal/interconnect"
+	"shmt/internal/parallel"
 	"shmt/internal/sampling"
 	"shmt/internal/sched"
 	"shmt/internal/tensor"
@@ -92,6 +93,9 @@ type Session struct {
 // QAWS-TS policy, paper-default partitioning).
 func NewSession(cfg Config) (*Session, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Workers > 0 {
+		parallel.SetWorkers(cfg.Workers)
+	}
 
 	var devs []device.Device
 	if cfg.UseCPU {
