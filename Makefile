@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench benchsmoke experiments examples fmt vet clean
+.PHONY: all check build test race bench benchsmoke benchtelemetry experiments examples fmt vet clean
 
 all: check
 
 # check is the pre-merge gate: build, vet, tests, the race detector over the
-# whole module (the host worker pool runs everywhere now), and a one-shot
-# benchmark pass so the bench suites can't silently rot.
-check: build vet test race benchsmoke
+# whole module (the host worker pool runs everywhere now), a one-shot
+# benchmark pass so the bench suites can't silently rot, and the telemetry
+# overhead benchmark so instrumentation cost stays visible.
+check: build vet test race benchsmoke benchtelemetry
 
 build:
 	$(GO) build ./...
@@ -23,8 +24,19 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# benchsmoke also drives shmtrun's telemetry exporters end to end: the run
+# must produce a loadable Perfetto trace and a JSON report.
 benchsmoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/shmtrun -bench Sobel -side 256 -partitions 8 \
+		-trace-out /tmp/shmt-smoke-trace.json -report-out /tmp/shmt-smoke-report.json
+	@rm -f /tmp/shmt-smoke-trace.json /tmp/shmt-smoke-report.json
+
+# benchtelemetry measures the instrumentation overhead (enabled vs disabled
+# engine run); BENCH_telemetry.json snapshots the result.
+benchtelemetry:
+	$(GO) test -run='^$$' -bench=BenchmarkTelemetryOverhead -benchmem \
+		-benchtime=0.3s ./internal/core/
 
 # Regenerate every table and figure of the paper's evaluation (plus the
 # ablations and the seed-stability study). Takes several minutes.

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,19 +22,35 @@ import (
 	"time"
 
 	"shmt/internal/bench"
+	"shmt/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id: all, fig1, fig2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, table2, table3, ablation, stability")
-		side       = flag.Int("side", 2048, "input edge length (the harness virtually scales to the paper's 8192)")
-		seed       = flag.Int64("seed", 1, "workload/sampling seed")
-		partitions = flag.Int("partitions", 64, "HLOPs per VOP")
-		concurrent = flag.Bool("concurrent", false, "use the goroutine engine instead of the deterministic one")
-		max64m     = flag.Bool("max64m", false, "extend fig12 to the paper's 64M-element point (slow)")
-		format     = flag.String("format", "text", "output format: text, csv, json")
+		exp          = flag.String("exp", "all", "experiment id: all, fig1, fig2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, table2, table3, ablation, stability")
+		side         = flag.Int("side", 2048, "input edge length (the harness virtually scales to the paper's 8192)")
+		seed         = flag.Int64("seed", 1, "workload/sampling seed")
+		partitions   = flag.Int("partitions", 64, "HLOPs per VOP")
+		concurrent   = flag.Bool("concurrent", false, "use the goroutine engine instead of the deterministic one")
+		max64m       = flag.Bool("max64m", false, "extend fig12 to the paper's 64M-element point (slow)")
+		format       = flag.String("format", "text", "output format: text, csv, json")
+		telemetryOut = flag.String("telemetry-out", "", "write per-experiment telemetry counter snapshots (JSON) to this file")
+		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus metrics on this address while experiments run")
 	)
 	flag.Parse()
+	var telSnaps map[string]telemetry.Snapshot
+	if *telemetryOut != "" || *metricsAddr != "" {
+		telemetry.Enable()
+		telSnaps = map[string]telemetry.Snapshot{}
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving Prometheus metrics on http://%s/metrics\n", srv.Addr())
+	}
 	emit = func(t *bench.Table) {
 		if err := t.Write(os.Stdout, bench.Format(*format)); err != nil {
 			fatal(err)
@@ -59,15 +76,18 @@ func main() {
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "running policy matrix (%d policies x %d benchmarks at %dx%d)...\n",
 			len(bench.EvalPolicies()), len(bench.Benchmarks), *side, *side)
+		base := telemetryBase(telSnaps)
 		var err error
 		matrix, err = bench.RunMatrix(bench.EvalPolicies(), o)
 		if err != nil {
 			fatal(err)
 		}
+		telemetrySnap(telSnaps, "policy-matrix", base)
 		fmt.Fprintf(os.Stderr, "policy matrix done in %v\n\n", time.Since(start).Round(time.Second))
 	}
 
 	for _, id := range ids {
+		base := telemetryBase(telSnaps)
 		switch id {
 		case "table1":
 			emit(bench.Table1())
@@ -144,7 +164,42 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", id))
 		}
+		telemetrySnap(telSnaps, id, base)
 	}
+
+	if *telemetryOut != "" {
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(telSnaps); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote per-experiment telemetry snapshots to %s\n", *telemetryOut)
+	}
+}
+
+// telemetryBase snapshots the registry before an experiment (nil when
+// telemetry collection is off).
+func telemetryBase(snaps map[string]telemetry.Snapshot) telemetry.Snapshot {
+	if snaps == nil {
+		return nil
+	}
+	return telemetry.Default.Snapshot()
+}
+
+// telemetrySnap stores the counter delta one experiment produced.
+func telemetrySnap(snaps map[string]telemetry.Snapshot, id string, base telemetry.Snapshot) {
+	if snaps == nil {
+		return
+	}
+	snaps[id] = telemetry.Default.Snapshot().Delta(base)
 }
 
 func fatal(err error) {

@@ -6,12 +6,21 @@
 //
 //	shmtrun -bench Sobel -policy QAWS-TS
 //	shmtrun -bench FFT -policy work-stealing -side 1024 -trace
+//	shmtrun -bench Sobel --trace-out=run.json --metrics-addr=:9090
 //	shmtrun -list
+//
+// --trace-out writes the run's telemetry spans (virtual device lanes,
+// wall-clock host lanes, steal flow arrows) as Chrome trace-event JSON —
+// load it in ui.perfetto.dev or chrome://tracing. --metrics-addr serves
+// Prometheus text exposition on ADDR/metrics while the run executes
+// (SHMT_METRICS_ADDR works too); --report-out writes the structured JSON
+// telemetry report.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -22,16 +31,19 @@ import (
 
 func main() {
 	var (
-		name       = flag.String("bench", "Sobel", "benchmark name (see -list)")
-		policy     = flag.String("policy", string(shmt.PolicyQAWSTS), "scheduling policy")
-		side       = flag.Int("side", 2048, "input edge length")
-		seed       = flag.Int64("seed", 1, "workload seed")
-		partitions = flag.Int("partitions", 64, "HLOPs per VOP")
-		rate       = flag.Float64("rate", bench.PaperSamplingRate, "QAWS sampling rate")
-		concurrent = flag.Bool("concurrent", false, "use the goroutine engine")
-		noScale    = flag.Bool("noscale", false, "disable virtual full-size scaling")
-		trace      = flag.Bool("trace", false, "print the per-HLOP execution trace summary")
-		list       = flag.Bool("list", false, "list benchmarks and policies, then exit")
+		name        = flag.String("bench", "Sobel", "benchmark name (see -list)")
+		policy      = flag.String("policy", string(shmt.PolicyQAWSTS), "scheduling policy")
+		side        = flag.Int("side", 2048, "input edge length")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		partitions  = flag.Int("partitions", 64, "HLOPs per VOP")
+		rate        = flag.Float64("rate", bench.PaperSamplingRate, "QAWS sampling rate")
+		concurrent  = flag.Bool("concurrent", false, "use the goroutine engine")
+		noScale     = flag.Bool("noscale", false, "disable virtual full-size scaling")
+		trace       = flag.Bool("trace", false, "print the per-HLOP execution trace summary")
+		traceOut    = flag.String("trace-out", "", "write Chrome trace-event JSON (Perfetto) to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address during the run (also SHMT_METRICS_ADDR)")
+		reportOut   = flag.String("report-out", "", "write the structured JSON telemetry report to this file")
+		list        = flag.Bool("list", false, "list benchmarks and policies, then exit")
 	)
 	flag.Parse()
 
@@ -58,16 +70,35 @@ func main() {
 
 	cfg := o.SessionConfig(b, shmt.PolicyName(*policy))
 	cfg.RecordTrace = *trace
+	if *traceOut != "" || *reportOut != "" {
+		cfg.Telemetry.Enabled = true
+	}
+	cfg.Telemetry.MetricsAddr = *metricsAddr
 	s, err := shmt.NewSession(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer s.Close()
+	if addr := s.MetricsAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "serving Prometheus metrics on http://%s/metrics\n", addr)
+	}
 
 	inputs := b.Inputs(*side, *seed)
 	rep, err := s.Execute(b.Op, inputs, b.Attrs)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, s.WriteTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Perfetto trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+	if *reportOut != "" {
+		if err := writeFile(*reportOut, s.TelemetryReport().WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote telemetry report to %s\n", *reportOut)
 	}
 
 	base, err := bench.Run(b, shmt.PolicyGPUBaseline, o)
@@ -116,4 +147,17 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "shmtrun:", err)
 	os.Exit(1)
+}
+
+// writeFile streams render into path.
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -8,6 +8,7 @@ import (
 	"shmt/internal/hlop"
 	"shmt/internal/interconnect"
 	"shmt/internal/sched"
+	"shmt/internal/telemetry"
 	"shmt/internal/trace"
 	"shmt/internal/vop"
 )
@@ -49,6 +50,11 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 		pol = sched.WorkStealing{}
 	}
 	ctx := &sched.Context{Reg: e.Reg, Seed: e.Seed, HostScale: maxf(e.HostScale, 1)}
+	rt := e.newRunTel(pol.Name())
+	var phaseT float64
+	if rt != nil {
+		phaseT = rt.now()
+	}
 
 	// Partition and assign per VOP (window semantics stay per VOP), then
 	// interleave into one pool with globally unique IDs.
@@ -66,6 +72,9 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 			return nil, fmt.Errorf("core: batch vop %d: %w", i, err)
 		}
 		overhead += ovh
+		if rt != nil {
+			rt.noteAssignments(hs)
+		}
 		for _, h := range hs {
 			h.ID = nextID
 			nextID++
@@ -74,6 +83,11 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 		perVOP[i] = hs
 	}
 	pool := interleave(perVOP)
+	if rt != nil {
+		// Batch partitioning and assignment interleave per VOP; account them
+		// as one scheduling phase.
+		phaseT = rt.phase(telemetry.PhaseSchedule, phaseT)
+	}
 
 	tr := trace.New()
 	for i, v := range vops {
@@ -83,12 +97,15 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 	var res *runResult
 	var err error
 	if e.Concurrent {
-		res, err = e.runConcurrent(ctx, pol, pool, overhead, tr)
+		res, err = e.runConcurrent(ctx, pol, pool, overhead, tr, rt)
 	} else {
-		res, err = e.runDeterministic(ctx, pol, pool, overhead, tr)
+		res, err = e.runDeterministic(ctx, pol, pool, overhead, tr, rt)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if rt != nil {
+		phaseT = rt.phase(telemetry.PhaseExecute, phaseT)
 	}
 
 	// Split completions by owning VOP. Splits inherit their parent pointer,
@@ -148,6 +165,10 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 	}
 	batch.Busy["cpu"] += overhead + aggBusy
 	batch.Energy = energy.DefaultModel().Energy(energy.Usage{Makespan: batch.Makespan, Busy: batch.Busy})
+	if rt != nil {
+		rt.phase(telemetry.PhaseAggregate, phaseT)
+		rt.runs.Inc()
+	}
 	return batch, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"shmt/internal/device"
 	"shmt/internal/hlop"
 	"shmt/internal/sched"
+	"shmt/internal/telemetry"
 	"shmt/internal/trace"
 )
 
@@ -23,12 +24,15 @@ import (
 // concurrent execution, so this engine validates that the runtime's
 // invariants do not depend on the deterministic event ordering.
 func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
-	hs []*hlop.HLOP, overhead float64, tr *trace.Trace) (*runResult, error) {
+	hs []*hlop.HLOP, overhead float64, tr *trace.Trace, rt *runTel) (*runResult, error) {
 
 	n := e.Reg.Len()
 	queues := make([]*device.TaskQueue[*hlop.HLOP], n)
 	for i := 0; i < n; i++ {
 		queues[i] = device.NewTaskQueue[*hlop.HLOP]()
+	}
+	if rt != nil {
+		rt.instrumentQueues(queues)
 	}
 	for _, h := range hs {
 		queues[h.AssignedQueue].Push(h)
@@ -39,7 +43,7 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 	var nextID atomic.Int64
 	nextID.Store(int64(len(hs)))
 
-	var mu sync.Mutex // guards trace, retries, firstErr
+	var mu sync.Mutex // guards retries, firstErr (the trace locks internally)
 	retries := map[*hlop.HLOP]int{}
 	var firstErr error
 
@@ -79,11 +83,12 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 			dev := e.Reg.Get(qi)
 			etc := device.NewExecTimeCache() // per-worker: the cache is not concurrency-safe
 			for outstanding.Load() > 0 && !aborted.Load() {
-				h, stolen := e.obtainConcurrent(ctx, pol, queues, qi)
+				h, victim := e.obtainConcurrent(ctx, pol, queues, qi)
 				if h == nil {
 					runtime.Gosched()
 					continue
 				}
+				stolen := victim >= 0
 				result, execErr := dev.Execute(h.Op, h.Inputs, h.Attrs)
 				if execErr != nil {
 					if errors.Is(execErr, device.ErrTooLarge) {
@@ -92,12 +97,14 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 							fail(fmt.Errorf("core: HLOP %d overflows %s and cannot split: %w", h.ID, dev.Name(), splitErr))
 							return
 						}
+						telemetry.HLOPSplits.Inc()
 						st.devTime += splitCost
 						outstanding.Add(1)
 						queues[qi].PushFront(b)
 						queues[qi].PushFront(a)
 						continue
 					}
+					telemetry.HLOPRetries.Inc()
 					mu.Lock()
 					retries[h]++
 					r := retries[h]
@@ -133,14 +140,15 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 				// the runtime drains for aggregation (§3.3.1).
 				h.Finish = st.devTime
 				queues[qi].Complete(h)
-				mu.Lock()
+				if rt != nil {
+					rt.hlopDone(qi, victim, h, start, st.devTime)
+				}
 				tr.Record(trace.Event{
 					HLOP: h.ID, Device: dev.Name(), Op: h.Op.String(),
 					Start: start, End: st.devTime,
 					BytesIn: h.InputBytes(dev.ElemBytes()), BytesOut: h.OutputBytes(dev.ElemBytes()),
 					Stolen: stolen || h.AssignedQueue != qi, Critical: h.Critical,
 				})
-				mu.Unlock()
 				outstanding.Add(-1)
 			}
 		}(i, st)
@@ -173,16 +181,18 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 }
 
 // obtainConcurrent pops from the worker's own queue, then steals from the
-// most-loaded permitted victim.
+// most-loaded permitted victim. The second return is the victim queue index
+// for a stolen HLOP, -1 when the worker's own queue supplied the work.
 func (e *Engine) obtainConcurrent(ctx *sched.Context, pol sched.Policy,
-	queues []*device.TaskQueue[*hlop.HLOP], qi int) (*hlop.HLOP, bool) {
+	queues []*device.TaskQueue[*hlop.HLOP], qi int) (*hlop.HLOP, int) {
 
 	if h, ok := queues[qi].Pop(); ok {
-		return h, false
+		return h, -1
 	}
 	if !pol.StealingEnabled() {
-		return nil, false
+		return nil, -1
 	}
+	telemetry.StealAttempts.Inc()
 	// Try victims in descending queue-depth order; re-check CanSteal on the
 	// actually stolen item (the depth snapshot races with other workers, so
 	// validate after the fact and put forbidden items back).
@@ -203,10 +213,11 @@ func (e *Engine) obtainConcurrent(ctx *sched.Context, pol sched.Policy,
 			continue
 		}
 		if !pol.CanSteal(ctx, qi, c.q, h) {
+			telemetry.StealRejected.Inc()
 			queues[c.q].Push(h) // put it back; not ours to take
 			continue
 		}
-		return h, true
+		return h, c.q
 	}
-	return nil, false
+	return nil, -1
 }

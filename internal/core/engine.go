@@ -24,6 +24,7 @@ import (
 	"shmt/internal/hlop"
 	"shmt/internal/interconnect"
 	"shmt/internal/sched"
+	"shmt/internal/telemetry"
 	"shmt/internal/tensor"
 	"shmt/internal/trace"
 	"shmt/internal/vop"
@@ -52,6 +53,10 @@ type Engine struct {
 	RecordTrace bool
 	// Concurrent switches to the goroutine engine.
 	Concurrent bool
+	// Telemetry, when non-nil, receives lifecycle and device-lane spans for
+	// every run (see internal/telemetry); process-global counters are
+	// maintained whenever telemetry is enabled, recorder or not.
+	Telemetry *telemetry.Recorder
 }
 
 // Report is the outcome of one VOP execution.
@@ -95,9 +100,17 @@ func (e *Engine) Run(v *vop.VOP) (*Report, error) {
 	if pol == nil {
 		pol = sched.WorkStealing{}
 	}
+	rt := e.newRunTel(pol.Name())
+	var phaseT float64
+	if rt != nil {
+		phaseT = rt.now()
+	}
 	hs, err := hlop.Partition(v, e.Spec)
 	if err != nil {
 		return nil, err
+	}
+	if rt != nil {
+		phaseT = rt.phase(telemetry.PhasePartition, phaseT)
 	}
 	hostScale := e.HostScale
 	if hostScale < 1 {
@@ -108,22 +121,33 @@ func (e *Engine) Run(v *vop.VOP) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if rt != nil {
+		rt.noteAssignments(hs)
+		phaseT = rt.phase(telemetry.PhaseSchedule, phaseT)
+	}
 	tr := trace.New()
 	e.accountFootprint(tr, v, hs)
 
 	var res *runResult
 	if e.Concurrent {
-		res, err = e.runConcurrent(ctx, pol, hs, overhead, tr)
+		res, err = e.runConcurrent(ctx, pol, hs, overhead, tr, rt)
 	} else {
-		res, err = e.runDeterministic(ctx, pol, hs, overhead, tr)
+		res, err = e.runDeterministic(ctx, pol, hs, overhead, tr, rt)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if rt != nil {
+		phaseT = rt.phase(telemetry.PhaseExecute, phaseT)
 	}
 
 	out, aggBytes, err := aggregate(v, res.done)
 	if err != nil {
 		return nil, err
+	}
+	if rt != nil {
+		rt.phase(telemetry.PhaseAggregate, phaseT)
+		rt.runs.Inc()
 	}
 
 	// Aggregation timeline: the host drains completion queues while devices
@@ -180,7 +204,7 @@ type runResult struct {
 // advance that device's clock by the modelled dispatch, exposed transfer,
 // and execution costs.
 func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
-	hs []*hlop.HLOP, overhead float64, tr *trace.Trace) (*runResult, error) {
+	hs []*hlop.HLOP, overhead float64, tr *trace.Trace, rt *runTel) (*runResult, error) {
 
 	n := e.Reg.Len()
 	queues := make([][]*hlop.HLOP, n)
@@ -238,6 +262,7 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 				if splitErr != nil {
 					return nil, fmt.Errorf("core: HLOP %d overflows %s and cannot split: %w", h.ID, dev.Name(), splitErr)
 				}
+				telemetry.HLOPSplits.Inc()
 				nextID++
 				remaining++ // one HLOP became two
 				devTime[pick] += splitCost
@@ -245,6 +270,7 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 				continue
 			}
 			// Any other failure: requeue on the most accurate other device.
+			telemetry.HLOPRetries.Inc()
 			retries[h]++
 			if retries[h] >= maxExecuteRetries {
 				return nil, fmt.Errorf("core: HLOP %d failed on %s after retries: %w", h.ID, dev.Name(), execErr)
@@ -273,6 +299,9 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 		h.ExecQueue = pick
 		res.done = append(res.done, doneHLOP{h: h, finish: devTime[pick]})
 		remaining--
+		if rt != nil {
+			rt.hlopDone(pick, victim, h, start, devTime[pick])
+		}
 		tr.Record(trace.Event{
 			HLOP: h.ID, Device: dev.Name(), Op: h.Op.String(),
 			Start: start, End: devTime[pick],
@@ -300,6 +329,7 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 // relatively fast at. For single-opcode runs every victim scores equally and
 // this reduces to the paper's steal-from-the-deepest-queue rule.
 func (e *Engine) pickVictim(ctx *sched.Context, pol sched.Policy, queues [][]*hlop.HLOP, thief int, etc *device.ExecTimeCache) int {
+	telemetry.StealAttempts.Inc()
 	thiefDev := e.Reg.Get(thief)
 	best, bestLen := -1, 0
 	bestScore := 0.0
@@ -309,6 +339,7 @@ func (e *Engine) pickVictim(ctx *sched.Context, pol sched.Policy, queues [][]*hl
 		}
 		tail := queues[vq][len(queues[vq])-1]
 		if !pol.CanSteal(ctx, thief, vq, tail) {
+			telemetry.StealRejected.Inc()
 			continue
 		}
 		// Relative affinity: how much faster the thief runs this opcode

@@ -101,7 +101,7 @@ func TestEngineConservation(t *testing.T) {
 	}
 	// Every HLOP executes exactly once.
 	seen := map[int]int{}
-	for _, ev := range rep.Trace.Events {
+	for _, ev := range rep.Trace.Events() {
 		seen[ev.HLOP]++
 	}
 	if len(seen) != rep.HLOPs {
@@ -123,7 +123,7 @@ func TestEngineQAWSNeverRunsCriticalOnTPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, ev := range rep.Trace.Events {
+	for _, ev := range rep.Trace.Events() {
 		if ev.Critical && ev.Device == "tpu" {
 			t.Fatal("critical HLOP executed on the TPU despite QAWS")
 		}
@@ -293,7 +293,7 @@ func TestConcurrentEngineMatchesInvariants(t *testing.T) {
 		t.Fatalf("HLOPs = %d", rep.HLOPs)
 	}
 	seen := map[int]int{}
-	for _, ev := range rep.Trace.Events {
+	for _, ev := range rep.Trace.Events() {
 		seen[ev.HLOP]++
 		if ev.Critical && ev.Device == "tpu" {
 			t.Fatal("concurrent engine violated the QAWS stealing constraint")

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"time"
+
+	"shmt/internal/device"
+	"shmt/internal/hlop"
+	"shmt/internal/telemetry"
+)
+
+// runTel bundles one run's telemetry state: the per-device counter pointers
+// (resolved once so the hot loops never take the registry locks) and the
+// optional span recorder. A nil *runTel disables everything; the engines
+// test it once per event.
+type runTel struct {
+	rec   *telemetry.Recorder
+	start time.Time
+	names []string // device name per queue index
+
+	runs     *telemetry.Counter
+	executed []*telemetry.Counter
+	steals   []*telemetry.Counter
+	assigned []*telemetry.Counter
+	depth    []*telemetry.Gauge
+	wait     []*telemetry.Histogram
+	phases   map[string]*telemetry.Histogram
+}
+
+// newRunTel returns the run's telemetry bundle, or nil when telemetry is
+// disabled and no recorder is attached.
+func (e *Engine) newRunTel(policy string) *runTel {
+	if !telemetry.On() && e.Telemetry == nil {
+		return nil
+	}
+	n := e.Reg.Len()
+	rt := &runTel{
+		rec:    e.Telemetry,
+		start:  time.Now(),
+		names:  make([]string, n),
+		runs:   telemetry.Runs.With(policy),
+		phases: make(map[string]*telemetry.Histogram, 4),
+	}
+	rt.executed = make([]*telemetry.Counter, n)
+	rt.steals = make([]*telemetry.Counter, n)
+	rt.assigned = make([]*telemetry.Counter, n)
+	rt.depth = make([]*telemetry.Gauge, n)
+	rt.wait = make([]*telemetry.Histogram, n)
+	for i := 0; i < n; i++ {
+		name := e.Reg.Get(i).Name()
+		rt.names[i] = name
+		rt.executed[i] = telemetry.HLOPsExecuted.With(name)
+		rt.steals[i] = telemetry.Steals.With(name)
+		rt.assigned[i] = telemetry.HLOPsAssigned.With(name)
+		rt.depth[i] = telemetry.QueueDepth.With(name)
+		rt.wait[i] = telemetry.QueueWaitSeconds.With(name)
+	}
+	for _, p := range []string{telemetry.PhasePartition, telemetry.PhaseSchedule,
+		telemetry.PhaseExecute, telemetry.PhaseAggregate} {
+		rt.phases[p] = telemetry.PhaseSeconds.With(p)
+	}
+	return rt
+}
+
+// now returns wall seconds on the run's telemetry timeline (the recorder's
+// epoch when one is attached, the run start otherwise).
+func (rt *runTel) now() float64 {
+	if rt.rec != nil {
+		return rt.rec.Now()
+	}
+	return time.Since(rt.start).Seconds()
+}
+
+// phase closes one VOP lifecycle phase: it observes the duration histogram,
+// records a wall-clock host-lane span, and returns the end time as the next
+// phase's start.
+func (rt *runTel) phase(name string, startRel float64) float64 {
+	end := rt.now()
+	rt.phases[name].Observe(end - startRel)
+	if rt.rec != nil {
+		rt.rec.RecordSpan(telemetry.Span{
+			Track: "host", Name: name, Clock: telemetry.ClockWall,
+			Start: startRel, End: end,
+		})
+	}
+	return end
+}
+
+// noteAssignments records the policy's initial HLOP→queue outcomes.
+func (rt *runTel) noteAssignments(hs []*hlop.HLOP) {
+	for _, h := range hs {
+		rt.assigned[h.AssignedQueue].Inc()
+		if h.Critical {
+			telemetry.CriticalHLOPs.Inc()
+		}
+	}
+}
+
+// hlopDone records one HLOP execution: the per-device counter, the steal
+// counter when the HLOP was taken from another queue, and a virtual-clock
+// device-lane span.
+func (rt *runTel) hlopDone(qi, victim int, h *hlop.HLOP, start, end float64) {
+	rt.executed[qi].Inc()
+	stealFrom := ""
+	if victim >= 0 && victim != qi {
+		rt.steals[qi].Inc()
+		stealFrom = rt.names[victim]
+	}
+	if rt.rec != nil {
+		rt.rec.RecordSpan(telemetry.Span{
+			Track: rt.names[qi], Name: h.Op.String(), Clock: telemetry.ClockVirtual,
+			Start: start, End: end, ID: h.ID,
+			StealFrom: stealFrom, Critical: h.Critical,
+		})
+	}
+}
+
+// instrumentQueues attaches depth gauges and wait histograms to the
+// concurrent engine's task queues.
+func (rt *runTel) instrumentQueues(queues []*device.TaskQueue[*hlop.HLOP]) {
+	for i, q := range queues {
+		q.Instrument(rt.depth[i], rt.wait[i])
+	}
+}

@@ -1,6 +1,9 @@
 package device
 
-import "shmt/internal/vop"
+import (
+	"shmt/internal/telemetry"
+	"shmt/internal/vop"
+)
 
 // ExecTimeCache memoizes Device.ExecTime lookups. The cost model is a pure
 // function of (device, opcode, element count), but the scheduling loops ask
@@ -8,9 +11,20 @@ import "shmt/internal/vop"
 // scores each victim's tail HLOP against both devices — so the engines keep
 // one cache per run (per worker in the concurrent engine; the cache is not
 // safe for concurrent use) and hit the model once per distinct shape.
+//
+// Growth is capped at maxExecTimeEntries: a long session streaming
+// continually varying shapes (ExecuteBatch over ragged inputs) would
+// otherwise grow the map without bound. On overflow the cache drops the whole
+// map — an epoch flush keeps the common case (few distinct shapes, hit after
+// hit) at zero bookkeeping cost, and a full rebuild is just a few thousand
+// cost-model calls. Hit/miss/eviction totals feed the
+// shmt_exec_cache_* telemetry counters.
 type ExecTimeCache struct {
 	m map[execTimeKey]float64
 }
+
+// maxExecTimeEntries bounds the memo size; beyond it the map is flushed.
+const maxExecTimeEntries = 4096
 
 type execTimeKey struct {
 	dev   string
@@ -27,9 +41,18 @@ func NewExecTimeCache() *ExecTimeCache {
 func (c *ExecTimeCache) ExecTime(dev Device, op vop.Opcode, elems int) float64 {
 	k := execTimeKey{dev.Name(), op, elems}
 	if t, ok := c.m[k]; ok {
+		telemetry.ExecCacheHits.Inc()
 		return t
 	}
+	telemetry.ExecCacheMisses.Inc()
 	t := dev.ExecTime(op, elems)
+	if len(c.m) >= maxExecTimeEntries {
+		telemetry.ExecCacheEvictions.Add(int64(len(c.m)))
+		c.m = make(map[execTimeKey]float64)
+	}
 	c.m[k] = t
 	return t
 }
+
+// Len returns how many entries the cache currently holds.
+func (c *ExecTimeCache) Len() int { return len(c.m) }

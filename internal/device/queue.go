@@ -1,6 +1,11 @@
 package device
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"shmt/internal/telemetry"
+)
 
 // TaskQueue is the incoming/outgoing queue pair the SHMT kernel driver
 // maintains per hardware resource (§3.3: "a pair of queues for each
@@ -10,20 +15,45 @@ import "sync"
 // It is a mutex-guarded deque rather than a channel because work stealing
 // needs to remove items from the *tail* of a victim's queue while the owner
 // pops from the head, and the scheduler needs to observe queue depths.
+//
+// Instrument attaches optional telemetry: a depth gauge updated on every
+// push/pop and a wall-clock residency histogram (Push → Pop/Steal wait
+// time). Uninstrumented queues carry no extra cost.
 type TaskQueue[T any] struct {
 	mu       sync.Mutex
 	incoming []T
+	enqueued []int64 // per-item Push wall ns, parallel to incoming; nil unless wait != nil
 	complete []T
 	closed   bool
+
+	depth *telemetry.Gauge
+	wait  *telemetry.Histogram
 }
 
 // NewTaskQueue returns an empty queue pair.
 func NewTaskQueue[T any]() *TaskQueue[T] { return &TaskQueue[T]{} }
 
+// Instrument attaches a depth gauge and/or wait-time histogram. Call before
+// the queue is shared between goroutines.
+func (q *TaskQueue[T]) Instrument(depth *telemetry.Gauge, wait *telemetry.Histogram) {
+	q.depth = depth
+	q.wait = wait
+}
+
+func (q *TaskQueue[T]) noteDepthLocked() {
+	if q.depth != nil {
+		q.depth.Set(int64(len(q.incoming)))
+	}
+}
+
 // Push appends a task to the incoming queue.
 func (q *TaskQueue[T]) Push(t T) {
 	q.mu.Lock()
 	q.incoming = append(q.incoming, t)
+	if q.wait != nil {
+		q.enqueued = append(q.enqueued, time.Now().UnixNano())
+	}
+	q.noteDepthLocked()
 	q.mu.Unlock()
 }
 
@@ -32,7 +62,21 @@ func (q *TaskQueue[T]) Push(t T) {
 func (q *TaskQueue[T]) PushFront(t T) {
 	q.mu.Lock()
 	q.incoming = append([]T{t}, q.incoming...)
+	if q.wait != nil {
+		q.enqueued = append([]int64{time.Now().UnixNano()}, q.enqueued...)
+	}
+	q.noteDepthLocked()
 	q.mu.Unlock()
+}
+
+// observeWaitLocked records the residency of the item enqueued at index i and
+// removes its timestamp.
+func (q *TaskQueue[T]) observeWaitLocked(i int) {
+	if q.wait == nil || i >= len(q.enqueued) {
+		return
+	}
+	q.wait.Observe(float64(time.Now().UnixNano()-q.enqueued[i]) / 1e9)
+	q.enqueued = append(q.enqueued[:i], q.enqueued[i+1:]...)
 }
 
 // Pop removes the head of the incoming queue (owner side).
@@ -45,6 +89,8 @@ func (q *TaskQueue[T]) Pop() (T, bool) {
 	}
 	t := q.incoming[0]
 	q.incoming = q.incoming[1:]
+	q.observeWaitLocked(0)
+	q.noteDepthLocked()
 	return t, true
 }
 
@@ -56,8 +102,11 @@ func (q *TaskQueue[T]) Steal() (T, bool) {
 	if len(q.incoming) == 0 {
 		return zero, false
 	}
-	t := q.incoming[len(q.incoming)-1]
-	q.incoming = q.incoming[:len(q.incoming)-1]
+	last := len(q.incoming) - 1
+	t := q.incoming[last]
+	q.incoming = q.incoming[:last]
+	q.observeWaitLocked(last)
+	q.noteDepthLocked()
 	return t, true
 }
 

@@ -14,11 +14,16 @@
 package parallel
 
 import (
+	"context"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"shmt/internal/telemetry"
 )
 
 // workers is the configured fan-out width for For. It defaults to
@@ -68,11 +73,14 @@ func startPool() {
 	}
 	tasks = make(chan func(), 4*n)
 	for i := 0; i < n; i++ {
-		go func() {
-			for f := range tasks {
-				f()
-			}
-		}()
+		id := strconv.Itoa(i)
+		go pprof.Do(context.Background(),
+			pprof.Labels("shmt", "pool-worker", "shmt_worker", id),
+			func(context.Context) {
+				for f := range tasks {
+					f()
+				}
+			})
 	}
 }
 
@@ -127,7 +135,18 @@ func For(n, grain int, fn func(lo, hi int)) {
 		panicVal  any
 	)
 	work := func() {
+		// Worker-utilization accounting: one timestamp pair per drained
+		// worker, not per chunk, so the enabled cost stays off the inner loop.
+		var t0 time.Time
+		var done int64
+		if telemetry.On() {
+			t0 = time.Now()
+		}
 		defer func() {
+			if !t0.IsZero() {
+				telemetry.WorkerBusyNanos.Add(time.Since(t0).Nanoseconds())
+				telemetry.WorkerChunks.Add(done)
+			}
 			if r := recover(); r != nil {
 				panicOnce.Do(func() {
 					panicVal = r
@@ -146,6 +165,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 				hi = n
 			}
 			fn(lo, hi)
+			done++
 		}
 	}
 

@@ -18,6 +18,7 @@ import (
 	"shmt/internal/device"
 	"shmt/internal/hlop"
 	"shmt/internal/sampling"
+	"shmt/internal/telemetry"
 	"shmt/internal/vop"
 )
 
@@ -169,12 +170,22 @@ func touchCost(m sampling.Method) float64 {
 func samplePartitions(ctx *Context, s *sampling.Sampler, hs []*hlop.HLOP) float64 {
 	s.Scale = ctx.hostScale()
 	var overhead float64
+	var touches int64
 	cost := touchCost(s.Method)
+	record := telemetry.On()
 	for _, h := range hs {
 		reg := h.InputRegion()
 		vals := s.SampleRegion(h.Inputs[0], reg)
 		h.Criticality = sampling.Criticality(vals)
 		overhead += float64(s.CostSamples(reg.Len()))*cost + PerPartitionCost
+		if record {
+			touches += int64(s.CostSamples(reg.Len()))
+			telemetry.Criticality.Observe(h.Criticality)
+		}
+	}
+	if record {
+		telemetry.SampledPartitions.Add(int64(len(hs)))
+		telemetry.SampleTouches.Add(touches)
 	}
 	return overhead
 }

@@ -1,0 +1,113 @@
+package telemetry
+
+// The standard SHMT metric set. Everything registers into Default at init so
+// the Prometheus endpoint and run reports always expose the full schema;
+// series appear with zero values until the instrumented path runs.
+var (
+	// Engine lifecycle.
+
+	// Runs counts completed VOP executions per scheduling policy.
+	Runs = Default.NewCounterVec("shmt_runs_total",
+		"Completed VOP executions by scheduling policy.", "policy")
+	// HLOPsExecuted counts HLOP executions per device.
+	HLOPsExecuted = Default.NewCounterVec("shmt_hlops_executed_total",
+		"HLOP executions by device.", "device")
+	// HLOPsAssigned counts the policy's initial HLOP→queue assignments per
+	// device (before any stealing rebalances them).
+	HLOPsAssigned = Default.NewCounterVec("shmt_hlops_assigned_total",
+		"Initial HLOP queue assignments by device.", "device")
+	// CriticalHLOPs counts partitions the policy classified critical.
+	CriticalHLOPs = Default.NewCounter("shmt_hlops_critical_total",
+		"HLOPs classified critical by the active policy.")
+	// HLOPSplits counts HLOPs re-partitioned after overflowing device memory.
+	HLOPSplits = Default.NewCounter("shmt_hlop_splits_total",
+		"HLOPs split after exceeding device memory.")
+	// HLOPRetries counts failed dispatches requeued on a fallback device.
+	HLOPRetries = Default.NewCounter("shmt_hlop_retries_total",
+		"Failed HLOP dispatches requeued on a fallback device.")
+	// PhaseSeconds observes wall-clock durations of the four VOP lifecycle
+	// phases (partition, schedule, execute, aggregate).
+	PhaseSeconds = Default.NewHistogramVec("shmt_vop_phase_seconds",
+		"Wall-clock duration of VOP lifecycle phases.", "phase",
+		ExpBuckets(1e-6, 4, 12))
+
+	// Scheduler decisions.
+
+	// StealAttempts counts victim-selection scans by idle devices.
+	StealAttempts = Default.NewCounter("shmt_steal_attempts_total",
+		"Work-steal victim scans by idle devices.")
+	// Steals counts successful steals per thief device.
+	Steals = Default.NewCounterVec("shmt_steals_total",
+		"Successful work steals by thief device.", "device")
+	// StealRejected counts steals vetoed by the policy's quality constraint
+	// (CanSteal returned false for an otherwise available item).
+	StealRejected = Default.NewCounter("shmt_steals_rejected_total",
+		"Steal candidates vetoed by the policy's quality constraint.")
+	// SampledPartitions counts partitions whose criticality QAWS sampled.
+	SampledPartitions = Default.NewCounter("shmt_sampling_partitions_total",
+		"Partitions sampled for criticality by QAWS.")
+	// SampleTouches counts the elements those samples touched.
+	SampleTouches = Default.NewCounter("shmt_sampling_touches_total",
+		"Elements touched by QAWS criticality sampling.")
+	// Criticality observes the sampled per-partition criticality values.
+	Criticality = Default.NewHistogram("shmt_sampling_criticality",
+		"Sampled partition criticality distribution.",
+		ExpBuckets(1e-3, 4, 10))
+
+	// Device queues (concurrent engine).
+
+	// QueueDepth gauges the incoming-queue depth per device.
+	QueueDepth = Default.NewGaugeVec("shmt_queue_depth",
+		"Incoming task-queue depth by device.", "device")
+	// QueueWaitSeconds observes wall-clock queue residency per device: the
+	// time from Push to Pop/Steal in the concurrent engine.
+	QueueWaitSeconds = Default.NewHistogramVec("shmt_queue_wait_seconds",
+		"Wall-clock time tasks wait in a device's incoming queue.", "device",
+		ExpBuckets(1e-6, 4, 12))
+
+	// Host execution (internal/parallel).
+
+	// WorkerBusyNanos accumulates wall nanoseconds host workers spent running
+	// kernel chunks (utilization = rate over wall time × workers).
+	WorkerBusyNanos = Default.NewCounter("shmt_worker_busy_nanoseconds_total",
+		"Wall nanoseconds host pool workers spent executing kernel chunks.")
+	// WorkerChunks counts kernel chunks executed by the host pool.
+	WorkerChunks = Default.NewCounter("shmt_worker_chunks_total",
+		"Kernel chunks executed by the host worker pool.")
+
+	// Tensor arena.
+
+	// ArenaHits counts scratch-buffer requests served from the arena, by
+	// buffer kind (float64, complex128, matrix).
+	ArenaHits = Default.NewCounterVec("shmt_arena_hits_total",
+		"Scratch-buffer requests served from the arena.", "kind")
+	// ArenaMisses counts requests that fell through to the allocator.
+	ArenaMisses = Default.NewCounterVec("shmt_arena_misses_total",
+		"Scratch-buffer requests that allocated fresh memory.", "kind")
+	// ArenaHitBytes accumulates bytes served from pooled buffers.
+	ArenaHitBytes = Default.NewCounter("shmt_arena_hit_bytes_total",
+		"Bytes served from pooled arena buffers.")
+	// ArenaMissBytes accumulates bytes that had to be freshly allocated.
+	ArenaMissBytes = Default.NewCounter("shmt_arena_miss_bytes_total",
+		"Bytes freshly allocated on arena miss.")
+
+	// Execution-time cache.
+
+	// ExecCacheHits counts memoized cost-model lookups.
+	ExecCacheHits = Default.NewCounter("shmt_exec_cache_hits_total",
+		"ExecTimeCache lookups served from memory.")
+	// ExecCacheMisses counts lookups that ran the cost model.
+	ExecCacheMisses = Default.NewCounter("shmt_exec_cache_misses_total",
+		"ExecTimeCache lookups that evaluated the cost model.")
+	// ExecCacheEvictions counts entries dropped by the growth cap.
+	ExecCacheEvictions = Default.NewCounter("shmt_exec_cache_evictions_total",
+		"ExecTimeCache entries evicted by the size cap.")
+)
+
+// Phase label values for PhaseSeconds and host-lane spans.
+const (
+	PhasePartition = "partition"
+	PhaseSchedule  = "schedule"
+	PhaseExecute   = "execute"
+	PhaseAggregate = "aggregate"
+)

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event JSON export (the "JSON Array/Object Format" Perfetto and
+// chrome://tracing load). Virtual device lanes and wall-clock host lanes are
+// emitted as two separate processes so their timebases stay side by side
+// without being compared; steals become flow arrows from the victim's lane to
+// the stolen HLOP's execution slice.
+
+// pids for the two clock domains.
+const (
+	perfettoVirtualPID = 1
+	perfettoWallPID    = 2
+)
+
+// TraceEvent is one entry of the Chrome trace-event format. Exported so the
+// format tests can unmarshal what WritePerfetto produced.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the top-level trace-event JSON object.
+type TraceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+}
+
+// WritePerfetto renders the recorder's spans as Chrome trace-event JSON.
+// Output is deterministic: lanes are sorted by name, spans by (start, id,
+// name), so golden-file tests can compare bytes.
+func (r *Recorder) WritePerfetto(w io.Writer) error {
+	spans := r.Spans()
+	sort.SliceStable(spans, func(a, b int) bool {
+		if spans[a].Start != spans[b].Start {
+			return spans[a].Start < spans[b].Start
+		}
+		if spans[a].ID != spans[b].ID {
+			return spans[a].ID < spans[b].ID
+		}
+		return spans[a].Name < spans[b].Name
+	})
+
+	// Assign one tid per (clock, track), tracks sorted by name within each
+	// clock domain so lane order is stable.
+	tids := map[Clock]map[string]int{ClockVirtual: {}, ClockWall: {}}
+	for _, clock := range []Clock{ClockVirtual, ClockWall} {
+		seen := map[string]bool{}
+		var names []string
+		for _, s := range spans {
+			if s.Clock != clock {
+				continue
+			}
+			if !seen[s.Track] {
+				seen[s.Track] = true
+				names = append(names, s.Track)
+			}
+			// A steal's victim lane must exist even if the victim never
+			// executed anything itself.
+			if s.StealFrom != "" && !seen[s.StealFrom] {
+				seen[s.StealFrom] = true
+				names = append(names, s.StealFrom)
+			}
+		}
+		sort.Strings(names)
+		for i, n := range names {
+			tids[clock][n] = i
+		}
+	}
+
+	pid := func(c Clock) int {
+		if c == ClockWall {
+			return perfettoWallPID
+		}
+		return perfettoVirtualPID
+	}
+
+	var events []TraceEvent
+	events = append(events,
+		TraceEvent{Name: "process_name", Ph: "M", PID: perfettoVirtualPID,
+			Args: map[string]any{"name": "shmt virtual devices"}},
+		TraceEvent{Name: "process_name", Ph: "M", PID: perfettoWallPID,
+			Args: map[string]any{"name": "shmt host (wall clock)"}},
+	)
+	for _, clock := range []Clock{ClockVirtual, ClockWall} {
+		names := make([]string, 0, len(tids[clock]))
+		for n := range tids[clock] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			events = append(events, TraceEvent{Name: "thread_name", Ph: "M",
+				PID: pid(clock), TID: tids[clock][n],
+				Args: map[string]any{"name": n}})
+		}
+	}
+
+	flowID := 0
+	for _, s := range spans {
+		ev := TraceEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  s.Start * 1e6,
+			Dur: (s.End - s.Start) * 1e6,
+			PID: pid(s.Clock), TID: tids[s.Clock][s.Track],
+		}
+		args := map[string]any{}
+		if s.Clock == ClockVirtual {
+			args["hlop"] = s.ID
+		}
+		if s.Critical {
+			args["critical"] = true
+		}
+		if s.StealFrom != "" {
+			args["stolen_from"] = s.StealFrom
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		events = append(events, ev)
+		if s.StealFrom != "" {
+			flowID++
+			events = append(events,
+				TraceEvent{Name: "steal", Ph: "s", Ts: s.Start * 1e6, ID: flowID,
+					PID: pid(s.Clock), TID: tids[s.Clock][s.StealFrom]},
+				TraceEvent{Name: "steal", Ph: "f", BP: "e", Ts: s.Start * 1e6, ID: flowID,
+					PID: pid(s.Clock), TID: tids[s.Clock][s.Track]},
+			)
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(TraceFile{DisplayTimeUnit: "ms", TraceEvents: events})
+}

@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedRecorder builds a recorder with a deterministic span set covering all
+// export features: two virtual device lanes, a steal (with flow arrow), a
+// critical HLOP, and wall-clock host phases.
+func fixedRecorder() *Recorder {
+	rec := &Recorder{}
+	rec.RecordSpan(Span{Track: "gpu", Name: "Sobel", Clock: ClockVirtual, Start: 0, End: 0.004, ID: 0})
+	rec.RecordSpan(Span{Track: "gpu", Name: "Sobel", Clock: ClockVirtual, Start: 0.004, End: 0.007, ID: 2, Critical: true})
+	rec.RecordSpan(Span{Track: "tpu", Name: "Sobel", Clock: ClockVirtual, Start: 0, End: 0.005, ID: 1})
+	rec.RecordSpan(Span{Track: "tpu", Name: "Sobel", Clock: ClockVirtual, Start: 0.005, End: 0.009, ID: 3, StealFrom: "gpu"})
+	rec.RecordSpan(Span{Track: "host", Name: PhasePartition, Clock: ClockWall, Start: 0, End: 0.001})
+	rec.RecordSpan(Span{Track: "host", Name: PhaseSchedule, Clock: ClockWall, Start: 0.001, End: 0.002})
+	rec.RecordSpan(Span{Track: "host", Name: PhaseExecute, Clock: ClockWall, Start: 0.002, End: 0.010})
+	rec.RecordSpan(Span{Track: "host", Name: PhaseAggregate, Clock: ClockWall, Start: 0.010, End: 0.011})
+	return rec
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run %s -update): %v", t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (re-run with -update after intentional changes)\ngot:\n%s", path, got)
+	}
+}
+
+func TestPerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedRecorder().WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "perfetto.golden.json", buf.Bytes())
+}
+
+// TestPerfettoSchema round-trips the export through the trace-event schema
+// and checks the structural guarantees Perfetto relies on: two processes
+// (virtual/wall), named lanes, complete events, and paired steal flows.
+func TestPerfettoSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedRecorder().WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("export is not valid trace-event JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+
+	procs := map[int]string{}
+	lanes := map[int]map[string]int{} // pid -> lane name -> tid
+	var complete, flowStarts, flowEnds []TraceEvent
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				procs[ev.PID] = ev.Args["name"].(string)
+			case "thread_name":
+				if lanes[ev.PID] == nil {
+					lanes[ev.PID] = map[string]int{}
+				}
+				lanes[ev.PID][ev.Args["name"].(string)] = ev.TID
+			}
+		case "X":
+			complete = append(complete, ev)
+		case "s":
+			flowStarts = append(flowStarts, ev)
+		case "f":
+			flowEnds = append(flowEnds, ev)
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+
+	if procs[perfettoVirtualPID] != "shmt virtual devices" || procs[perfettoWallPID] != "shmt host (wall clock)" {
+		t.Fatalf("process metadata wrong: %v", procs)
+	}
+	for _, lane := range []string{"gpu", "tpu"} {
+		if _, ok := lanes[perfettoVirtualPID][lane]; !ok {
+			t.Fatalf("virtual process missing %s lane: %v", lane, lanes)
+		}
+	}
+	if _, ok := lanes[perfettoWallPID]["host"]; !ok {
+		t.Fatalf("wall process missing host lane: %v", lanes)
+	}
+	if len(complete) != 8 {
+		t.Fatalf("complete events = %d, want 8 (one per span)", len(complete))
+	}
+	for _, ev := range complete {
+		if ev.Dur <= 0 {
+			t.Fatalf("non-positive duration: %+v", ev)
+		}
+		if ev.PID == perfettoVirtualPID {
+			if _, ok := ev.Args["hlop"]; !ok {
+				t.Fatalf("virtual span missing hlop id: %+v", ev)
+			}
+		}
+	}
+
+	// Exactly one steal in the fixture: one s/f pair, same flow id, victim
+	// lane (gpu) -> thief lane (tpu), binding point "e".
+	if len(flowStarts) != 1 || len(flowEnds) != 1 {
+		t.Fatalf("steal flows = %d starts, %d ends; want 1 each", len(flowStarts), len(flowEnds))
+	}
+	s, f := flowStarts[0], flowEnds[0]
+	if s.ID != f.ID || s.ID == 0 {
+		t.Fatalf("flow ids unpaired: s=%d f=%d", s.ID, f.ID)
+	}
+	if s.TID != lanes[perfettoVirtualPID]["gpu"] || f.TID != lanes[perfettoVirtualPID]["tpu"] {
+		t.Fatalf("flow lanes wrong: s.tid=%d f.tid=%d lanes=%v", s.TID, f.TID, lanes)
+	}
+	if f.BP != "e" {
+		t.Fatalf("flow end binding point = %q, want \"e\"", f.BP)
+	}
+
+	// The stolen span itself carries the victim name.
+	var found bool
+	for _, ev := range complete {
+		if ev.Args["stolen_from"] == "gpu" {
+			found = true
+			if ev.Args["hlop"] != float64(3) {
+				t.Fatalf("stolen span has hlop %v, want 3", ev.Args["hlop"])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no span carries stolen_from")
+	}
+}
+
+// TestPerfettoStealCreatesVictimLane checks that the victim lane exists even
+// when the victim never executed anything itself — the flow arrow needs a
+// source lane to bind to.
+func TestPerfettoStealCreatesVictimLane(t *testing.T) {
+	rec := &Recorder{}
+	rec.RecordSpan(Span{Track: "tpu", Name: "FFT", Clock: ClockVirtual, Start: 0, End: 1, ID: 0, StealFrom: "cpu"})
+	var buf bytes.Buffer
+	if err := rec.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	var hasVictimLane bool
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" && ev.Args["name"] == "cpu" {
+			hasVictimLane = true
+		}
+	}
+	if !hasVictimLane {
+		t.Fatal("victim lane not materialized for steal flow")
+	}
+}
+
+func TestPerfettoDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if err := fixedRecorder().WritePerfetto(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("export is not byte-deterministic")
+	}
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Prometheus text exposition (version 0.0.4) and the optional scrape
+// endpoint. The writer renders straight off the registry's atomics — no
+// intermediate collection pass — so a scrape never blocks the runtime.
+
+// WriteExposition renders every family in the registry in Prometheus text
+// format, families and children in sorted order.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		children := append([]*child(nil), f.children...)
+		f.mu.Unlock()
+		for _, c := range children {
+			if err := writeChild(w, f, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f *family, c *child) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesKey(f.name, f.labelKey, c.labelValue), formatValue(float64(c.counter.Value())))
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesKey(f.name, f.labelKey, c.labelValue), formatValue(float64(c.gauge.Value())))
+		return err
+	case kindHistogram:
+		h := c.hist
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.buckets[i].Load()
+			if err := writeBucket(w, f, c, formatValue(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		if err := writeBucket(w, f, c, "+Inf", cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesKey(f.name+"_sum", f.labelKey, c.labelValue), formatValue(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesKey(f.name+"_count", f.labelKey, c.labelValue), h.Count())
+		return err
+	}
+	return nil
+}
+
+func writeBucket(w io.Writer, f *family, c *child, le string, cum int64) error {
+	if f.labelKey == "" {
+		_, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, le, cum)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", f.name, f.labelKey, c.labelValue, le, cum)
+	return err
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Server is the optional metrics HTTP listener (SHMT_METRICS_ADDR /
+// Config.Telemetry.MetricsAddr). It serves the Default registry on /metrics
+// and a liveness line on /.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts a metrics listener on addr (host:port; port 0 picks a free
+// port). It returns once the listener is bound; scraping runs in the
+// background until Close.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default.WriteExposition(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "shmt telemetry; scrape /metrics")
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }

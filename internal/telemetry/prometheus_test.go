@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a private registry with one family of each kind and
+// deterministic values, so the exposition output is stable for golden
+// comparison.
+func goldenRegistry(t *testing.T) *Registry {
+	t.Helper()
+	withTelemetry(t)
+	r := NewRegistry()
+	runs := r.NewCounterVec("demo_runs_total", "Completed runs by policy.", "policy")
+	runs.With("QAWS-TS").Add(3)
+	runs.With("work-stealing").Inc()
+	steals := r.NewCounter("demo_steals_total", "Successful work steals.")
+	steals.Add(17)
+	depth := r.NewGaugeVec("demo_queue_depth", "Task-queue depth by device.", "device")
+	depth.With("gpu").Set(2)
+	depth.With("tpu").Set(0)
+	wait := r.NewHistogram("demo_wait_seconds", "Queue wait time.", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 2} {
+		wait.Observe(v)
+	}
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry(t).WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "prometheus.golden.txt", buf.Bytes())
+}
+
+func TestPrometheusExpositionStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry(t).WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// Every family gets HELP and TYPE lines with the right type.
+	for _, want := range []string{
+		"# HELP demo_runs_total Completed runs by policy.",
+		"# TYPE demo_runs_total counter",
+		"# TYPE demo_queue_depth gauge",
+		"# TYPE demo_wait_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Labelled series use the name{key="value"} value form.
+	for _, want := range []string{
+		`demo_runs_total{policy="QAWS-TS"} 3`,
+		`demo_runs_total{policy="work-stealing"} 1`,
+		"demo_steals_total 17",
+		`demo_queue_depth{device="gpu"} 2`,
+		`demo_queue_depth{device="tpu"} 0`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing series %q in:\n%s", want, out)
+		}
+	}
+	// Histogram buckets are cumulative and end at +Inf == count.
+	for _, want := range []string{
+		`demo_wait_seconds_bucket{le="0.001"} 1`,
+		`demo_wait_seconds_bucket{le="0.01"} 3`,
+		`demo_wait_seconds_bucket{le="0.1"} 4`,
+		`demo_wait_seconds_bucket{le="+Inf"} 5`,
+		"demo_wait_seconds_count 5",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing bucket %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		3:      "3",
+		-2:     "-2",
+		0.0545: "0.0545",
+		1e18:   "1e+18",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Fatalf("formatValue(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// TestServeEndToEnd binds the metrics listener on a free port and scrapes it
+// over real HTTP: the Default registry's standard schema must be exposed.
+func TestServeEndToEnd(t *testing.T) {
+	withTelemetry(t)
+	StealAttempts.Inc()
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The standard schema appears even for series that have never moved;
+	// these are the acceptance-criterion families.
+	for _, want := range []string{
+		"# TYPE shmt_steal_attempts_total counter",
+		"# TYPE shmt_queue_depth gauge",
+		"# TYPE shmt_arena_hits_total counter",
+		"# TYPE shmt_exec_cache_hits_total counter",
+		"shmt_steal_attempts_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("scrape missing %q in:\n%s", want, body)
+		}
+	}
+
+	root, err := http.Get("http://" + srv.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Body.Close()
+	hint, _ := io.ReadAll(root.Body)
+	if !strings.Contains(string(hint), "/metrics") {
+		t.Fatalf("liveness page should point at /metrics: %q", hint)
+	}
+}

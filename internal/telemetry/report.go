@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Report is the structured JSON run report: counter deltas since the
+// recorder was attached, absolute process totals, and a per-lane span digest.
+type Report struct {
+	// WallSeconds is how long the recorder has been attached.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Counters holds the series that changed while the recorder was
+	// attached (value = delta).
+	Counters map[string]float64 `json:"counters"`
+	// Totals holds the absolute process-wide values of every series.
+	Totals map[string]float64 `json:"totals"`
+	// Lanes summarises recorded spans per lane.
+	Lanes []LaneSummary `json:"lanes"`
+	// Spans is the total span count.
+	Spans int `json:"spans"`
+}
+
+// LaneSummary aggregates one lane's spans.
+type LaneSummary struct {
+	Track   string  `json:"track"`
+	Clock   string  `json:"clock"` // "virtual" or "wall"
+	Spans   int     `json:"spans"`
+	Busy    float64 `json:"busy_seconds"`
+	Stolen  int     `json:"stolen"`
+	LastEnd float64 `json:"last_end_seconds"`
+}
+
+// Report builds the structured run report from the recorder's spans and the
+// Default registry's counter deltas since the recorder was created.
+func (r *Recorder) Report() *Report {
+	now := Default.Snapshot()
+	spans := r.Spans()
+
+	type laneKey struct {
+		track string
+		clock Clock
+	}
+	lanes := map[laneKey]*LaneSummary{}
+	for _, s := range spans {
+		k := laneKey{s.Track, s.Clock}
+		l := lanes[k]
+		if l == nil {
+			clock := "virtual"
+			if s.Clock == ClockWall {
+				clock = "wall"
+			}
+			l = &LaneSummary{Track: s.Track, Clock: clock}
+			lanes[k] = l
+		}
+		l.Spans++
+		l.Busy += s.End - s.Start
+		if s.StealFrom != "" {
+			l.Stolen++
+		}
+		if s.End > l.LastEnd {
+			l.LastEnd = s.End
+		}
+	}
+	out := make([]LaneSummary, 0, len(lanes))
+	for _, l := range lanes {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Clock != out[b].Clock {
+			return out[a].Clock < out[b].Clock
+		}
+		return out[a].Track < out[b].Track
+	})
+
+	return &Report{
+		WallSeconds: r.Now(),
+		Counters:    now.Delta(r.base),
+		Totals:      now,
+		Lanes:       out,
+		Spans:       len(spans),
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(rep)
+}

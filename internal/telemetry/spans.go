@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock identifies a span's time domain. The runtime has two: the simulated
+// platform's virtual clock (device lanes, seconds of modelled time) and the
+// host's wall clock (lifecycle phases, worker activity). The Perfetto export
+// keeps them in separate process groups so the timebases never mix.
+type Clock uint8
+
+const (
+	// ClockVirtual is the engine's modelled device timeline.
+	ClockVirtual Clock = iota
+	// ClockWall is host wall time, in seconds since the Recorder's epoch.
+	ClockWall
+)
+
+// Span is one closed interval on a named lane.
+type Span struct {
+	// Track is the lane name: a device name for virtual spans, a host lane
+	// ("host") for lifecycle phases.
+	Track string
+	// Name labels the interval (opcode, phase name).
+	Name string
+	// Clock is the span's time domain.
+	Clock Clock
+	// Start and End are seconds in the span's clock domain.
+	Start, End float64
+	// ID carries the HLOP id for virtual-clock device spans.
+	ID int
+	// StealFrom names the victim lane when this span is a stolen HLOP's
+	// execution; the Perfetto export draws a flow arrow victim → thief.
+	StealFrom string
+	// Critical marks spans whose HLOP the policy classified critical.
+	Critical bool
+}
+
+// Recorder collects one run's (or session's) spans and remembers the
+// registry snapshot taken when it was attached, so Report can compute
+// per-run counter deltas against the process-global metrics.
+type Recorder struct {
+	epoch time.Time
+	base  Snapshot
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewRecorder returns a recorder with its wall epoch at now and its counter
+// baseline at the Default registry's current values.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now(), base: Default.Snapshot()}
+}
+
+// Now returns wall seconds since the recorder's epoch.
+func (r *Recorder) Now() float64 { return time.Since(r.epoch).Seconds() }
+
+// RecordSpan appends a span. Safe for concurrent use.
+func (r *Recorder) RecordSpan(s Span) {
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// SpanCount returns how many spans have been recorded.
+func (r *Recorder) SpanCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Base returns the counter snapshot taken when the recorder was created.
+func (r *Recorder) Base() Snapshot { return r.base }

@@ -3,6 +3,8 @@ package tensor
 import (
 	"math/bits"
 	"sync"
+
+	"shmt/internal/telemetry"
 )
 
 // The scratch arena: size-bucketed sync.Pools for the float64, complex128
@@ -30,6 +32,27 @@ var (
 	matrixPools  [arenaBuckets]sync.Pool // holds *Matrix
 )
 
+// Arena hit/miss accounting. The label pointers are resolved once here so the
+// hot path is a single gated atomic add per Get.
+var (
+	arenaFloatHits    = telemetry.ArenaHits.With("float64")
+	arenaFloatMisses  = telemetry.ArenaMisses.With("float64")
+	arenaCplxHits     = telemetry.ArenaHits.With("complex128")
+	arenaCplxMisses   = telemetry.ArenaMisses.With("complex128")
+	arenaMatrixHits   = telemetry.ArenaHits.With("matrix")
+	arenaMatrixMisses = telemetry.ArenaMisses.With("matrix")
+)
+
+func arenaHit(c *telemetry.Counter, bytes int64) {
+	c.Inc()
+	telemetry.ArenaHitBytes.Add(bytes)
+}
+
+func arenaMiss(c *telemetry.Counter, bytes int64) {
+	c.Inc()
+	telemetry.ArenaMissBytes.Add(bytes)
+}
+
 // bucketCeil returns the smallest b with 1<<b ≥ n (n ≥ 1).
 func bucketCeil(n int) int { return bits.Len(uint(n - 1)) }
 
@@ -44,11 +67,14 @@ func GetFloats(n int) []float64 {
 	}
 	b := bucketCeil(n)
 	if b >= arenaBuckets {
+		arenaMiss(arenaFloatMisses, int64(n)*8)
 		return make([]float64, n)
 	}
 	if v := floatPools[b].Get(); v != nil {
+		arenaHit(arenaFloatHits, int64(n)*8)
 		return v.([]float64)[:n]
 	}
+	arenaMiss(arenaFloatMisses, int64(n)*8)
 	return make([]float64, n, 1<<b)
 }
 
@@ -72,11 +98,14 @@ func GetComplex(n int) []complex128 {
 	}
 	b := bucketCeil(n)
 	if b >= arenaBuckets {
+		arenaMiss(arenaCplxMisses, int64(n)*16)
 		return make([]complex128, n)
 	}
 	if v := complexPools[b].Get(); v != nil {
+		arenaHit(arenaCplxHits, int64(n)*16)
 		return v.([]complex128)[:n]
 	}
+	arenaMiss(arenaCplxMisses, int64(n)*16)
 	return make([]complex128, n, 1<<b)
 }
 
@@ -111,14 +140,17 @@ func GetMatrixUninit(rows, cols int) *Matrix {
 	}
 	b := bucketCeil(n)
 	if b >= arenaBuckets {
+		arenaMiss(arenaMatrixMisses, int64(n)*8)
 		return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n)}
 	}
 	if v := matrixPools[b].Get(); v != nil {
 		m := v.(*Matrix)
 		m.Rows, m.Cols = rows, cols
 		m.Data = m.Data[:n]
+		arenaHit(arenaMatrixHits, int64(n)*8)
 		return m
 	}
+	arenaMiss(arenaMatrixMisses, int64(n)*8)
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n, 1<<b)}
 }
 

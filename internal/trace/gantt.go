@@ -19,13 +19,14 @@ func (t *Trace) Gantt(width int) string {
 	if width <= 0 {
 		width = 60
 	}
-	if len(t.Events) == 0 {
+	events := t.Events()
+	if len(events) == 0 {
 		return "(no events)\n"
 	}
 
 	var tEnd float64
 	devices := map[string][]Event{}
-	for _, e := range t.Events {
+	for _, e := range events {
 		devices[e.Device] = append(devices[e.Device], e)
 		if e.End > tEnd {
 			tEnd = e.End

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// ganttRows splits a rendering into device rows and the axis line, and
+// returns the timeline cell runes per device.
+func ganttRows(t *testing.T, g string, width int) (map[string][]rune, string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("rendering too short:\n%s", g)
+	}
+	rows := map[string][]rune{}
+	for _, line := range lines[:len(lines)-1] {
+		open := strings.IndexByte(line, '|')
+		shut := strings.LastIndexByte(line, '|')
+		if open < 0 || shut <= open {
+			t.Fatalf("row without timeline cells: %q", line)
+		}
+		name := strings.TrimSpace(line[:open])
+		cells := []rune(line[open+1 : shut])
+		if len(cells) != width {
+			t.Fatalf("row %q has %d cells, want %d", name, len(cells), width)
+		}
+		rows[name] = cells
+	}
+	return rows, lines[len(lines)-1]
+}
+
+func TestGanttLayout(t *testing.T) {
+	tr := New()
+	// gpu busy for the first half, tpu busy throughout with the second HLOP
+	// stolen; total timeline 1.0s.
+	tr.Record(Event{HLOP: 0, Device: "gpu", Start: 0, End: 0.5})
+	tr.Record(Event{HLOP: 1, Device: "tpu", Start: 0, End: 0.5})
+	tr.Record(Event{HLOP: 2, Device: "tpu", Start: 0.5, End: 1.0, Stolen: true})
+
+	const width = 20
+	rows, axis := ganttRows(t, tr.Gantt(width), width)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+
+	gpu := rows["gpu"]
+	// First half busy, tail idle.
+	if gpu[0] != '█' || gpu[width/2-1] != '█' {
+		t.Fatalf("gpu head should be busy: %q", string(gpu))
+	}
+	if gpu[width-1] != '░' {
+		t.Fatalf("gpu tail should be idle: %q", string(gpu))
+	}
+
+	tpu := rows["tpu"]
+	if tpu[0] != '█' {
+		t.Fatalf("tpu head should be own work: %q", string(tpu))
+	}
+	if tpu[width-1] != '▒' {
+		t.Fatalf("tpu tail should be stolen work: %q", string(tpu))
+	}
+	for _, c := range tpu {
+		if c == '░' {
+			t.Fatalf("tpu has no idle time: %q", string(tpu))
+		}
+	}
+
+	// Axis line spans 0 .. tEnd.
+	if !strings.HasSuffix(axis, "1s") || !strings.Contains(axis, "0") {
+		t.Fatalf("axis = %q", axis)
+	}
+}
+
+func TestGanttCountsPerRow(t *testing.T) {
+	tr := New()
+	tr.Record(Event{HLOP: 0, Device: "gpu", Start: 0, End: 1})
+	tr.Record(Event{HLOP: 1, Device: "gpu", Start: 1, End: 2})
+	tr.Record(Event{HLOP: 2, Device: "tpu", Start: 0, End: 2, Stolen: true})
+	g := tr.Gantt(30)
+	if !strings.Contains(g, "2 hlops") {
+		t.Fatalf("gpu row should report 2 hlops:\n%s", g)
+	}
+	if !strings.Contains(g, "1 hlops (1 stolen)") {
+		t.Fatalf("tpu row should report its stolen count:\n%s", g)
+	}
+	// The gpu row (no steals) must not carry a stolen annotation.
+	for _, line := range strings.Split(g, "\n") {
+		if strings.HasPrefix(line, "gpu") && strings.Contains(line, "stolen") {
+			t.Fatalf("gpu row wrongly annotated: %q", line)
+		}
+	}
+}
+
+func TestGanttDefaultWidth(t *testing.T) {
+	tr := New()
+	tr.Record(Event{HLOP: 0, Device: "gpu", Start: 0, End: 1})
+	rows, _ := ganttRows(t, tr.Gantt(0), 60)
+	if _, ok := rows["gpu"]; !ok {
+		t.Fatal("default-width rendering lost the gpu row")
+	}
+}
+
+func TestGanttClampsOverflow(t *testing.T) {
+	// An event ending exactly at tEnd maps to the last cell, not one past it.
+	tr := New()
+	tr.Record(Event{HLOP: 0, Device: "gpu", Start: 0.9, End: 1.0})
+	rows, _ := ganttRows(t, tr.Gantt(10), 10)
+	if rows["gpu"][9] != '█' {
+		t.Fatalf("last cell should be busy: %q", string(rows["gpu"]))
+	}
+}
+
+func TestGanttZeroDurationTimeline(t *testing.T) {
+	// All-zero event times must not divide by zero.
+	tr := New()
+	tr.Record(Event{HLOP: 0, Device: "gpu", Start: 0, End: 0})
+	if g := tr.Gantt(10); !strings.Contains(g, "gpu") {
+		t.Fatalf("zero-duration rendering broken:\n%s", g)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Event is one HLOP execution on a device.
@@ -22,9 +23,12 @@ type Event struct {
 	Critical bool // true if the policy classified the partition critical
 }
 
-// Trace accumulates a run's events and resource accounting.
+// Trace accumulates a run's events and resource accounting. All methods are
+// safe for concurrent use: the concurrent engine's per-device workers record
+// events and staging allocations directly, without caller-side locking.
 type Trace struct {
-	Events []Event
+	mu     sync.Mutex
+	events []Event
 
 	// Footprint accounting (bytes).
 	baseBytes    int64 // application input+output buffers
@@ -36,44 +40,76 @@ type Trace struct {
 func New() *Trace { return &Trace{} }
 
 // Record appends an event.
-func (t *Trace) Record(e Event) { t.Events = append(t.Events, e) }
+func (t *Trace) Record(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Len returns how many events have been recorded.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
 
 // AddBase registers long-lived application buffers (inputs, outputs).
 func (t *Trace) AddBase(bytes int64) {
+	t.mu.Lock()
 	t.baseBytes += bytes
-	t.sample()
+	t.sampleLocked()
+	t.mu.Unlock()
 }
 
 // AllocStaging registers a transient staging buffer coming alive.
 func (t *Trace) AllocStaging(bytes int64) {
+	t.mu.Lock()
 	t.stagingBytes += bytes
-	t.sample()
+	t.sampleLocked()
+	t.mu.Unlock()
 }
 
 // FreeStaging releases a staging buffer.
 func (t *Trace) FreeStaging(bytes int64) {
+	t.mu.Lock()
 	t.stagingBytes -= bytes
 	if t.stagingBytes < 0 {
 		t.stagingBytes = 0
 	}
+	t.mu.Unlock()
 }
 
-func (t *Trace) sample() {
+func (t *Trace) sampleLocked() {
 	if cur := t.baseBytes + t.stagingBytes; cur > t.peakBytes {
 		t.peakBytes = cur
 	}
 }
 
 // PeakBytes returns the peak of base+staging bytes observed.
-func (t *Trace) PeakBytes() int64 { return t.peakBytes }
+func (t *Trace) PeakBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peakBytes
+}
 
 // BaseBytes returns the registered long-lived buffer total.
-func (t *Trace) BaseBytes() int64 { return t.baseBytes }
+func (t *Trace) BaseBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.baseBytes
+}
 
 // CountByDevice returns how many HLOPs each device executed.
 func (t *Trace) CountByDevice() map[string]int {
 	out := map[string]int{}
-	for _, e := range t.Events {
+	for _, e := range t.Events() {
 		out[e.Device]++
 	}
 	return out
@@ -83,7 +119,7 @@ func (t *Trace) CountByDevice() map[string]int {
 // initial assignment.
 func (t *Trace) StolenCount() int {
 	var n int
-	for _, e := range t.Events {
+	for _, e := range t.Events() {
 		if e.Stolen {
 			n++
 		}
@@ -94,7 +130,7 @@ func (t *Trace) StolenCount() int {
 // BusyByDevice sums execution time per device.
 func (t *Trace) BusyByDevice() map[string]float64 {
 	out := map[string]float64{}
-	for _, e := range t.Events {
+	for _, e := range t.Events() {
 		out[e.Device] += e.End - e.Start
 	}
 	return out

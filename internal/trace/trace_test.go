@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -44,6 +45,52 @@ func TestFootprintAccounting(t *testing.T) {
 	tr.AllocStaging(1)
 	if tr.PeakBytes() != 1500 {
 		t.Fatalf("peak moved after clamped free: %d", tr.PeakBytes())
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	tr := New()
+	tr.Record(Event{HLOP: 0, Device: "gpu"})
+	events := tr.Events()
+	events[0].Device = "mutated"
+	if tr.Events()[0].Device != "gpu" {
+		t.Fatal("Events must return a copy, not the backing slice")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+// TestConcurrentRecording exercises the trace's internal locking the way the
+// concurrent engine does: per-device workers record events and staging
+// allocations directly, with no caller-side mutex. Under -race this verifies
+// the "safe for concurrent use" contract.
+func TestConcurrentRecording(t *testing.T) {
+	tr := New()
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Record(Event{HLOP: w*perWorker + i, Device: "gpu"})
+				tr.AllocStaging(64)
+				_ = tr.Len()
+				tr.FreeStaging(64)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", tr.Len(), workers*perWorker)
+	}
+	seen := map[int]bool{}
+	for _, e := range tr.Events() {
+		if seen[e.HLOP] {
+			t.Fatalf("HLOP %d recorded twice", e.HLOP)
+		}
+		seen[e.HLOP] = true
 	}
 }
 

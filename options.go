@@ -97,6 +97,23 @@ type Config struct {
 	// execution. Results are bit-identical at every setting; the pool is
 	// process-wide, so the last session configured wins.
 	Workers int
+	// Telemetry configures runtime observability (see internal/telemetry).
+	Telemetry Telemetry
+}
+
+// Telemetry configures the session's observability layer. The zero value
+// leaves instrumentation disabled — the engine's instrumented paths then
+// cost one atomic load each and allocate nothing.
+type Telemetry struct {
+	// Enabled turns on the instrumentation core: process-global counters,
+	// per-run spans, and the Session.TelemetryReport / Session.WriteTrace
+	// exporters. Setting MetricsAddr implies Enabled.
+	Enabled bool
+	// MetricsAddr, when non-empty, serves Prometheus text exposition on
+	// http://ADDR/metrics for the session's lifetime (closed by
+	// Session.Close). Empty falls back to the SHMT_METRICS_ADDR environment
+	// variable; ":0" picks a free port (see Session.MetricsAddr).
+	MetricsAddr string
 }
 
 func (c Config) withDefaults() Config {

@@ -3,6 +3,8 @@ package shmt
 import (
 	"errors"
 	"fmt"
+	"io"
+	"os"
 
 	"shmt/internal/core"
 	"shmt/internal/device"
@@ -16,6 +18,7 @@ import (
 	"shmt/internal/parallel"
 	"shmt/internal/sampling"
 	"shmt/internal/sched"
+	"shmt/internal/telemetry"
 	"shmt/internal/tensor"
 	"shmt/internal/trace"
 	"shmt/internal/vop"
@@ -80,13 +83,20 @@ type CommTracker = interconnect.Tracker
 // Trace holds per-HLOP execution events (enable with Config.RecordTrace).
 type Trace = trace.Trace
 
+// TelemetryReport is the structured observability report of a session: the
+// counter deltas since the session was built, process totals, and a per-lane
+// span digest. See Session.TelemetryReport.
+type TelemetryReport = telemetry.Report
+
 // Session is SHMT's virtual hardware device: it owns the simulated device
 // set and the runtime engine, and executes VOPs submitted through Execute or
 // the convenience kernel methods.
 type Session struct {
-	cfg Config
-	reg *device.Registry
-	eng *core.Engine
+	cfg        Config
+	reg        *device.Registry
+	eng        *core.Engine
+	tel        *telemetry.Recorder
+	metricsSrv *telemetry.Server
 }
 
 // NewSession builds a session from cfg (zero value = all three devices,
@@ -129,13 +139,68 @@ func NewSession(cfg Config) (*Session, error) {
 		RecordTrace:  cfg.RecordTrace,
 		Concurrent:   cfg.Concurrent,
 	}
-	return &Session{cfg: cfg, reg: reg, eng: eng}, nil
+	s := &Session{cfg: cfg, reg: reg, eng: eng}
+
+	metricsAddr := cfg.Telemetry.MetricsAddr
+	if metricsAddr == "" {
+		metricsAddr = os.Getenv("SHMT_METRICS_ADDR")
+	}
+	if cfg.Telemetry.Enabled || metricsAddr != "" {
+		telemetry.Enable()
+		s.tel = telemetry.NewRecorder()
+		eng.Telemetry = s.tel
+		if metricsAddr != "" {
+			srv, err := telemetry.Serve(metricsAddr)
+			if err != nil {
+				return nil, fmt.Errorf("shmt: %w", err)
+			}
+			s.metricsSrv = srv
+		}
+	}
+	return s, nil
 }
 
-// Close releases the session. (The simulated devices hold no external
-// resources; Close exists so call sites read like the driver-backed API the
-// paper describes.)
-func (s *Session) Close() error { return nil }
+// Close releases the session: it stops the metrics listener when one was
+// started. (The simulated devices hold no external resources; Close also
+// exists so call sites read like the driver-backed API the paper describes.)
+func (s *Session) Close() error {
+	if s.metricsSrv != nil {
+		err := s.metricsSrv.Close()
+		s.metricsSrv = nil
+		return err
+	}
+	return nil
+}
+
+// TelemetryReport returns the session's observability report: counter deltas
+// since the session was built, absolute process totals, and a per-lane span
+// digest. Returns nil unless telemetry was enabled in the Config.
+func (s *Session) TelemetryReport() *TelemetryReport {
+	if s.tel == nil {
+		return nil
+	}
+	return s.tel.Report()
+}
+
+// WriteTrace renders every span the session recorded — virtual device lanes,
+// wall-clock host lanes, and steal flow arrows — as Chrome trace-event JSON
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Returns an
+// error unless telemetry was enabled in the Config.
+func (s *Session) WriteTrace(w io.Writer) error {
+	if s.tel == nil {
+		return errors.New("shmt: telemetry not enabled (set Config.Telemetry.Enabled)")
+	}
+	return s.tel.WritePerfetto(w)
+}
+
+// MetricsAddr returns the bound address of the session's Prometheus endpoint
+// ("" when none was configured). Useful with ":0" listeners.
+func (s *Session) MetricsAddr() string {
+	if s.metricsSrv == nil {
+		return ""
+	}
+	return s.metricsSrv.Addr()
+}
 
 // Devices lists the session's device names in queue-index order.
 func (s *Session) Devices() []string {

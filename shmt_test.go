@@ -245,7 +245,7 @@ func TestRecordTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Trace == nil || len(rep.Trace.Events) == 0 {
+	if rep.Trace == nil || rep.Trace.Len() == 0 {
 		t.Fatal("trace not recorded")
 	}
 	s2 := newSession(t, shmt.Config{Policy: shmt.PolicyWorkStealing, TargetPartitions: 8})

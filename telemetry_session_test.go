@@ -1,0 +1,134 @@
+package shmt_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"shmt"
+	"shmt/internal/workload"
+)
+
+// TestSessionTelemetryEndToEnd covers the ISSUE acceptance path through the
+// public API: an enabled session produces a non-nil report, a valid Perfetto
+// trace, and a live Prometheus endpoint; Close tears the listener down.
+func TestSessionTelemetryEndToEnd(t *testing.T) {
+	s, err := shmt.NewSession(shmt.Config{
+		Telemetry: shmt.Telemetry{Enabled: true, MetricsAddr: "127.0.0.1:0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	addr := s.MetricsAddr()
+	if addr == "" {
+		t.Fatal("MetricsAddr empty despite :0 listener")
+	}
+
+	img := workload.Mixed(64, 64, workload.Profile{TileSize: 16}, 7)
+	if _, _, err := s.Sobel(img); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := s.TelemetryReport()
+	if rep == nil {
+		t.Fatal("TelemetryReport nil on an enabled session")
+	}
+	if rep.Spans == 0 || len(rep.Lanes) == 0 {
+		t.Fatalf("report empty: %+v", rep)
+	}
+	var sawVirtual, sawWall bool
+	for _, l := range rep.Lanes {
+		switch l.Clock {
+		case "virtual":
+			sawVirtual = true
+		case "wall":
+			sawWall = true
+		}
+	}
+	if !sawVirtual || !sawWall {
+		t.Fatalf("report lacks both clock domains: %+v", rep.Lanes)
+	}
+	var moved bool
+	for k := range rep.Counters {
+		if strings.HasPrefix(k, "shmt_hlops_executed_total") {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("no execution counters in report: %v", rep.Counters)
+	}
+
+	// Perfetto trace round-trips through JSON.
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("WriteTrace output is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	// Live scrape while the session is open.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{"shmt_runs_total", "shmt_queue_depth", "shmt_steal_attempts_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("scrape missing %q", want)
+		}
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("metrics endpoint still serving after Close")
+	}
+}
+
+func TestSessionTelemetryDisabled(t *testing.T) {
+	s, err := shmt.NewSession(shmt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if rep := s.TelemetryReport(); rep != nil {
+		t.Fatalf("TelemetryReport = %+v on a disabled session", rep)
+	}
+	if err := s.WriteTrace(io.Discard); err == nil {
+		t.Fatal("WriteTrace must fail when telemetry is disabled")
+	}
+	if s.MetricsAddr() != "" {
+		t.Fatal("MetricsAddr set without a listener")
+	}
+}
+
+// TestSessionMetricsAddrImpliesEnabled: setting only MetricsAddr must turn
+// the instrumentation core on.
+func TestSessionMetricsAddrImpliesEnabled(t *testing.T) {
+	s, err := shmt.NewSession(shmt.Config{Telemetry: shmt.Telemetry{MetricsAddr: "127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.TelemetryReport() == nil {
+		t.Fatal("MetricsAddr alone should imply Enabled")
+	}
+}
