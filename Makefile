@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench benchsmoke benchtelemetry experiments examples fmt vet clean
+.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath experiments examples fmt vet clean
 
 all: check
 
 # check is the pre-merge gate: build, vet, tests, the race detector over the
 # whole module (the host worker pool runs everywhere now), a one-shot
-# benchmark pass so the bench suites can't silently rot, and the telemetry
-# overhead benchmark so instrumentation cost stays visible.
-check: build vet test race benchsmoke benchtelemetry
+# benchmark pass so the bench suites can't silently rot, the telemetry
+# overhead benchmark so instrumentation cost stays visible, and the datapath
+# benchmark so the zero-copy partition/aggregate path can't regress silently.
+check: build vet test race benchsmoke benchtelemetry benchdatapath
 
 build:
 	$(GO) build ./...
@@ -36,6 +37,13 @@ benchsmoke:
 # engine run); BENCH_telemetry.json snapshots the result.
 benchtelemetry:
 	$(GO) test -run='^$$' -bench=BenchmarkTelemetryOverhead -benchmem \
+		-benchtime=0.3s ./internal/core/
+
+# benchdatapath compares the zero-copy view partition/aggregate path against
+# the materialized copy path (copied_B/op must be 0 on the view side);
+# BENCH_datapath.json snapshots the result.
+benchdatapath:
+	$(GO) test -run='^$$' -bench=BenchmarkDatapath -benchmem \
 		-benchtime=0.3s ./internal/core/
 
 # Regenerate every table and figure of the paper's evaluation (plus the

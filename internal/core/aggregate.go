@@ -9,24 +9,30 @@ import (
 	"shmt/internal/hlop"
 	"shmt/internal/kernels"
 	"shmt/internal/parallel"
+	"shmt/internal/telemetry"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
 
 // aggregate merges completed HLOP results into the VOP's output tensor: the
 // data-aggregation/synchronization step the runtime performs from the
-// completion queues (§3.3.1). Reduction partials merge semantically; every
-// other opcode scatters each partition's interior back with strided copies,
-// fanned out over the host pool (each HLOP owns a disjoint output region, so
-// the copies are race-free). It returns the output and the total bytes
-// copied (for the host-time accounting).
+// completion queues (§3.3.1). Reduction partials merge semantically. For
+// every other opcode the caller pre-allocates out and (view mode) binds each
+// HLOP a strided view into it: results written through their view are
+// already in place and only need release bookkeeping, while the rest —
+// forced copies, halo interiors, private-memory devices that ignored the
+// view — scatter back with strided copies fanned out over the host pool
+// (each HLOP owns a disjoint output region, so the copies are race-free).
+// It returns the output and the total bytes physically copied (for the
+// host-time accounting; aliased results cost nothing).
 //
 // Aggregation is also where HLOP staging buffers die: each partition's
 // result and its non-shared input blocks return to the tensor arena here, so
 // the partition → execute → aggregate loop recycles its buffers instead of
-// growing the heap. Inputs aliased from the parent VOP (GEMM's whole B
-// matrix, the convolution kernel) stay untouched.
-func aggregate(v *vop.VOP, done []doneHLOP) (*tensor.Matrix, int64, error) {
+// growing the heap. Inputs aliased from the parent VOP (views, GEMM's whole
+// B matrix, the convolution kernel) stay untouched — PutMatrix refuses
+// views, so releasing is safe either way.
+func aggregate(v *vop.VOP, done []doneHLOP, out *tensor.Matrix) (*tensor.Matrix, int64, error) {
 	if len(done) == 0 {
 		return nil, 0, fmt.Errorf("core: no completed HLOPs to aggregate")
 	}
@@ -38,20 +44,42 @@ func aggregate(v *vop.VOP, done []doneHLOP) (*tensor.Matrix, int64, error) {
 		var bytes int64
 		for i, d := range ordered {
 			partials[i] = d.h.Result
-			bytes += d.h.Result.Bytes(8)
+			bytes += d.h.Result.Bytes(tensor.ElemSize)
 		}
-		out, err := kernels.MergePartials(v.Op, partials, v.Inputs[0].Len())
+		merged, err := kernels.MergePartials(v.Op, partials, v.Inputs[0].Len())
 		if err != nil {
 			return nil, 0, err
 		}
 		for _, d := range ordered {
 			releaseHLOPBuffers(v, d.h)
 		}
-		return out, bytes, nil
+		return merged, bytes, nil
 	}
 
-	rows, cols := v.OutputShape()
-	out := tensor.NewMatrix(rows, cols)
+	if out == nil {
+		rows, cols := v.OutputShape()
+		out = tensor.NewMatrix(rows, cols)
+	}
+	// Pass 1 (sequential, allocation-free): results that aliased the output
+	// through their view are already in place — release bookkeeping only.
+	aliased := 0
+	var aliasedBytes int64
+	for i := range done {
+		h := done[i].h
+		if h.Out != nil && h.Result == h.Out {
+			aliasedBytes += h.Region.Bytes(tensor.ElemSize)
+			releaseHLOPBuffers(v, h)
+			aliased++
+		}
+	}
+	if aliased > 0 {
+		telemetry.DatapathBytesAliased.Add(aliasedBytes)
+		telemetry.DatapathCopiesAvoided.Add(int64(aliased))
+	}
+	if aliased == len(done) {
+		return out, 0, nil
+	}
+	// Pass 2: scatter everything that still lives in a private buffer.
 	var bytes atomic.Int64
 	var errMu sync.Mutex
 	var firstErr error
@@ -65,6 +93,9 @@ func aggregate(v *vop.VOP, done []doneHLOP) (*tensor.Matrix, int64, error) {
 	parallel.For(len(done), 1, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			h := done[x].h
+			if h.Result == nil {
+				continue // aliased, handled in pass 1
+			}
 			block := h.Result
 			if h.Op.Halo() > 0 {
 				interior, err := tensor.CopyOut(block, h.Interior)
@@ -82,13 +113,14 @@ func aggregate(v *vop.VOP, done []doneHLOP) (*tensor.Matrix, int64, error) {
 				setErr(fmt.Errorf("core: aggregating HLOP %d: %w", h.ID, err))
 				continue
 			}
-			bytes.Add(h.Region.Bytes(8))
+			bytes.Add(h.Region.Bytes(tensor.ElemSize))
 			releaseHLOPBuffers(v, h)
 		}
 	})
 	if firstErr != nil {
 		return nil, 0, firstErr
 	}
+	telemetry.DatapathBytesCopied.Add(bytes.Load())
 	return out, bytes.Load(), nil
 }
 
@@ -97,8 +129,9 @@ func aggregate(v *vop.VOP, done []doneHLOP) (*tensor.Matrix, int64, error) {
 // matrices are skipped; everything else was CopyOut-extracted for this HLOP
 // alone and is dead once its region has been scattered.
 func releaseHLOPBuffers(v *vop.VOP, h *hlop.HLOP) {
-	tensor.PutMatrix(h.Result)
+	tensor.PutMatrix(h.Result) // no-op when Result is the output view
 	h.Result = nil
+	h.Out = nil
 	for _, in := range h.Inputs {
 		shared := false
 		for _, vin := range v.Inputs {

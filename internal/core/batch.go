@@ -9,6 +9,7 @@ import (
 	"shmt/internal/interconnect"
 	"shmt/internal/sched"
 	"shmt/internal/telemetry"
+	"shmt/internal/tensor"
 	"shmt/internal/trace"
 	"shmt/internal/vop"
 )
@@ -90,8 +91,18 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 	}
 
 	tr := trace.New()
+	outs := make([]*tensor.Matrix, len(vops))
 	for i, v := range vops {
 		e.accountFootprint(tr, v, perVOP[i])
+		if !v.Op.IsReduction() {
+			rows, cols := v.OutputShape()
+			outs[i] = tensor.NewMatrix(rows, cols)
+			if v.HaloWidth() == 0 && !e.Spec.ForceCopy {
+				if err := bindOutputViews(outs[i], perVOP[i]); err != nil {
+					return nil, fmt.Errorf("core: batch vop %d: %w", i, err)
+				}
+			}
+		}
 	}
 
 	var res *runResult
@@ -131,11 +142,8 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 	aggT := overhead
 	var aggBusy float64
 	for i, v := range vops {
-		out, aggBytes, err := aggregate(v, doneBy[i])
-		if err != nil {
-			return nil, fmt.Errorf("core: batch vop %d: %w", i, err)
-		}
-		aggBusy += float64(aggBytes) / copyBw
+		// Timeline first: aggregate releases the per-HLOP buffers, and the
+		// aliased-output check needs Result/Out intact.
 		var finish float64
 		for _, d := range doneBy[i] {
 			if d.finish > finish {
@@ -144,8 +152,15 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 			if aggT < d.finish {
 				aggT = d.finish
 			}
-			aggT += float64(d.h.OutputBytes(8)) / copyBw
+			if d.h.Out == nil || d.h.Result != d.h.Out {
+				aggT += float64(d.h.OutputBytes(tensor.ElemSize)) / copyBw
+			}
 		}
+		out, aggBytes, err := aggregate(v, doneBy[i], outs[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: batch vop %d: %w", i, err)
+		}
+		aggBusy += float64(aggBytes) / copyBw
 		rep := &Report{
 			Output:        out,
 			HLOPs:         len(doneBy[i]),

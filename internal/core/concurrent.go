@@ -89,7 +89,7 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 					continue
 				}
 				stolen := victim >= 0
-				result, execErr := dev.Execute(h.Op, h.Inputs, h.Attrs)
+				result, execErr := dev.ExecuteInto(h.Op, h.Inputs, h.Out, h.Attrs)
 				if execErr != nil {
 					if errors.Is(execErr, device.ErrTooLarge) {
 						a, b, splitErr := hlop.Split(h, int(nextID.Add(1)-1))

@@ -128,6 +128,20 @@ func (e *Engine) Run(v *vop.VOP) (*Report, error) {
 	tr := trace.New()
 	e.accountFootprint(tr, v, hs)
 
+	// Pre-allocate the output and hand each halo-free partition a strided
+	// view into it. Shared-memory devices write results through the view, so
+	// aggregation has nothing left to scatter for them.
+	var out *tensor.Matrix
+	if !v.Op.IsReduction() {
+		rows, cols := v.OutputShape()
+		out = tensor.NewMatrix(rows, cols)
+		if v.HaloWidth() == 0 && !e.Spec.ForceCopy {
+			if err := bindOutputViews(out, hs); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	var res *runResult
 	if e.Concurrent {
 		res, err = e.runConcurrent(ctx, pol, hs, overhead, tr, rt)
@@ -141,7 +155,24 @@ func (e *Engine) Run(v *vop.VOP) (*Report, error) {
 		phaseT = rt.phase(telemetry.PhaseExecute, phaseT)
 	}
 
-	out, aggBytes, err := aggregate(v, res.done)
+	// Aggregation timeline: the host drains completion queues while devices
+	// still run (§3.3.1), so each copy starts at max(previous copy end,
+	// HLOP completion). Only the tail beyond device completion is exposed.
+	// Results that aliased the output through a view have no copy to charge.
+	// (Computed before aggregate, which releases the per-HLOP buffers.)
+	aggT := overhead
+	copyBw := interconnect.HostDRAM.BandwidthBps
+	for _, d := range res.done {
+		if d.finish > aggT {
+			aggT = d.finish
+		}
+		if d.h.Out == nil || d.h.Result != d.h.Out {
+			aggT += float64(d.h.OutputBytes(tensor.ElemSize)) / copyBw
+		}
+	}
+
+	var aggBytes int64
+	out, aggBytes, err = aggregate(v, res.done, out)
 	if err != nil {
 		return nil, err
 	}
@@ -150,17 +181,6 @@ func (e *Engine) Run(v *vop.VOP) (*Report, error) {
 		rt.runs.Inc()
 	}
 
-	// Aggregation timeline: the host drains completion queues while devices
-	// still run (§3.3.1), so each copy starts at max(previous copy end,
-	// HLOP completion). Only the tail beyond device completion is exposed.
-	aggT := overhead
-	copyBw := interconnect.HostDRAM.BandwidthBps
-	for _, d := range res.done {
-		if d.finish > aggT {
-			aggT = d.finish
-		}
-		aggT += float64(d.h.OutputBytes(8)) / copyBw
-	}
 	makespan := res.deviceMakespan
 	if aggT > makespan {
 		makespan = aggT
@@ -255,7 +275,7 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 		}
 
 		dev := e.Reg.Get(pick)
-		result, execErr := dev.Execute(h.Op, h.Inputs, h.Attrs)
+		result, execErr := dev.ExecuteInto(h.Op, h.Inputs, h.Out, h.Attrs)
 		if execErr != nil {
 			if errors.Is(execErr, device.ErrTooLarge) {
 				a, b, splitErr := hlop.Split(h, nextID)
@@ -397,18 +417,45 @@ func (e *Engine) hlopCost(dev device.Device, h *hlop.HLOP, prevExec float64, etc
 // near (or below) the baseline despite the extra buffers (Fig. 11).
 func (e *Engine) accountFootprint(tr *trace.Trace, v *vop.VOP, hs []*hlop.HLOP) {
 	for _, in := range v.Inputs {
-		tr.AddBase(in.Bytes(8))
+		tr.AddBase(in.Bytes(tensor.ElemSize))
 	}
 	rows, cols := v.OutputShape()
-	tr.AddBase(int64(rows*cols) * 8)
+	tr.AddBase(int64(rows*cols) * tensor.ElemSize)
+}
+
+// bindOutputViews attaches to every HLOP a strided view of the VOP output
+// covering its region, through which shared-memory devices write results
+// directly.
+func bindOutputViews(out *tensor.Matrix, hs []*hlop.HLOP) error {
+	for _, h := range hs {
+		vw, err := out.View(h.Region)
+		if err != nil {
+			return fmt.Errorf("core: binding output view for HLOP %d: %w", h.ID, err)
+		}
+		h.Out = vw
+	}
+	return nil
 }
 
 // stagingBytes returns the transient host bytes an HLOP pins while executing
 // on dev: the device-precision input and output copies, doubled when double
 // buffering prefetches the next partition, plus the kernel's intermediate
-// stage buffers.
+// stage buffers. On shared-memory devices, inputs aliased through views and
+// results written through the output view pin nothing beyond the base
+// tensors, so they drop out of the staging footprint.
 func (e *Engine) stagingBytes(dev device.Device, h *hlop.HLOP) int64 {
-	stage := h.InputBytes(dev.ElemBytes()) + h.OutputBytes(dev.ElemBytes())
+	elem := dev.ElemBytes()
+	shared := dev.MemoryBytes() == 0
+	var stage int64
+	for _, in := range h.Inputs {
+		if shared && in.IsView() {
+			continue // reads the parent tensor in place
+		}
+		stage += in.Bytes(elem)
+	}
+	if !shared || h.Out == nil {
+		stage += h.OutputBytes(elem)
+	}
 	if e.DoubleBuffer {
 		stage *= 2
 	}

@@ -201,10 +201,14 @@ type flakyDevice struct {
 var errInjected = errors.New("injected device failure")
 
 func (f *flakyDevice) Execute(op vop.Opcode, in []*tensor.Matrix, at map[string]float64) (*tensor.Matrix, error) {
+	return f.ExecuteInto(op, in, nil, at)
+}
+
+func (f *flakyDevice) ExecuteInto(op vop.Opcode, in []*tensor.Matrix, dst *tensor.Matrix, at map[string]float64) (*tensor.Matrix, error) {
 	if f.failures.Add(-1) >= 0 {
 		return nil, errInjected
 	}
-	return f.Device.Execute(op, in, at)
+	return f.Device.ExecuteInto(op, in, dst, at)
 }
 
 func TestEngineFailureFallback(t *testing.T) {

@@ -52,7 +52,14 @@ func (d *Device) Supports(op vop.Opcode) bool {
 
 // Execute implements device.Device: exact float64 execution.
 func (d *Device) Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error) {
-	return kernels.Exec(op, inputs, attrs, kernels.Exact{})
+	return d.ExecuteInto(op, inputs, nil, attrs)
+}
+
+// ExecuteInto implements device.Device. The CPU works directly out of shared
+// host memory: strided input views are read in place and, when dst is given,
+// the result is written through it — no staging copies on either side.
+func (d *Device) ExecuteInto(op vop.Opcode, inputs []*tensor.Matrix, dst *tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error) {
+	return kernels.ExecInto(op, inputs, dst, attrs, kernels.Exact{})
 }
 
 // ExecTime implements device.Device.

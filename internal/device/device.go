@@ -68,6 +68,14 @@ type Device interface {
 	// precision and returns the result (restored to float64, as the paper's
 	// runtime restores results to the application's precision).
 	Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error)
+	// ExecuteInto is Execute with an optional destination. Inputs may be
+	// strided views. When dst is non-nil, devices that execute out of shared
+	// host memory write the result through dst — typically a strided view
+	// into the VOP's output tensor — and return dst, eliminating the
+	// aggregate scatter copy. Devices with private memory or quantized
+	// output staging (the TPU) may ignore dst and return a fresh buffer; the
+	// caller detects that by result != dst and falls back to the copy path.
+	ExecuteInto(op vop.Opcode, inputs []*tensor.Matrix, dst *tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error)
 	// ExecTime returns the modelled execution latency for n elements of the
 	// opcode, excluding dispatch and transfers.
 	ExecTime(op vop.Opcode, n int) float64

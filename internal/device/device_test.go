@@ -30,6 +30,9 @@ func (f *fakeDevice) Supports(op vop.Opcode) bool {
 func (f *fakeDevice) Execute(vop.Opcode, []*tensor.Matrix, map[string]float64) (*tensor.Matrix, error) {
 	return tensor.NewMatrix(1, 1), nil
 }
+func (f *fakeDevice) ExecuteInto(op vop.Opcode, in []*tensor.Matrix, _ *tensor.Matrix, at map[string]float64) (*tensor.Matrix, error) {
+	return f.Execute(op, in, at)
+}
 func (f *fakeDevice) ExecTime(vop.Opcode, int) float64 { return 1 }
 func (f *fakeDevice) DispatchOverhead() float64        { return 0 }
 func (f *fakeDevice) Link() interconnect.Link          { return interconnect.HostDRAM }

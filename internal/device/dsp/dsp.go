@@ -98,15 +98,23 @@ func (Fixed24) Name() string { return "fixed24" }
 
 // Execute implements device.Device: 24-bit fixed-point execution.
 func (d *Device) Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error) {
+	return d.ExecuteInto(op, inputs, nil, attrs)
+}
+
+// ExecuteInto implements device.Device. The on-SoC DSP shares host memory,
+// so when dst is given the fixed-point result is written through it. Note
+// Fixed24 calibrates per stage, so it is deliberately not an
+// ElementwiseRounder: kernels gather strided destinations before the final
+// requant to keep calibration identical to the copy path.
+func (d *Device) ExecuteInto(op vop.Opcode, inputs []*tensor.Matrix, dst *tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error) {
 	var r kernels.Rounder = Fixed24{}
 	cast := make([]*tensor.Matrix, len(inputs))
 	for i, in := range inputs {
-		c := tensor.GetMatrixUninit(in.Rows, in.Cols)
-		copy(c.Data, in.Data)
+		c := tensor.Materialize(in) // stride-aware gather: inputs may be views
 		r.Round(c.Data)
 		cast[i] = c
 	}
-	out, err := kernels.Exec(op, cast, attrs, r)
+	out, err := kernels.ExecInto(op, cast, dst, attrs, r)
 	for _, c := range cast {
 		tensor.PutMatrix(c) // kernels never retain or return their inputs
 	}

@@ -82,18 +82,25 @@ func (d *Device) Supports(op vop.Opcode) bool {
 // precision at the host boundary first — the runtime's data-type casting of
 // §3.3.2.
 func (d *Device) Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error) {
+	return d.ExecuteInto(op, inputs, nil, attrs)
+}
+
+// ExecuteInto implements device.Device. The integrated GPU shares host
+// memory, so when dst is given the FP32/FP16 result lands directly in it
+// (the precision cast of the inputs is a modelled device behaviour and is
+// kept — stride-aware — even for views).
+func (d *Device) ExecuteInto(op vop.Opcode, inputs []*tensor.Matrix, dst *tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error) {
 	var r kernels.Rounder = kernels.F32{}
 	if d.cfg.HalfPrecision {
 		r = kernels.F16{}
 	}
 	cast := make([]*tensor.Matrix, len(inputs))
 	for i, in := range inputs {
-		c := tensor.GetMatrixUninit(in.Rows, in.Cols)
-		copy(c.Data, in.Data)
+		c := tensor.Materialize(in) // stride-aware gather: inputs may be views
 		r.Round(c.Data)
 		cast[i] = c
 	}
-	out, err := kernels.Exec(op, cast, attrs, r)
+	out, err := kernels.ExecInto(op, cast, dst, attrs, r)
 	for _, c := range cast {
 		tensor.PutMatrix(c) // kernels never retain or return their inputs
 	}

@@ -58,25 +58,32 @@ func (q *TaskQueue[T]) Push(t T) {
 }
 
 // PushFront prepends a task (used when re-queueing after a failure so the
-// task keeps its priority).
+// task keeps its priority). The shift reuses the slice's backing array via
+// append+copy instead of allocating a fresh slice on every call.
 func (q *TaskQueue[T]) PushFront(t T) {
 	q.mu.Lock()
-	q.incoming = append([]T{t}, q.incoming...)
+	var zero T
+	q.incoming = append(q.incoming, zero)
+	copy(q.incoming[1:], q.incoming)
+	q.incoming[0] = t
 	if q.wait != nil {
-		q.enqueued = append([]int64{time.Now().UnixNano()}, q.enqueued...)
+		q.enqueued = append(q.enqueued, 0)
+		copy(q.enqueued[1:], q.enqueued)
+		q.enqueued[0] = time.Now().UnixNano()
 	}
 	q.noteDepthLocked()
 	q.mu.Unlock()
 }
 
-// observeWaitLocked records the residency of the item enqueued at index i and
-// removes its timestamp.
+// observeWaitLocked records the residency of the item enqueued at index i.
+// The caller removes the timestamp by mirroring its incoming-slice edit
+// (head advance on Pop, tail truncation on Steal), so the bookkeeping stays
+// O(1) under the queue lock — no mid-slice deletes.
 func (q *TaskQueue[T]) observeWaitLocked(i int) {
 	if q.wait == nil || i >= len(q.enqueued) {
 		return
 	}
 	q.wait.Observe(float64(time.Now().UnixNano()-q.enqueued[i]) / 1e9)
-	q.enqueued = append(q.enqueued[:i], q.enqueued[i+1:]...)
 }
 
 // Pop removes the head of the incoming queue (owner side).
@@ -88,8 +95,11 @@ func (q *TaskQueue[T]) Pop() (T, bool) {
 		return zero, false
 	}
 	t := q.incoming[0]
-	q.incoming = q.incoming[1:]
 	q.observeWaitLocked(0)
+	q.incoming = q.incoming[1:]
+	if len(q.enqueued) > 0 {
+		q.enqueued = q.enqueued[1:]
+	}
 	q.noteDepthLocked()
 	return t, true
 }
@@ -104,8 +114,11 @@ func (q *TaskQueue[T]) Steal() (T, bool) {
 	}
 	last := len(q.incoming) - 1
 	t := q.incoming[last]
-	q.incoming = q.incoming[:last]
 	q.observeWaitLocked(last)
+	q.incoming = q.incoming[:last]
+	if len(q.enqueued) > last {
+		q.enqueued = q.enqueued[:last]
+	}
 	q.noteDepthLocked()
 	return t, true
 }

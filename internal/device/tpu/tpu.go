@@ -129,6 +129,14 @@ func matrixMode(op vop.Opcode) bool {
 
 // Execute implements device.Device.
 func (d *Device) Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error) {
+	return d.ExecuteInto(op, inputs, nil, attrs)
+}
+
+// ExecuteInto implements device.Device. The TPU sits behind PCIe with
+// private memory and quantized staging, so it ignores dst and always
+// returns a fresh materialized buffer; the runtime detects result != dst
+// and scatters it into the VOP output on the copy path.
+func (d *Device) ExecuteInto(op vop.Opcode, inputs []*tensor.Matrix, _ *tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error) {
 	if err := d.checkFits(op, inputs); err != nil {
 		return nil, err
 	}
@@ -136,8 +144,7 @@ func (d *Device) Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[strin
 		r := kernels.Int8{}
 		cast := make([]*tensor.Matrix, len(inputs))
 		for i, in := range inputs {
-			c := tensor.GetMatrixUninit(in.Rows, in.Cols)
-			copy(c.Data, in.Data)
+			c := tensor.Materialize(in) // stride-aware gather: inputs may be views
 			r.Round(c.Data)
 			cast[i] = c
 		}

@@ -13,6 +13,7 @@ package hlop
 import (
 	"fmt"
 
+	"shmt/internal/telemetry"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
@@ -48,6 +49,12 @@ type HLOP struct {
 	// AssignedQueue is the initial device-queue index chosen by the policy.
 	AssignedQueue int
 
+	// Out, when non-nil, is a strided view into the VOP's output tensor
+	// covering Region. Shared-memory devices write their result through it
+	// (ExecuteInto returns Out itself), letting aggregation skip the CopyIn
+	// scatter. Devices that ignore it return a fresh buffer instead, which
+	// aggregation detects by Result != Out.
+	Out *tensor.Matrix
 	// Result holds the computed partition output after execution.
 	Result *tensor.Matrix
 	// ExecQueue is the queue index of the device that actually executed the
@@ -120,6 +127,11 @@ type Spec struct {
 	// MinTile floors tile edges (default 64; tiles grow toward 1024 with
 	// input size as in §3.4). DCT8x8 tiles stay multiples of 8 regardless.
 	MinTile int
+	// ForceCopy disables zero-copy view aliasing: every partition
+	// materializes its input blocks with strided copies, as if no device
+	// shared host memory. Used by the bit-identity property tests and the
+	// datapath benchmarks to compare both paths.
+	ForceCopy bool
 }
 
 func (s Spec) withDefaults() Spec {
@@ -171,7 +183,7 @@ func partitionRows(v *vop.VOP, spec Spec, minRows int) ([]*HLOP, error) {
 			h = in.Rows - r
 		}
 		reg := tensor.Region{Row: r, Col: 0, Height: h, Width: in.Cols}
-		hl, err := extract(v, reg, len(hs))
+		hl, err := extract(v, reg, len(hs), spec.ForceCopy)
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +233,7 @@ func partitionTiles(v *vop.VOP, spec Spec) ([]*HLOP, error) {
 				w = in.Cols - c
 			}
 			reg := tensor.Region{Row: r, Col: c, Height: h, Width: w}
-			hl, err := extract(v, reg, len(hs))
+			hl, err := extract(v, reg, len(hs), spec.ForceCopy)
 			if err != nil {
 				return nil, err
 			}
@@ -244,7 +256,7 @@ func partitionGEMM(v *vop.VOP, spec Spec) ([]*HLOP, error) {
 			h = a.Rows - r
 		}
 		reg := tensor.Region{Row: r, Col: 0, Height: h, Width: a.Cols}
-		band, err := tensor.CopyOut(a, reg)
+		band, err := bandOf(a, reg, spec.ForceCopy)
 		if err != nil {
 			return nil, err
 		}
@@ -262,9 +274,32 @@ func partitionGEMM(v *vop.VOP, spec Spec) ([]*HLOP, error) {
 	return hs, nil
 }
 
+// bandOf returns region reg of src either as a zero-copy strided view or,
+// when forceCopy is set, as a materialized block — and charges the
+// corresponding datapath counter.
+func bandOf(src *tensor.Matrix, reg tensor.Region, forceCopy bool) (*tensor.Matrix, error) {
+	if forceCopy {
+		blk, err := tensor.CopyOut(src, reg)
+		if err != nil {
+			return nil, err
+		}
+		telemetry.DatapathBytesCopied.Add(reg.Bytes(tensor.ElemSize))
+		return blk, nil
+	}
+	blk, err := src.View(reg)
+	if err != nil {
+		return nil, err
+	}
+	telemetry.DatapathBytesAliased.Add(reg.Bytes(tensor.ElemSize))
+	telemetry.DatapathCopiesAvoided.Add(1)
+	return blk, nil
+}
+
 // extract builds the HLOP covering region reg of VOP v, shipping halos for
-// stencil opcodes.
-func extract(v *vop.VOP, reg tensor.Region, id int) (*HLOP, error) {
+// stencil opcodes. Halo-free inputs alias the parent tensor through strided
+// views unless forceCopy is set; halo blocks are always materialized because
+// their clamped borders have no in-place representation.
+func extract(v *vop.VOP, reg tensor.Region, id int, forceCopy bool) (*HLOP, error) {
 	halo := v.HaloWidth()
 	inputs := make([]*tensor.Matrix, len(v.Inputs))
 	interior := tensor.Region{Row: 0, Col: 0, Height: reg.Height, Width: reg.Width}
@@ -278,10 +313,11 @@ func extract(v *vop.VOP, reg tensor.Region, id int) (*HLOP, error) {
 			if err != nil {
 				return nil, err
 			}
+			telemetry.DatapathBytesCopied.Add(blk.Bytes(tensor.ElemSize))
 			inputs[i] = blk
 			interior = inner
 		} else {
-			blk, err := tensor.CopyOut(src, reg)
+			blk, err := bandOf(src, reg, forceCopy)
 			if err != nil {
 				return nil, err
 			}
@@ -330,17 +366,42 @@ func Split(h *HLOP, newID int) (*HLOP, *HLOP, error) {
 	} else {
 		return nil, nil, fmt.Errorf("hlop: cannot split %v further", r)
 	}
-	a, err := extract(h.Parent, r1, h.ID)
+	// Re-extract in the same representation the parent used: view-mode
+	// partitions (halo-free, Inputs[0] is a view) stay zero-copy, forced
+	// copies stay copies. Halo extraction materializes regardless.
+	forceCopy := len(h.Inputs) == 0 || !h.Inputs[0].IsView()
+	a, err := extract(h.Parent, r1, h.ID, forceCopy)
 	if err != nil {
 		return nil, nil, err
 	}
-	b, err := extract(h.Parent, r2, newID)
+	b, err := extract(h.Parent, r2, newID, forceCopy)
 	if err != nil {
 		return nil, nil, err
+	}
+	if h.Out != nil {
+		// The halves' output views are sub-views of the parent's, located
+		// relative to its region.
+		if a.Out, err = h.Out.View(relativeTo(r1, r)); err != nil {
+			return nil, nil, err
+		}
+		if b.Out, err = h.Out.View(relativeTo(r2, r)); err != nil {
+			return nil, nil, err
+		}
 	}
 	inheritPolicy(h, a)
 	inheritPolicy(h, b)
 	return a, b, nil
+}
+
+// relativeTo re-bases sub (an absolute region inside outer) to coordinates
+// relative to outer's origin.
+func relativeTo(sub, outer tensor.Region) tensor.Region {
+	return tensor.Region{
+		Row:    sub.Row - outer.Row,
+		Col:    sub.Col - outer.Col,
+		Height: sub.Height,
+		Width:  sub.Width,
+	}
 }
 
 func splitGEMM(h *HLOP, newID int) (*HLOP, *HLOP, error) {
@@ -349,9 +410,10 @@ func splitGEMM(h *HLOP, newID int) (*HLOP, *HLOP, error) {
 	}
 	a := h.Parent.Inputs[0]
 	half := h.Region.Height / 2
+	forceCopy := len(h.Inputs) == 0 || !h.Inputs[0].IsView()
 	mk := func(row, height, id int) (*HLOP, error) {
 		reg := tensor.Region{Row: row, Col: 0, Height: height, Width: a.Cols}
-		band, err := tensor.CopyOut(a, reg)
+		band, err := bandOf(a, reg, forceCopy)
 		if err != nil {
 			return nil, err
 		}
@@ -374,6 +436,14 @@ func splitGEMM(h *HLOP, newID int) (*HLOP, *HLOP, error) {
 	y, err := mk(h.Region.Row+half, h.Region.Height-half, newID)
 	if err != nil {
 		return nil, nil, err
+	}
+	if h.Out != nil {
+		if x.Out, err = h.Out.View(relativeTo(x.Region, h.Region)); err != nil {
+			return nil, nil, err
+		}
+		if y.Out, err = h.Out.View(relativeTo(y.Region, h.Region)); err != nil {
+			return nil, nil, err
+		}
 	}
 	inheritPolicy(h, x)
 	inheritPolicy(h, y)

@@ -17,7 +17,7 @@ import (
 // The kernel has four stage boundaries (d1, d2, the two CND evaluations fold
 // into one stage, and the final combination), which is also the NPU model
 // depth used by the Edge TPU cost model.
-func execBlackScholes(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
+func execBlackScholes(inputs []*tensor.Matrix, dst *tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpParabolicPDE, inputs, 2); err != nil {
 		return nil, err
 	}
@@ -25,6 +25,17 @@ func execBlackScholes(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matr
 	rate := a.get("r", 0.02)
 	sigma := a.get("sigma", 0.30)
 	t := a.get("t", 1)
+
+	// The staged sweeps index flat payloads; gather strided views once up
+	// front (row-band views are contiguous, so this copy is rare).
+	if !s.IsContiguous() {
+		s = tensor.Materialize(s)
+		defer tensor.PutMatrix(s)
+	}
+	if !k.IsContiguous() {
+		k = tensor.Materialize(k)
+		defer tensor.PutMatrix(k)
+	}
 
 	n := s.Len()
 	d1 := tensor.GetFloats(n)
@@ -55,14 +66,33 @@ func execBlackScholes(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matr
 	r.Round(nd1) // stage 3 (both CNDs evaluate in the same layer)
 	r.Round(nd2)
 
-	out := tensor.GetMatrixUninit(s.Rows, s.Cols)
+	out, err := outFor(dst, s.Rows, s.Cols)
+	if err != nil {
+		tensor.PutFloats(d1)
+		tensor.PutFloats(d2)
+		tensor.PutFloats(nd1)
+		tensor.PutFloats(nd2)
+		return nil, err
+	}
 	expRT := math.Exp(-rate * t)
-	parallel.For(n, parGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Data[i] = s.Data[i]*nd1[i] - k.Data[i]*expRT*nd2[i]
-		}
-	})
-	r.Round(out.Data) // stage 4
+	if out.IsContiguous() {
+		parallel.For(n, parGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Data[i] = s.Data[i]*nd1[i] - k.Data[i]*expRT*nd2[i]
+			}
+		})
+	} else {
+		parallel.For(out.Rows, parallel.RowGrain(out.Cols), func(lo, hi int) {
+			for ri := lo; ri < hi; ri++ {
+				row := out.Row(ri)
+				off := ri * out.Cols
+				for j := range row {
+					row[j] = s.Data[off+j]*nd1[off+j] - k.Data[off+j]*expRT*nd2[off+j]
+				}
+			}
+		})
+	}
+	RoundMatrix(r, out) // stage 4
 	tensor.PutFloats(d1)
 	tensor.PutFloats(d2)
 	tensor.PutFloats(nd1)

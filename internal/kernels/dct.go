@@ -28,7 +28,7 @@ var dct8Basis = func() [8][8]float64 {
 // execDCT8x8 computes the blockwise 8x8 2-D DCT-II of the input (rows and
 // cols must be multiples of 8), as separable row then column passes — the
 // two stage boundaries of the kernel.
-func execDCT8x8(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+func execDCT8x8(inputs []*tensor.Matrix, dst *tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpDCT8x8, inputs, 1); err != nil {
 		return nil, err
 	}
@@ -37,26 +37,35 @@ func execDCT8x8(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 		return nil, fmt.Errorf("kernels: DCT8x8 input %dx%d not a multiple of 8", in.Rows, in.Cols)
 	}
 	// Row pass: for each 8-wide strip of each row, tmp[k] = Σx basis[k][x]*v[x].
-	// Rows are independent, so the sweep parallelizes bit-identically.
+	// Rows are independent, so the sweep parallelizes bit-identically. The
+	// input may be a strided tile view; tmp is always dense.
+	inS := in.RowStride()
 	tmp := tensor.GetMatrixUninit(in.Rows, in.Cols)
 	parallel.For(in.Rows, parallel.RowGrain(in.Cols), func(lo, hi int) {
 		for row := lo; row < hi; row++ {
-			base := row * in.Cols
+			baseIn := row * inS
+			baseT := row * in.Cols
 			for bc := 0; bc < in.Cols; bc += 8 {
 				for k := 0; k < 8; k++ {
 					var s float64
 					for x := 0; x < 8; x++ {
-						s += dct8Basis[k][x] * in.Data[base+bc+x]
+						s += dct8Basis[k][x] * in.Data[baseIn+bc+x]
 					}
-					tmp.Data[base+bc+k] = s
+					tmp.Data[baseT+bc+k] = s
 				}
 			}
 		}
 	})
 	r.Round(tmp.Data) // stage 1
 
-	// Column pass within each 8-tall block; blocks are independent.
-	out := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	// Column pass within each 8-tall block; blocks are independent. The
+	// destination may be a strided view into the VOP output.
+	out, err := outFor(dst, in.Rows, in.Cols)
+	if err != nil {
+		tensor.PutMatrix(tmp)
+		return nil, err
+	}
+	outS := out.RowStride()
 	parallel.For(in.Rows/8, parallel.RowGrain(8*in.Cols), func(lo, hi int) {
 		for blk := lo; blk < hi; blk++ {
 			br := blk * 8
@@ -66,12 +75,12 @@ func execDCT8x8(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 					for y := 0; y < 8; y++ {
 						s += dct8Basis[k][y] * tmp.Data[(br+y)*in.Cols+col]
 					}
-					out.Data[(br+k)*in.Cols+col] = s
+					out.Data[(br+k)*outS+col] = s
 				}
 			}
 		}
 	})
-	r.Round(out.Data) // stage 2
+	RoundMatrix(r, out) // stage 2
 	tensor.PutMatrix(tmp)
 	return out, nil
 }

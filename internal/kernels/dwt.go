@@ -23,7 +23,7 @@ const (
 // recursing on the LL quadrant for the "levels" attribute (default 1, as in
 // Rodinia's multi-level DWT). Odd-length rows or columns place the extra
 // sample in the low-pass half.
-func execFDWT97(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
+func execFDWT97(inputs []*tensor.Matrix, dst *tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpFDWT97, inputs, 1); err != nil {
 		return nil, err
 	}
@@ -32,16 +32,30 @@ func execFDWT97(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, er
 	if levels < 1 {
 		levels = 1
 	}
-	tmp := tensor.GetMatrixUninit(in.Rows, in.Cols)
-	copy(tmp.Data, in.Data)
+	out, err := outFor(dst, in.Rows, in.Cols)
+	if err != nil {
+		return nil, err
+	}
+	// The lifting passes transform a dense buffer in place: use dst directly
+	// when it is gap-free, otherwise run in scratch and scatter once at the
+	// end.
+	work := out
+	if !out.IsContiguous() {
+		work = tensor.GetMatrixUninit(in.Rows, in.Cols)
+	}
+	work.CopyFrom(in)
 
 	rows, cols := in.Rows, in.Cols
 	for lvl := 0; lvl < levels && rows >= 2 && cols >= 2; lvl++ {
-		dwtLevel(tmp, rows, cols, r)
+		dwtLevel(work, rows, cols, r)
 		rows = (rows + 1) / 2
 		cols = (cols + 1) / 2
 	}
-	return tmp, nil
+	if work != out {
+		out.CopyFrom(work)
+		tensor.PutMatrix(work)
+	}
+	return out, nil
 }
 
 // dwtLevel transforms the top-left rows×cols block of m in place. Rows

@@ -4,15 +4,14 @@ import (
 	"fmt"
 	"math"
 
-	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
 )
 
-// execBinary evaluates the element-wise two-operand vector VOPs. Chunks are
+// execBinary evaluates the element-wise two-operand vector VOPs. Spans are
 // disjoint index ranges, so the parallel sweep writes each element exactly
 // once and the result is bit-identical at any worker count.
-func execBinary(op vop.Opcode, inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+func execBinary(op vop.Opcode, inputs []*tensor.Matrix, dst *tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(op, inputs, 2); err != nil {
 		return nil, err
 	}
@@ -20,92 +19,96 @@ func execBinary(op vop.Opcode, inputs []*tensor.Matrix, r Rounder) (*tensor.Matr
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		return nil, fmt.Errorf("kernels: %s shapes %dx%d and %dx%d differ", op, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	out := tensor.GetMatrixUninit(a.Rows, a.Cols)
-	var fn func(lo, hi int)
+	var fn func(d, x, y []float64)
 	switch op {
 	case vop.OpAdd:
-		fn = func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out.Data[i] = a.Data[i] + b.Data[i]
+		fn = func(d, x, y []float64) {
+			for i := range d {
+				d[i] = x[i] + y[i]
 			}
 		}
 	case vop.OpSub:
-		fn = func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out.Data[i] = a.Data[i] - b.Data[i]
+		fn = func(d, x, y []float64) {
+			for i := range d {
+				d[i] = x[i] - y[i]
 			}
 		}
 	case vop.OpMultiply:
-		fn = func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out.Data[i] = a.Data[i] * b.Data[i]
+		fn = func(d, x, y []float64) {
+			for i := range d {
+				d[i] = x[i] * y[i]
 			}
 		}
 	case vop.OpMax:
-		fn = func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out.Data[i] = math.Max(a.Data[i], b.Data[i])
+		fn = func(d, x, y []float64) {
+			for i := range d {
+				d[i] = math.Max(x[i], y[i])
 			}
 		}
 	case vop.OpMin:
-		fn = func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out.Data[i] = math.Min(a.Data[i], b.Data[i])
+		fn = func(d, x, y []float64) {
+			for i := range d {
+				d[i] = math.Min(x[i], y[i])
 			}
 		}
 	default:
-		tensor.PutMatrix(out)
 		return nil, fmt.Errorf("kernels: %s is not a binary op", op)
 	}
-	parallel.For(len(out.Data), parGrain, fn)
-	r.Round(out.Data)
+	out, err := outFor(dst, a.Rows, a.Cols)
+	if err != nil {
+		return nil, err
+	}
+	forSpans2(out, a, b, fn)
+	RoundMatrix(r, out)
 	return out, nil
 }
 
 // execUnary evaluates the element-wise one-operand vector VOPs.
-func execUnary(op vop.Opcode, inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+func execUnary(op vop.Opcode, inputs []*tensor.Matrix, dst *tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(op, inputs, 1); err != nil {
 		return nil, err
 	}
 	a := inputs[0]
-	out := tensor.GetMatrixUninit(a.Rows, a.Cols)
-	var fn func(lo, hi int)
+	var fn func(d, x []float64)
 	switch op {
 	case vop.OpLog:
-		fn = func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out.Data[i] = math.Log(a.Data[i])
+		fn = func(d, x []float64) {
+			for i := range d {
+				d[i] = math.Log(x[i])
 			}
 		}
 	case vop.OpSqrt:
-		fn = func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out.Data[i] = math.Sqrt(a.Data[i])
+		fn = func(d, x []float64) {
+			for i := range d {
+				d[i] = math.Sqrt(x[i])
 			}
 		}
 	case vop.OpRsqrt:
-		fn = func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out.Data[i] = 1 / math.Sqrt(a.Data[i])
+		fn = func(d, x []float64) {
+			for i := range d {
+				d[i] = 1 / math.Sqrt(x[i])
 			}
 		}
 	case vop.OpTanh:
-		fn = func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out.Data[i] = math.Tanh(a.Data[i])
+		fn = func(d, x []float64) {
+			for i := range d {
+				d[i] = math.Tanh(x[i])
 			}
 		}
 	case vop.OpRelu:
-		fn = func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out.Data[i] = math.Max(0, a.Data[i])
+		fn = func(d, x []float64) {
+			for i := range d {
+				d[i] = math.Max(0, x[i])
 			}
 		}
 	default:
-		tensor.PutMatrix(out)
 		return nil, fmt.Errorf("kernels: %s is not a unary op", op)
 	}
-	parallel.For(len(out.Data), parGrain, fn)
-	r.Round(out.Data)
+	out, err := outFor(dst, a.Rows, a.Cols)
+	if err != nil {
+		return nil, err
+	}
+	forSpans1(out, a, fn)
+	RoundMatrix(r, out)
 	return out, nil
 }

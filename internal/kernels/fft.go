@@ -16,7 +16,7 @@ import (
 // butterfly passes and the magnitude computation form the kernel's two stage
 // boundaries. Rows transform independently (each with its own scratch
 // buffer), so the parallel fan-out is bit-identical to the sequential loop.
-func execFFT(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+func execFFT(inputs []*tensor.Matrix, dst *tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpFFT, inputs, 1); err != nil {
 		return nil, err
 	}
@@ -24,14 +24,16 @@ func execFFT(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if in.Cols == 0 || in.Cols&(in.Cols-1) != 0 {
 		return nil, fmt.Errorf("kernels: FFT row length %d not a power of two", in.Cols)
 	}
+	inS := in.RowStride()
 	re := tensor.GetMatrixUninit(in.Rows, in.Cols)
 	im := tensor.GetMatrixUninit(in.Rows, in.Cols)
 	parallel.For(in.Rows, parallel.RowGrain(in.Cols), func(lo, hi int) {
 		buf := tensor.GetComplex(in.Cols)
 		for row := lo; row < hi; row++ {
+			baseIn := row * inS
 			base := row * in.Cols
 			for j := 0; j < in.Cols; j++ {
-				buf[j] = complex(in.Data[base+j], 0)
+				buf[j] = complex(in.Data[baseIn+j], 0)
 			}
 			FFTInPlace(buf)
 			for j := 0; j < in.Cols; j++ {
@@ -44,13 +46,18 @@ func execFFT(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	r.Round(re.Data) // stage 1: the complex spectrum leaves the butterflies
 	r.Round(im.Data)
 
-	out := tensor.GetMatrixUninit(in.Rows, in.Cols)
-	parallel.For(len(out.Data), parGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Data[i] = math.Hypot(re.Data[i], im.Data[i])
+	out, err := outFor(dst, in.Rows, in.Cols)
+	if err != nil {
+		tensor.PutMatrix(re)
+		tensor.PutMatrix(im)
+		return nil, err
+	}
+	forSpans2(out, re, im, func(d, x, y []float64) {
+		for i := range d {
+			d[i] = math.Hypot(x[i], y[i])
 		}
 	})
-	r.Round(out.Data) // stage 2
+	RoundMatrix(r, out) // stage 2
 	tensor.PutMatrix(re)
 	tensor.PutMatrix(im)
 	return out, nil

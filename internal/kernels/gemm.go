@@ -15,7 +15,7 @@ import (
 // single stage boundary is the completed product (Edge TPUs execute GEMM
 // natively in one systolic pass, so the INT8 path quantizes inputs and the
 // final accumulator only — accumulation itself is wide, as in real TPUs).
-func execGEMM(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+func execGEMM(inputs []*tensor.Matrix, dst *tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpGEMM, inputs, 2); err != nil {
 		return nil, err
 	}
@@ -23,7 +23,24 @@ func execGEMM(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("kernels: GEMM inner dimensions %d and %d differ", a.Cols, b.Rows)
 	}
-	out := tensor.GetMatrix(a.Rows, b.Cols)
+	var out *tensor.Matrix
+	if dst == nil {
+		out = tensor.GetMatrix(a.Rows, b.Cols)
+	} else {
+		var err error
+		out, err = outFor(dst, a.Rows, b.Cols)
+		if err != nil {
+			return nil, err
+		}
+		// The blocked loop accumulates, so a caller-provided destination —
+		// possibly a strided view — must start zeroed too.
+		for i := 0; i < out.Rows; i++ {
+			row := out.Row(i)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
 	const blk = 64
 	rowBlocks := (a.Rows + blk - 1) / blk
 	parallel.For(rowBlocks, 1, func(lo, hi int) {
@@ -33,14 +50,14 @@ func execGEMM(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 			for kk := 0; kk < a.Cols; kk += blk {
 				kMax := min(kk+blk, a.Cols)
 				for i := ii; i < iMax; i++ {
-					arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-					crow := out.Data[i*b.Cols : (i+1)*b.Cols]
+					arow := a.Row(i)
+					crow := out.Row(i)
 					for k := kk; k < kMax; k++ {
 						av := arow[k]
 						if av == 0 {
 							continue
 						}
-						brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+						brow := b.Row(k)
 						for j := range brow {
 							crow[j] += av * brow[j]
 						}
@@ -49,7 +66,7 @@ func execGEMM(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 			}
 		}
 	})
-	r.Round(out.Data)
+	RoundMatrix(r, out)
 	return out, nil
 }
 

@@ -1,6 +1,8 @@
 package kernels
 
 import (
+	"fmt"
+
 	"shmt/internal/parallel"
 	"shmt/internal/tensor"
 	"shmt/internal/vop"
@@ -25,11 +27,14 @@ import (
 // update (2 stages). Within a step both sweeps read only the previous
 // stage's grids, so the row-parallel fan-out is bit-identical to the
 // sequential loops.
-func execHotspot(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
+func execHotspot(inputs []*tensor.Matrix, dst *tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpStencil, inputs, 2); err != nil {
 		return nil, err
 	}
 	temp, power := inputs[0], inputs[1]
+	if dst != nil && (dst.Rows != temp.Rows || dst.Cols != temp.Cols) {
+		return nil, fmt.Errorf("kernels: destination %dx%d does not match output %dx%d", dst.Rows, dst.Cols, temp.Rows, temp.Cols)
+	}
 	dtCap := a.get("dt_cap", 0.1)
 	rx := a.get("rx", 1)
 	ry := a.get("ry", 1)
@@ -60,9 +65,11 @@ func execHotspot(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, e
 		r.Round(delta.Data) // stage 1
 
 		next := tensor.GetMatrixUninit(rows, cols)
-		parallel.For(len(next.Data), parGrain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				next.Data[i] = src.Data[i] + dtCap*delta.Data[i]
+		// src may be a strided view on the first step; forSpans2 falls back
+		// to whole-row runs in that case.
+		forSpans2(next, src, delta, func(d, x, y []float64) {
+			for i := range d {
+				d[i] = x[i] + dtCap*y[i]
 			}
 		})
 		r.Round(next.Data) // stage 2
@@ -72,5 +79,10 @@ func execHotspot(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, e
 		cur = next
 	}
 	tensor.PutMatrix(delta)
-	return cur, nil
+	if dst == nil {
+		return cur, nil
+	}
+	dst.CopyFrom(cur)
+	tensor.PutMatrix(cur)
+	return dst, nil
 }

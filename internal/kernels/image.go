@@ -14,12 +14,15 @@ import (
 // are read-only, each output row written by exactly one chunk), so the
 // row-parallel sweeps are bit-identical to the sequential loops.
 
-func execLaplacian(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+func execLaplacian(inputs []*tensor.Matrix, dst *tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpLaplacian, inputs, 1); err != nil {
 		return nil, err
 	}
 	in := inputs[0]
-	out := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	out, err := outFor(dst, in.Rows, in.Cols)
+	if err != nil {
+		return nil, err
+	}
 	parallel.For(in.Rows, parallel.RowGrain(in.Cols), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			for j := 0; j < in.Cols; j++ {
@@ -29,16 +32,19 @@ func execLaplacian(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 			}
 		}
 	})
-	r.Round(out.Data)
+	RoundMatrix(r, out)
 	return out, nil
 }
 
-func execSobel(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+func execSobel(inputs []*tensor.Matrix, dst *tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpSobel, inputs, 1); err != nil {
 		return nil, err
 	}
 	in := inputs[0]
-	out := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	out, err := outFor(dst, in.Rows, in.Cols)
+	if err != nil {
+		return nil, err
+	}
 	parallel.For(in.Rows, parallel.RowGrain(in.Cols), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			for j := 0; j < in.Cols; j++ {
@@ -51,16 +57,19 @@ func execSobel(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 			}
 		}
 	})
-	r.Round(out.Data)
+	RoundMatrix(r, out)
 	return out, nil
 }
 
-func execMeanFilter(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+func execMeanFilter(inputs []*tensor.Matrix, dst *tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpMeanFilter, inputs, 1); err != nil {
 		return nil, err
 	}
 	in := inputs[0]
-	out := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	out, err := outFor(dst, in.Rows, in.Cols)
+	if err != nil {
+		return nil, err
+	}
 	parallel.For(in.Rows, parallel.RowGrain(in.Cols), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			for j := 0; j < in.Cols; j++ {
@@ -74,19 +83,22 @@ func execMeanFilter(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) 
 			}
 		}
 	})
-	r.Round(out.Data)
+	RoundMatrix(r, out)
 	return out, nil
 }
 
 // execConv computes the 2-D cross-correlation of the input with an odd
 // square kernel (the conv VOP; matches what a convolution layer computes).
-func execConv(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
+func execConv(inputs []*tensor.Matrix, dst *tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpConv, inputs, 2); err != nil {
 		return nil, err
 	}
 	in, k := inputs[0], inputs[1]
 	rad := k.Rows / 2
-	out := tensor.GetMatrixUninit(in.Rows, in.Cols)
+	out, err := outFor(dst, in.Rows, in.Cols)
+	if err != nil {
+		return nil, err
+	}
 	parallel.For(in.Rows, parallel.RowGrain(in.Cols), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			for j := 0; j < in.Cols; j++ {
@@ -100,7 +112,7 @@ func execConv(inputs []*tensor.Matrix, r Rounder) (*tensor.Matrix, error) {
 			}
 		}
 	})
-	r.Round(out.Data)
+	RoundMatrix(r, out)
 	return out, nil
 }
 
@@ -118,5 +130,5 @@ func atClamp(in *tensor.Matrix, i, j int) float64 {
 	if j >= in.Cols {
 		j = in.Cols - 1
 	}
-	return in.Data[i*in.Cols+j]
+	return in.Data[i*in.RowStride()+j]
 }

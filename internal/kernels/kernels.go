@@ -31,6 +31,38 @@ type Rounder interface {
 	Name() string
 }
 
+// ElementwiseRounder marks rounders whose Round maps every element
+// independently of the rest of the slice — no whole-tensor calibration — so
+// rounding a strided view row by row is bit-identical to rounding the same
+// values as one contiguous slice. Calibrating rounders (INT8 affine,
+// block-wise quantizers) must not implement it.
+type ElementwiseRounder interface {
+	RoundsElementwise()
+}
+
+// RoundMatrix applies r to m's logical elements, stride-aware. Contiguous
+// matrices round in one call, exactly like the historical r.Round(m.Data).
+// Strided views round per row when r is element-independent; calibrating
+// rounders gather the view into a contiguous scratch buffer first, so their
+// calibration sees the same distribution as on the materialized-copy path,
+// then scatter back.
+func RoundMatrix(r Rounder, m *tensor.Matrix) {
+	if m.IsContiguous() {
+		r.Round(m.Data)
+		return
+	}
+	if _, ok := r.(ElementwiseRounder); ok {
+		for i := 0; i < m.Rows; i++ {
+			r.Round(m.Row(i))
+		}
+		return
+	}
+	tmp := tensor.Materialize(m)
+	r.Round(tmp.Data)
+	m.CopyFrom(tmp)
+	tensor.PutMatrix(tmp)
+}
+
 // Exact performs no rounding: full float64 precision (CPU reference path).
 type Exact struct{}
 
@@ -39,6 +71,9 @@ func (Exact) Round([]float64) {}
 
 // Name implements Rounder.
 func (Exact) Name() string { return "fp64" }
+
+// RoundsElementwise implements ElementwiseRounder.
+func (Exact) RoundsElementwise() {}
 
 // F32 rounds every value to float32, the GPU's native precision.
 type F32 struct{}
@@ -55,6 +90,9 @@ func (F32) Round(data []float64) {
 // Name implements Rounder.
 func (F32) Name() string { return "fp32" }
 
+// RoundsElementwise implements ElementwiseRounder.
+func (F32) RoundsElementwise() {}
+
 // F16 rounds every value to IEEE binary16, the GPU's AI/ML half-precision
 // mode.
 type F16 struct{}
@@ -70,6 +108,9 @@ func (F16) Round(data []float64) {
 
 // Name implements Rounder.
 func (F16) Name() string { return "fp16" }
+
+// RoundsElementwise implements ElementwiseRounder.
+func (F16) RoundsElementwise() {}
 
 // Int8 requantizes every value through affine INT8, recalibrating scale and
 // zero point on the stage's own distribution — the per-layer requantization
@@ -111,39 +152,50 @@ func (a attrs) get(name string, def float64) float64 {
 // Reduction opcodes return partial results in the canonical partial shape
 // (see ReducePartialShape); MergePartials combines them.
 func Exec(op vop.Opcode, inputs []*tensor.Matrix, at map[string]float64, r Rounder) (*tensor.Matrix, error) {
+	return ExecInto(op, inputs, nil, at, r)
+}
+
+// ExecInto is Exec with an optional destination. When dst is non-nil it must
+// have the kernel's natural output shape; the kernel then writes its result
+// through dst — which may be a strided view into a larger tensor — and
+// returns dst, so shared-memory devices can land partition results directly
+// in the VOP output with no staging copy. Inputs may likewise be strided
+// views. Reduction opcodes produce partials in their own canonical shape and
+// ignore dst.
+func ExecInto(op vop.Opcode, inputs []*tensor.Matrix, dst *tensor.Matrix, at map[string]float64, r Rounder) (*tensor.Matrix, error) {
 	if r == nil {
 		r = Exact{}
 	}
 	a := attrs(at)
 	switch op {
 	case vop.OpAdd, vop.OpSub, vop.OpMultiply, vop.OpMax, vop.OpMin:
-		return execBinary(op, inputs, r)
+		return execBinary(op, inputs, dst, r)
 	case vop.OpLog, vop.OpSqrt, vop.OpRsqrt, vop.OpTanh, vop.OpRelu:
-		return execUnary(op, inputs, r)
+		return execUnary(op, inputs, dst, r)
 	case vop.OpReduceSum, vop.OpReduceAverage, vop.OpReduceMax, vop.OpReduceMin, vop.OpReduceHist256:
 		return execReduce(op, inputs, a, r)
 	case vop.OpParabolicPDE:
-		return execBlackScholes(inputs, a, r)
+		return execBlackScholes(inputs, dst, a, r)
 	case vop.OpGEMM:
-		return execGEMM(inputs, r)
+		return execGEMM(inputs, dst, r)
 	case vop.OpConv:
-		return execConv(inputs, r)
+		return execConv(inputs, dst, r)
 	case vop.OpDCT8x8:
-		return execDCT8x8(inputs, r)
+		return execDCT8x8(inputs, dst, r)
 	case vop.OpFDWT97:
-		return execFDWT97(inputs, a, r)
+		return execFDWT97(inputs, dst, a, r)
 	case vop.OpFFT:
-		return execFFT(inputs, r)
+		return execFFT(inputs, dst, r)
 	case vop.OpLaplacian:
-		return execLaplacian(inputs, r)
+		return execLaplacian(inputs, dst, r)
 	case vop.OpMeanFilter:
-		return execMeanFilter(inputs, r)
+		return execMeanFilter(inputs, dst, r)
 	case vop.OpSobel:
-		return execSobel(inputs, r)
+		return execSobel(inputs, dst, r)
 	case vop.OpSRAD:
-		return execSRAD(inputs, a, r)
+		return execSRAD(inputs, dst, a, r)
 	case vop.OpStencil:
-		return execHotspot(inputs, a, r)
+		return execHotspot(inputs, dst, a, r)
 	default:
 		return nil, fmt.Errorf("kernels: unsupported opcode %s", op)
 	}
@@ -171,6 +223,62 @@ func Stages(op vop.Opcode) int {
 	default:
 		return 1
 	}
+}
+
+// outFor returns the buffer a kernel writes its result into: dst when the
+// caller provided one (validated against the natural output shape), otherwise
+// a fresh arena matrix with unspecified contents.
+func outFor(dst *tensor.Matrix, rows, cols int) (*tensor.Matrix, error) {
+	if dst == nil {
+		return tensor.GetMatrixUninit(rows, cols), nil
+	}
+	if dst.Rows != rows || dst.Cols != cols {
+		return nil, fmt.Errorf("kernels: destination %dx%d does not match output %dx%d", dst.Rows, dst.Cols, rows, cols)
+	}
+	return dst, nil
+}
+
+// putIfScratch releases out back to the arena unless it is the caller's dst.
+// (PutMatrix also refuses views, so this is belt and braces on error paths.)
+func putIfScratch(out, dst *tensor.Matrix) {
+	if out != dst {
+		tensor.PutMatrix(out)
+	}
+}
+
+// forSpans1 applies fn over disjoint row-major spans of two equally shaped
+// matrices. When both are gap-free the spans are parGrain-element chunks of
+// the flat payload (the historical layout); strided views fall back to
+// whole-row spans. Span boundaries derive only from the shape and all
+// callers apply element-independent math, so results are bit-identical at
+// any worker count and on either span layout.
+func forSpans1(out, a *tensor.Matrix, fn func(dst, x []float64)) {
+	if out.IsContiguous() && a.IsContiguous() {
+		parallel.For(out.Len(), parGrain, func(lo, hi int) {
+			fn(out.Data[lo:hi], a.Data[lo:hi])
+		})
+		return
+	}
+	parallel.For(out.Rows, parallel.RowGrain(out.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(out.Row(i), a.Row(i))
+		}
+	})
+}
+
+// forSpans2 is forSpans1 over three equally shaped matrices.
+func forSpans2(out, a, b *tensor.Matrix, fn func(dst, x, y []float64)) {
+	if out.IsContiguous() && a.IsContiguous() && b.IsContiguous() {
+		parallel.For(out.Len(), parGrain, func(lo, hi int) {
+			fn(out.Data[lo:hi], a.Data[lo:hi], b.Data[lo:hi])
+		})
+		return
+	}
+	parallel.For(out.Rows, parallel.RowGrain(out.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(out.Row(i), a.Row(i), b.Row(i))
+		}
+	})
 }
 
 func checkInputs(op vop.Opcode, inputs []*tensor.Matrix, want int) error {

@@ -46,6 +46,13 @@ func execReduce(op vop.Opcode, inputs []*tensor.Matrix, a attrs, r Rounder) (*te
 		return nil, err
 	}
 	in := inputs[0]
+	// The fixed-shape reduction tree walks a flat payload; gather strided
+	// views once so the tree (and Kahan merge order) is identical to the
+	// copy path. Row-band views are contiguous and skip this.
+	if !in.IsContiguous() {
+		in = tensor.Materialize(in)
+		defer tensor.PutMatrix(in)
+	}
 	switch op {
 	case vop.OpReduceSum:
 		out := tensor.GetMatrixUninit(1, 1)

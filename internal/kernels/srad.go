@@ -19,7 +19,7 @@ import (
 // Stage boundaries: gradient/coefficient computation, coefficient smoothing,
 // and the diffusion update (3 stages). Each stage reads only earlier-stage
 // grids, so its row-parallel sweep is bit-identical to the sequential loop.
-func execSRAD(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
+func execSRAD(inputs []*tensor.Matrix, dst *tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, error) {
 	if err := checkInputs(vop.OpSRAD, inputs, 1); err != nil {
 		return nil, err
 	}
@@ -90,13 +90,17 @@ func execSRAD(inputs []*tensor.Matrix, a attrs, r Rounder) (*tensor.Matrix, erro
 	tensor.PutMatrix(c)
 
 	// Stage 3: explicit update.
-	out := tensor.GetMatrixUninit(rows, cols)
-	parallel.For(len(out.Data), parGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Data[i] = in.Data[i] + 0.25*lambda*div.Data[i]
+	out, err := outFor(dst, rows, cols)
+	if err != nil {
+		tensor.PutMatrix(div)
+		return nil, err
+	}
+	forSpans2(out, in, div, func(d, x, y []float64) {
+		for i := range d {
+			d[i] = x[i] + 0.25*lambda*y[i]
 		}
 	})
-	r.Round(out.Data) // stage 3
+	RoundMatrix(r, out) // stage 3
 	tensor.PutMatrix(div)
 	return out, nil
 }

@@ -49,9 +49,8 @@ func (m Model) Run(inputs []*tensor.Matrix, attrs map[string]float64) (*tensor.M
 	r := m.Rounder()
 	q := make([]*tensor.Matrix, len(inputs))
 	for i, in := range inputs {
-		c := tensor.GetMatrixUninit(in.Rows, in.Cols)
-		copy(c.Data, in.Data)
-		r.Round(c.Data) // input quantization at the host/TPU boundary
+		c := tensor.Materialize(in) // stride-aware gather: inputs may be views
+		r.Round(c.Data)             // input quantization at the host/TPU boundary
 		q[i] = c
 	}
 	out, err := kernels.Exec(m.Op, q, attrs, r)

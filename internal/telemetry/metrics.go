@@ -91,6 +91,22 @@ var (
 	ArenaMissBytes = Default.NewCounter("shmt_arena_miss_bytes_total",
 		"Bytes freshly allocated on arena miss.")
 
+	// Data path (zero-copy partitioning).
+
+	// DatapathBytesAliased accumulates logical bytes served zero-copy through
+	// strided views instead of staging copies, on both the partition (input)
+	// and aggregate (output) sides.
+	DatapathBytesAliased = Default.NewCounter("shmt_datapath_bytes_aliased_total",
+		"Partition/aggregate bytes aliased through strided views instead of copied.")
+	// DatapathBytesCopied accumulates bytes moved by materialized partition
+	// gathers and aggregate scatters (the cudaMemcpy2D-style path).
+	DatapathBytesCopied = Default.NewCounter("shmt_datapath_bytes_copied_total",
+		"Partition/aggregate bytes moved by strided staging copies.")
+	// DatapathCopiesAvoided counts individual staging copies (one gather or
+	// scatter each) eliminated by view aliasing.
+	DatapathCopiesAvoided = Default.NewCounter("shmt_datapath_copies_avoided_total",
+		"Staging copies eliminated by view aliasing.")
+
 	// Execution-time cache.
 
 	// ExecCacheHits counts memoized cost-model lookups.

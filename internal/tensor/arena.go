@@ -157,8 +157,13 @@ func GetMatrixUninit(rows, cols int) *Matrix {
 // PutMatrix returns a matrix to the arena. The matrix (and any alias of its
 // Data) must not be used afterwards. Matrices from NewMatrix or FromSlice
 // may also be Put; nil and empty matrices are ignored.
+//
+// Views are refused: their Data aliases storage owned by another matrix, and
+// recycling it would hand the owner's bytes to an unrelated Get (or recycle
+// the same buffer twice). Dropping them here makes Put safe to call on mixed
+// view/materialized results.
 func PutMatrix(m *Matrix) {
-	if m == nil {
+	if m == nil || m.view {
 		return
 	}
 	c := cap(m.Data)
@@ -167,7 +172,7 @@ func PutMatrix(m *Matrix) {
 	}
 	if b := bucketFloor(c); b < arenaBuckets {
 		m.Data = m.Data[:0:c]
-		m.Rows, m.Cols = 0, 0
+		m.Rows, m.Cols, m.Stride = 0, 0, 0
 		matrixPools[b].Put(m)
 	}
 }

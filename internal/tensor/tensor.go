@@ -15,10 +15,25 @@ import (
 	"math"
 )
 
+// ElemSize is the width in bytes of the host element type (float64). All
+// host-side footprint accounting is in units of ElemSize; devices narrow to
+// their native width at the boundary via Device.ElemBytes.
+const ElemSize = 8
+
 // Matrix is a dense row-major 2-D array. The zero value is an empty matrix.
+//
+// A Matrix is either an owner (dense, contiguous storage) or a view carved
+// out of another matrix by View: same element type, but consecutive rows may
+// be separated by a row stride larger than Cols. Owners always have
+// Stride == 0.
 type Matrix struct {
 	Rows, Cols int
-	Data       []float64
+	// Stride is the distance in elements between the starts of consecutive
+	// rows. Zero means dense: the effective stride equals Cols. Only views
+	// ever carry a non-zero stride.
+	Stride int
+	Data   []float64
+	view   bool
 }
 
 // NewMatrix allocates a Rows×Cols matrix of zeros.
@@ -38,11 +53,54 @@ func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
 	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
 }
 
+// RowStride returns the distance in elements between consecutive row starts:
+// Stride for views that carry one, Cols otherwise.
+func (m *Matrix) RowStride() int {
+	if m.Stride > 0 {
+		return m.Stride
+	}
+	return m.Cols
+}
+
+// IsView reports whether the matrix aliases storage owned by another matrix.
+// Views must never be recycled into the arena; PutMatrix refuses them.
+func (m *Matrix) IsView() bool { return m.view }
+
+// IsContiguous reports whether the logical elements occupy one gap-free run
+// of Data, i.e. Data[0:Rows*Cols] is exactly the row-major payload. Matrices
+// with at most one row are always contiguous regardless of stride.
+func (m *Matrix) IsContiguous() bool {
+	return m.Rows <= 1 || m.Stride == 0 || m.Stride == m.Cols
+}
+
+// View returns a strided window onto region r of m without copying. The view
+// aliases m's storage: writes through the view land in m. Views compose —
+// taking a view of a view yields a view into the original storage.
+func (m *Matrix) View(r Region) (*Matrix, error) {
+	if !r.In(m.Rows, m.Cols) {
+		return nil, fmt.Errorf("%w: view %v in %dx%d", ErrRegionBounds, r, m.Rows, m.Cols)
+	}
+	s := m.RowStride()
+	v := &Matrix{Rows: r.Height, Cols: r.Width, Stride: s, view: true}
+	if r.Height > 0 && r.Width > 0 {
+		off := r.Row*s + r.Col
+		n := (r.Height-1)*s + r.Width
+		v.Data = m.Data[off : off+n : off+n]
+	}
+	return v, nil
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 {
+	off := i * m.RowStride()
+	return m.Data[off : off+m.Cols]
+}
+
 // At returns the element at row r, column c.
-func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.RowStride()+c] }
 
 // Set stores v at row r, column c.
-func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.RowStride()+c] = v }
 
 // Len returns the number of elements.
 func (m *Matrix) Len() int { return m.Rows * m.Cols }
@@ -51,10 +109,40 @@ func (m *Matrix) Len() int { return m.Rows * m.Cols }
 // element width (8 for FP64, 4 for FP32, 1 for INT8).
 func (m *Matrix) Bytes(elemSize int) int64 { return int64(m.Len()) * int64(elemSize) }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The clone is always dense, even when m is a
+// strided view.
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.Rows, m.Cols)
-	copy(out.Data, m.Data)
+	out.CopyFrom(m)
+	return out
+}
+
+// CopyFrom copies src's elements into m. Shapes must match exactly; either
+// side may be a strided view. Contiguous-to-contiguous copies collapse to a
+// single memmove; otherwise whole row runs are copied with copy, never an
+// element loop.
+func (m *Matrix) CopyFrom(src *Matrix) error {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		return fmt.Errorf("tensor: cannot copy %dx%d into %dx%d", src.Rows, src.Cols, m.Rows, m.Cols)
+	}
+	if m.Len() == 0 {
+		return nil
+	}
+	if m.IsContiguous() && src.IsContiguous() {
+		copy(m.Data[:m.Len()], src.Data[:src.Len()])
+		return nil
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+	return nil
+}
+
+// Materialize returns a dense copy of m drawn from the scratch arena. The
+// caller owns the result and returns it with PutMatrix; m is left untouched.
+func Materialize(m *Matrix) *Matrix {
+	out := GetMatrixUninit(m.Rows, m.Cols)
+	out.CopyFrom(m)
 	return out
 }
 
@@ -63,9 +151,12 @@ func (m *Matrix) Equal(o *Matrix) bool {
 	if m.Rows != o.Rows || m.Cols != o.Cols {
 		return false
 	}
-	for i, v := range m.Data {
-		if v != o.Data[i] && !(math.IsNaN(v) && math.IsNaN(o.Data[i])) {
-			return false
+	for i := 0; i < m.Rows; i++ {
+		mr, or := m.Row(i), o.Row(i)
+		for j, v := range mr {
+			if v != or[j] && !(math.IsNaN(v) && math.IsNaN(or[j])) {
+				return false
+			}
 		}
 	}
 	return true
@@ -105,8 +196,19 @@ func CopyOut(src *Matrix, r Region) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: %v in %dx%d", ErrRegionBounds, r, src.Rows, src.Cols)
 	}
 	dst := GetMatrixUninit(r.Height, r.Width)
+	if r.Len() == 0 {
+		return dst, nil
+	}
+	s := src.RowStride()
+	if r.Col == 0 && r.Width == s {
+		// Full-width band of a gap-free source: one memmove instead of a
+		// row loop.
+		off := r.Row * s
+		copy(dst.Data, src.Data[off:off+r.Len()])
+		return dst, nil
+	}
 	for i := 0; i < r.Height; i++ {
-		srcOff := (r.Row+i)*src.Cols + r.Col
+		srcOff := (r.Row+i)*s + r.Col
 		copy(dst.Data[i*r.Width:(i+1)*r.Width], src.Data[srcOff:srcOff+r.Width])
 	}
 	return dst, nil
@@ -121,9 +223,19 @@ func CopyIn(dst *Matrix, r Region, block *Matrix) error {
 	if block.Rows != r.Height || block.Cols != r.Width {
 		return fmt.Errorf("tensor: block %dx%d does not match region %v", block.Rows, block.Cols, r)
 	}
+	if r.Len() == 0 {
+		return nil
+	}
+	s := dst.RowStride()
+	if r.Col == 0 && r.Width == s && block.IsContiguous() {
+		// Full-width band into a gap-free destination: one memmove.
+		off := r.Row * s
+		copy(dst.Data[off:off+r.Len()], block.Data)
+		return nil
+	}
 	for i := 0; i < r.Height; i++ {
-		dstOff := (r.Row+i)*dst.Cols + r.Col
-		copy(dst.Data[dstOff:dstOff+r.Width], block.Data[i*r.Width:(i+1)*r.Width])
+		dstOff := (r.Row+i)*s + r.Col
+		copy(dst.Data[dstOff:dstOff+r.Width], block.Row(i))
 	}
 	return nil
 }
@@ -184,9 +296,12 @@ func clamp(v, lo, hi int) int {
 // ToFloat32 converts the matrix payload to float32, the GPU's native
 // precision.
 func (m *Matrix) ToFloat32() []float32 {
-	out := make([]float32, len(m.Data))
-	for i, v := range m.Data {
-		out[i] = float32(v)
+	out := make([]float32, m.Len())
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[i*m.Cols+j] = float32(v)
+		}
 	}
 	return out
 }

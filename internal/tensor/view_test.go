@@ -1,0 +1,174 @@
+package tensor
+
+import "testing"
+
+func fill(m *Matrix) *Matrix {
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	return m
+}
+
+func TestViewBasics(t *testing.T) {
+	m := fill(NewMatrix(6, 8))
+	v, err := m.View(Region{Row: 1, Col: 2, Height: 3, Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsView() || v.IsContiguous() {
+		t.Fatalf("interior view: IsView=%v IsContiguous=%v", v.IsView(), v.IsContiguous())
+	}
+	if v.Rows != 3 || v.Cols != 4 || v.RowStride() != 8 {
+		t.Fatalf("view shape %dx%d stride %d", v.Rows, v.Cols, v.RowStride())
+	}
+	for i := 0; i < v.Rows; i++ {
+		for j := 0; j < v.Cols; j++ {
+			if v.At(i, j) != m.At(i+1, j+2) {
+				t.Fatalf("At(%d,%d) = %g", i, j, v.At(i, j))
+			}
+		}
+	}
+	// Writes through the view land in the parent.
+	v.Set(2, 3, -1)
+	if m.At(3, 5) != -1 {
+		t.Fatal("view write did not reach parent")
+	}
+}
+
+func TestViewFullWidthBandIsContiguous(t *testing.T) {
+	m := fill(NewMatrix(8, 5))
+	v, err := m.View(Region{Row: 2, Col: 0, Height: 3, Width: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsContiguous() {
+		t.Fatal("full-width row band should be contiguous")
+	}
+	if &v.Data[0] != &m.Data[2*5] {
+		t.Fatal("band does not alias parent storage")
+	}
+}
+
+func TestViewCompose(t *testing.T) {
+	m := fill(NewMatrix(10, 10))
+	outer, err := m.View(Region{Row: 2, Col: 2, Height: 6, Width: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := outer.View(Region{Row: 1, Col: 1, Height: 3, Width: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.RowStride() != 10 {
+		t.Fatalf("nested view stride %d", inner.RowStride())
+	}
+	if inner.At(0, 0) != m.At(3, 3) {
+		t.Fatal("nested view misaligned")
+	}
+}
+
+func TestViewEdgesAndErrors(t *testing.T) {
+	m := fill(NewMatrix(4, 4))
+	if _, err := m.View(Region{Row: 2, Col: 2, Height: 3, Width: 1}); err == nil {
+		t.Fatal("out-of-bounds view must fail")
+	}
+	empty, err := m.View(Region{Row: 4, Col: 0, Height: 0, Width: 4})
+	if err != nil {
+		t.Fatalf("empty view at the boundary: %v", err)
+	}
+	if empty.Len() != 0 {
+		t.Fatal("empty view should have no elements")
+	}
+	one, err := m.View(Region{Row: 3, Col: 3, Height: 1, Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.IsContiguous() || one.At(0, 0) != 15 {
+		t.Fatal("1x1 view wrong")
+	}
+	// Single-row views are contiguous whatever the stride says.
+	row, err := m.View(Region{Row: 1, Col: 1, Height: 1, Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.IsContiguous() {
+		t.Fatal("single-row view should be contiguous")
+	}
+}
+
+func TestCopyFromAndMaterialize(t *testing.T) {
+	m := fill(NewMatrix(6, 6))
+	v, err := m.View(Region{Row: 1, Col: 1, Height: 4, Width: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := Materialize(v)
+	defer PutMatrix(dense)
+	if dense.IsView() || !dense.IsContiguous() {
+		t.Fatal("Materialize must return a dense owned matrix")
+	}
+	if !dense.Equal(v) {
+		t.Fatal("Materialize lost data")
+	}
+	// CopyFrom scatters dense data back through a strided destination.
+	for i := range dense.Data {
+		dense.Data[i] = -dense.Data[i]
+	}
+	if err := v.CopyFrom(dense); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 1) != -7 {
+		t.Fatalf("CopyFrom through view: m(1,1)=%g", m.At(1, 1))
+	}
+	if err := v.CopyFrom(NewMatrix(2, 2)); err == nil {
+		t.Fatal("shape mismatch must fail")
+	}
+}
+
+func TestArenaRefusesViews(t *testing.T) {
+	m := fill(NewMatrix(8, 8))
+	v, err := m.View(Region{Row: 0, Col: 0, Height: 8, Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	PutMatrix(v) // must be a no-op, not a recycle of the parent's storage
+	fresh := GetMatrixUninit(8, 8)
+	defer PutMatrix(fresh)
+	if &fresh.Data[0] == &m.Data[0] {
+		t.Fatal("arena recycled aliased storage from a view")
+	}
+	if m.At(0, 0) != 0 || m.Rows != 8 {
+		t.Fatal("PutMatrix of a view corrupted the parent")
+	}
+}
+
+func TestCopyOutInViewFastPaths(t *testing.T) {
+	src := fill(NewMatrix(9, 7))
+	// Full-width region: single memmove path.
+	band, err := CopyOut(src, Region{Row: 3, Col: 0, Height: 2, Width: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer PutMatrix(band)
+	for j := 0; j < 7; j++ {
+		if band.At(0, j) != src.At(3, j) {
+			t.Fatalf("band(0,%d)", j)
+		}
+	}
+	// Strided source block into a full-width destination region.
+	vsrc, err := src.View(Region{Row: 1, Col: 2, Height: 4, Width: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMatrix(4, 3)
+	if err := CopyIn(dst, Region{Row: 0, Col: 0, Height: 4, Width: 3}, vsrc); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(vsrc) {
+		t.Fatal("CopyIn from strided block lost data")
+	}
+	// Empty region round-trips without touching anything.
+	if err := CopyIn(dst, Region{Row: 4, Col: 0, Height: 0, Width: 3}, NewMatrix(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
