@@ -2,16 +2,17 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath experiments examples fmt vet clean
+.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath benchdiff experiments examples fmt fmt-check vet clean
 
 all: check
 
-# check is the pre-merge gate: build, vet, tests, the race detector over the
-# whole module (the host worker pool runs everywhere now), a one-shot
-# benchmark pass so the bench suites can't silently rot, the telemetry
-# overhead benchmark so instrumentation cost stays visible, and the datapath
-# benchmark so the zero-copy partition/aggregate path can't regress silently.
-check: build vet test race benchsmoke benchtelemetry benchdatapath
+# check is the pre-merge gate: formatting, build, vet, tests, the race
+# detector over the whole module (the host worker pool runs everywhere now),
+# a one-shot benchmark pass so the bench suites can't silently rot, the
+# telemetry overhead benchmark so instrumentation cost stays visible, and the
+# datapath benchmark so the zero-copy partition/aggregate path can't regress
+# silently. CI (.github/workflows/ci.yml) runs exactly these stages.
+check: fmt-check build vet test race benchsmoke benchtelemetry benchdatapath
 
 build:
 	$(GO) build ./...
@@ -46,6 +47,11 @@ benchdatapath:
 	$(GO) test -run='^$$' -bench=BenchmarkDatapath -benchmem \
 		-benchtime=0.3s ./internal/core/
 
+# benchdiff re-runs every committed BENCH_*.json suite and fails on ns/op
+# regressions beyond the tolerance; CI runs it as a non-blocking job.
+benchdiff:
+	$(GO) run ./cmd/benchdiff
+
 # Regenerate every table and figure of the paper's evaluation (plus the
 # ablations and the seed-stability study). Takes several minutes.
 experiments:
@@ -61,6 +67,11 @@ examples:
 
 fmt:
 	gofmt -l -w .
+
+# fmt-check fails (and lists the files) if anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,97 @@
+// Command benchdiff guards the committed benchmark baselines: for every
+// BENCH_*.json snapshot it re-runs the snapshot's suite with `go test
+// -bench`, parses the fresh ns/op numbers, and compares them against the
+// committed ones within a fractional tolerance. A fresh run slower than
+// (1+tolerance)x the baseline — or a benchmark that vanished — is a
+// regression and the exit status is nonzero.
+//
+// Usage:
+//
+//	benchdiff                          # diff every BENCH_*.json in the cwd
+//	benchdiff -tolerance 0.3 BENCH_kernels.json
+//	benchdiff -benchtime 1x -v
+//
+// Shared-runner timings are noisy, so the default tolerance is generous
+// (0.5 = 1.5x) and CI runs this as a non-blocking job: it flags suspicious
+// slowdowns without failing the pipeline on scheduler jitter.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"shmt/internal/bench"
+)
+
+func main() {
+	var (
+		tolerance = flag.Float64("tolerance", 0.5, "allowed fractional slowdown (0.5 passes up to 1.5x the baseline)")
+		benchtime = flag.String("benchtime", "0.3s", "per-benchmark time for the fresh run (go test -benchtime)")
+		verbose   = flag.Bool("v", false, "print every benchmark, not just regressions")
+	)
+	flag.Parse()
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		var err error
+		paths, err = filepath.Glob("BENCH_*.json")
+		if err != nil || len(paths) == 0 {
+			fatal(fmt.Errorf("no BENCH_*.json snapshots found (run from the repo root or pass paths)"))
+		}
+		sort.Strings(paths)
+	}
+
+	regressions := 0
+	for _, path := range paths {
+		snap, err := bench.LoadSnapshot(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %s in %s\n", filepath.Base(path), snap.Suite, snap.Package)
+		fresh, err := runSuite(snap, *benchtime)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range bench.Diff(snap, fresh, *tolerance) {
+			switch {
+			case d.Missing:
+				regressions++
+				fmt.Printf("  MISSING %-52s baseline %.0f ns/op, not in fresh run\n", d.Name, d.OldNs)
+			case d.Regressed:
+				regressions++
+				fmt.Printf("  SLOWER  %-52s %.0f -> %.0f ns/op (%.2fx, tolerance %.2fx)\n",
+					d.Name, d.OldNs, d.NewNs, d.Ratio, 1+*tolerance)
+			case *verbose:
+				fmt.Printf("  ok      %-52s %.0f -> %.0f ns/op (%.2fx)\n", d.Name, d.OldNs, d.NewNs, d.Ratio)
+			}
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond %.2fx\n", regressions, 1+*tolerance)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all baselines within tolerance")
+}
+
+// runSuite benchmarks the snapshot's suite and returns name → ns/op.
+func runSuite(snap *bench.Snapshot, benchtime string) (map[string]float64, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^"+snap.Suite+"$", "-benchtime", benchtime, snap.Package)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", snap.Suite, err)
+	}
+	return bench.ParseBenchOutput(&out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

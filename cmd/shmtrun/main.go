@@ -7,6 +7,7 @@
 //	shmtrun -bench Sobel -policy QAWS-TS
 //	shmtrun -bench FFT -policy work-stealing -side 1024 -trace
 //	shmtrun -bench Sobel --trace-out=run.json --metrics-addr=:9090
+//	shmtrun -bench Sobel --chaos "tpu:die=5" --chaos-seed 42
 //	shmtrun -list
 //
 // --trace-out writes the run's telemetry spans (virtual device lanes,
@@ -15,6 +16,12 @@
 // Prometheus text exposition on ADDR/metrics while the run executes
 // (SHMT_METRICS_ADDR works too); --report-out writes the structured JSON
 // telemetry report.
+//
+// --chaos injects seeded reproducible faults per device
+// ("device:key=value[,key=value];..."; keys: transient, failfirst, die,
+// latmul, spike, spikemul, corrupt, corruptmag) and prints the degradation
+// report — quarantines, reroutes, and the quality impact of work that fell
+// back to a less accurate device.
 package main
 
 import (
@@ -43,6 +50,8 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write Chrome trace-event JSON (Perfetto) to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address during the run (also SHMT_METRICS_ADDR)")
 		reportOut   = flag.String("report-out", "", "write the structured JSON telemetry report to this file")
+		chaosSpec   = flag.String("chaos", "", `fault-injection plan, e.g. "tpu:die=5;gpu:transient=0.2"`)
+		chaosSeed   = flag.Int64("chaos-seed", 0, "fault-schedule seed (default: -seed)")
 		list        = flag.Bool("list", false, "list benchmarks and policies, then exit")
 	)
 	flag.Parse()
@@ -70,6 +79,17 @@ func main() {
 
 	cfg := o.SessionConfig(b, shmt.PolicyName(*policy))
 	cfg.RecordTrace = *trace
+	if *chaosSpec != "" {
+		cs := *chaosSeed
+		if cs == 0 {
+			cs = *seed
+		}
+		plans, err := shmt.ParseChaosSpec(*chaosSpec, cs)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Chaos = plans
+	}
 	if *traceOut != "" || *reportOut != "" {
 		cfg.Telemetry.Enabled = true
 	}
@@ -137,6 +157,22 @@ func main() {
 		float64(rep.Comm.Bytes)/(1<<20), rep.Comm.TransferTime*1e3, rep.Comm.ExposedTime*1e3)
 	fmt.Printf("  peak footprint:    %.1f MiB (baseline %.1f MiB)\n",
 		float64(rep.PeakBytes)/(1<<20), float64(base.PeakBytes)/(1<<20))
+	if d := rep.Degraded; d != nil {
+		fmt.Printf("  degraded:          %d failed dispatches (%.3f ms charged, %.3f ms backoff)\n",
+			d.FailedDispatches, d.FailedDispatchSeconds*1e3, d.BackoffSeconds*1e3)
+		for _, q := range d.Quarantines {
+			fmt.Printf("    quarantined %s at %.3f ms for %.3f ms (%d HLOPs redistributed)\n",
+				q.Device, q.At*1e3, q.Cooldown*1e3, q.Rerouted)
+		}
+		fmt.Printf("    rerouted %d HLOPs (%d elems); %d downgraded to lower accuracy (%d elems)\n",
+			d.Rerouted, d.ReroutedElems, d.Downgraded, d.DowngradedElems)
+		if d.ProbeSuccesses+d.ProbeFailures > 0 {
+			fmt.Printf("    re-admission probes: %d ok, %d failed\n", d.ProbeSuccesses, d.ProbeFailures)
+		}
+		if quar := s.QuarantinedDevices(); len(quar) > 0 {
+			fmt.Printf("    still quarantined: %v\n", quar)
+		}
+	}
 	if *trace && rep.Trace != nil {
 		fmt.Printf("  trace:             %s\n", rep.Trace.Summary())
 		fmt.Println()

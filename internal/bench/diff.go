@@ -1,0 +1,129 @@
+package bench
+
+// Snapshot comparison for the committed BENCH_*.json files: load a
+// snapshot, parse a fresh `go test -bench` run of the same suite, and
+// report per-benchmark ns/op deltas against a tolerance. cmd/benchdiff
+// drives this from the Makefile and the CI pipeline's non-blocking
+// regression job.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a committed benchmark baseline (one BENCH_*.json file). Only
+// the fields benchdiff needs are decoded; extra per-result fields
+// (bytes_per_op, suite-specific columns) pass through untouched.
+type Snapshot struct {
+	Suite   string           `json:"suite"`
+	Package string           `json:"package"`
+	Results []SnapshotResult `json:"results"`
+}
+
+// SnapshotResult is one benchmark line of a snapshot.
+type SnapshotResult struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// LoadSnapshot reads and validates a BENCH_*.json baseline.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if s.Suite == "" || s.Package == "" || len(s.Results) == 0 {
+		return nil, fmt.Errorf("bench: %s: snapshot needs suite, package and results", path)
+	}
+	for _, r := range s.Results {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			return nil, fmt.Errorf("bench: %s: result %q has no ns_per_op", path, r.Name)
+		}
+	}
+	return &s, nil
+}
+
+// gomaxprocsSuffix is the "-N" tail `go test` appends to benchmark names;
+// snapshot names are stored without it.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// benchLine matches `go test -bench` result lines: a Benchmark name, an
+// iteration count, and the ns/op column.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// ParseBenchOutput extracts name → ns/op from `go test -bench` output,
+// stripping the -GOMAXPROCS suffix so names line up with snapshot names.
+func ParseBenchOutput(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		out[gomaxprocsSuffix.ReplaceAllString(m[1], "")] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	return out, nil
+}
+
+// Delta is one benchmark's snapshot-vs-fresh comparison.
+type Delta struct {
+	Name    string
+	OldNs   float64
+	NewNs   float64 // 0 when Missing
+	Ratio   float64 // NewNs/OldNs; 0 when Missing
+	Missing bool    // the fresh run did not produce this benchmark
+	// Regressed means the fresh run is slower than the snapshot by more
+	// than the tolerance (or the benchmark disappeared entirely).
+	Regressed bool
+}
+
+// Diff compares a snapshot against a fresh run. tolerance is the allowed
+// fractional slowdown: 0.5 passes anything up to 1.5x the baseline.
+// Benchmarks present in fresh but absent from the snapshot (e.g. extra
+// workers=N columns on larger hosts) are ignored.
+func Diff(snap *Snapshot, fresh map[string]float64, tolerance float64) []Delta {
+	deltas := make([]Delta, 0, len(snap.Results))
+	for _, r := range snap.Results {
+		d := Delta{Name: r.Name, OldNs: r.NsPerOp}
+		ns, ok := fresh[r.Name]
+		if !ok {
+			d.Missing, d.Regressed = true, true
+		} else {
+			d.NewNs = ns
+			d.Ratio = ns / r.NsPerOp
+			d.Regressed = d.Ratio > 1+tolerance
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Regressions counts the regressed deltas.
+func Regressions(deltas []Delta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: shmt/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDatapath/add/view-4         	   61179	      5189 ns/op	       0 copied_B/op	 7041 B/op	      86 allocs/op
+BenchmarkDatapath/add/copy-4         	     168	   2098603 ns/op	25165824 copied_B/op	 3967 B/op	      43 allocs/op
+BenchmarkTelemetryOverhead/disabled 	     781	    864562.5 ns/op
+PASS
+ok  	shmt/internal/core	2.791s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := ParseBenchOutput(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkDatapath/add/view":          5189,
+		"BenchmarkDatapath/add/copy":          2098603,
+		"BenchmarkTelemetryOverhead/disabled": 864562.5,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %g want %g (GOMAXPROCS suffix must be stripped)", name, got[name], ns)
+		}
+	}
+}
+
+func TestLoadSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "BENCH_x.json")
+	if err := os.WriteFile(good, []byte(`{
+		"suite": "BenchmarkX", "package": "shmt/internal/core",
+		"results": [{"name": "BenchmarkX/a", "ns_per_op": 100, "extra": 1}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSnapshot(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Suite != "BenchmarkX" || len(s.Results) != 1 || s.Results[0].NsPerOp != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+
+	for name, body := range map[string]string{
+		"missing.json": "",
+		"nosuite.json": `{"package": "p", "results": [{"name": "a", "ns_per_op": 1}]}`,
+		"nons.json":    `{"suite": "s", "package": "p", "results": [{"name": "a"}]}`,
+		"badjson.json": `{`,
+	} {
+		path := filepath.Join(dir, name)
+		if body != "" {
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := LoadSnapshot(path); err == nil {
+			t.Errorf("LoadSnapshot(%s) should fail", name)
+		}
+	}
+}
+
+func TestCommittedSnapshotsLoad(t *testing.T) {
+	// The baselines benchdiff runs against in CI must stay loadable.
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no committed snapshots found: %v", err)
+	}
+	for _, p := range paths {
+		if _, err := LoadSnapshot(p); err != nil {
+			t.Errorf("%s: %v", filepath.Base(p), err)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	snap := &Snapshot{
+		Suite: "BenchmarkX", Package: "p",
+		Results: []SnapshotResult{
+			{Name: "BenchmarkX/fast", NsPerOp: 100},
+			{Name: "BenchmarkX/slow", NsPerOp: 100},
+			{Name: "BenchmarkX/gone", NsPerOp: 100},
+		},
+	}
+	fresh := map[string]float64{
+		"BenchmarkX/fast":  120, // within a 0.5 tolerance
+		"BenchmarkX/slow":  151, // beyond it
+		"BenchmarkX/extra": 1,   // not in the snapshot: ignored
+	}
+	deltas := Diff(snap, fresh, 0.5)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkX/fast"]; d.Regressed || d.Ratio != 1.2 {
+		t.Fatalf("fast = %+v", d)
+	}
+	if d := byName["BenchmarkX/slow"]; !d.Regressed || d.Missing {
+		t.Fatalf("slow = %+v", d)
+	}
+	if d := byName["BenchmarkX/gone"]; !d.Regressed || !d.Missing {
+		t.Fatalf("gone = %+v (a vanished benchmark is a regression)", d)
+	}
+	if n := Regressions(deltas); n != 2 {
+		t.Fatalf("regressions = %d want 2", n)
+	}
+	// Everything passes with an unbounded tolerance except the missing one.
+	if n := Regressions(Diff(snap, fresh, 1e9)); n != 1 {
+		t.Fatalf("regressions at huge tolerance = %d want 1", n)
+	}
+}

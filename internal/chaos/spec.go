@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the CLI fault-plan syntax into per-device configs:
+//
+//	device:key=value[,key=value...][;device:...]
+//
+// e.g. "tpu:die=5;gpu:transient=0.2,latmul=4". Keys:
+//
+//	transient=P   transient error probability per dispatch
+//	failfirst=N   fail the first N dispatches deterministically
+//	die=N         permanent death after N dispatches
+//	latmul=X      constant latency multiplier (≥ 1)
+//	spike=P       latency-spike probability per dispatch
+//	spikemul=X    spike size multiplier (default 10)
+//	corrupt=P     output-corruption probability per dispatch
+//	corruptmag=X  relative corruption magnitude (default 0.05)
+//
+// seed is applied to every parsed config so one flag reproduces one schedule.
+func ParseSpec(spec string, seed int64) (map[string]Config, error) {
+	out := map[string]Config{}
+	for _, devSpec := range strings.Split(spec, ";") {
+		devSpec = strings.TrimSpace(devSpec)
+		if devSpec == "" {
+			continue
+		}
+		name, plan, ok := strings.Cut(devSpec, ":")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("chaos: spec %q needs device:key=value[,...]", devSpec)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("chaos: device %q specified twice", name)
+		}
+		cfg := Config{Seed: seed}
+		for _, kv := range strings.Split(plan, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("chaos: %s: %q is not key=value", name, kv)
+			}
+			x, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			if err != nil || x < 0 {
+				return nil, fmt.Errorf("chaos: %s: bad value %q for %s", name, val, key)
+			}
+			switch strings.TrimSpace(key) {
+			case "transient":
+				cfg.TransientRate = x
+			case "failfirst":
+				cfg.FailFirstOps = int(x)
+			case "die":
+				cfg.DieAfterOps = int(x)
+			case "latmul":
+				cfg.LatencyMultiplier = x
+			case "spike":
+				cfg.SpikeRate = x
+			case "spikemul":
+				cfg.SpikeMultiplier = x
+			case "corrupt":
+				cfg.CorruptRate = x
+			case "corruptmag":
+				cfg.CorruptMagnitude = x
+			default:
+				return nil, fmt.Errorf("chaos: %s: unknown key %q", name, key)
+			}
+		}
+		if !cfg.enabled() {
+			return nil, fmt.Errorf("chaos: %s: plan injects nothing", name)
+		}
+		out[name] = cfg
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("chaos: empty spec")
+	}
+	return out, nil
+}

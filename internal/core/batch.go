@@ -30,6 +30,9 @@ type BatchResult struct {
 	Energy energy.Breakdown
 	// Comm is the batch-wide data-movement accounting.
 	Comm interconnect.Tracker
+	// Degraded quantifies batch-wide fault handling (quarantines, reroutes,
+	// quality impact); nil when the batch saw no device failures.
+	Degraded *Degraded
 }
 
 // RunBatch executes several independent VOPs in one scheduling round: every
@@ -50,7 +53,9 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 	if pol == nil {
 		pol = sched.WorkStealing{}
 	}
-	ctx := &sched.Context{Reg: e.Reg, Seed: e.Seed, HostScale: maxf(e.HostScale, 1)}
+	fx := e.newFaultState()
+	ctx := &sched.Context{Reg: e.Reg, Seed: e.Seed, HostScale: maxf(e.HostScale, 1),
+		Quarantined: fx.quarantined}
 	rt := e.newRunTel(pol.Name())
 	var phaseT float64
 	if rt != nil {
@@ -108,9 +113,9 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 	var res *runResult
 	var err error
 	if e.Concurrent {
-		res, err = e.runConcurrent(ctx, pol, pool, overhead, tr, rt)
+		res, err = e.runConcurrent(ctx, pol, pool, overhead, tr, rt, fx)
 	} else {
-		res, err = e.runDeterministic(ctx, pol, pool, overhead, tr, rt)
+		res, err = e.runDeterministic(ctx, pol, pool, overhead, tr, rt, fx)
 	}
 	if err != nil {
 		return nil, err
@@ -137,7 +142,8 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 		doneBy[i] = append(doneBy[i], d)
 	}
 
-	batch := &BatchResult{Busy: res.busy, Comm: res.comm}
+	batch := &BatchResult{Busy: res.busy, Comm: res.comm,
+		Degraded: fx.deg.finish(e.Reg, res.done)}
 	copyBw := interconnect.HostDRAM.BandwidthBps
 	aggT := overhead
 	var aggBusy float64

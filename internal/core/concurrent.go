@@ -24,7 +24,7 @@ import (
 // concurrent execution, so this engine validates that the runtime's
 // invariants do not depend on the deterministic event ordering.
 func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
-	hs []*hlop.HLOP, overhead float64, tr *trace.Trace, rt *runTel) (*runResult, error) {
+	hs []*hlop.HLOP, overhead float64, tr *trace.Trace, rt *runTel, fx *faultState) (*runResult, error) {
 
 	n := e.Reg.Len()
 	queues := make([]*device.TaskQueue[*hlop.HLOP], n)
@@ -81,14 +81,25 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 		go func(qi int, st *workerState) {
 			defer wg.Done()
 			dev := e.Reg.Get(qi)
+			br := fx.brs[qi]
 			etc := device.NewExecTimeCache() // per-worker: the cache is not concurrency-safe
 			for outstanding.Load() > 0 && !aborted.Load() {
-				h, victim := e.obtainConcurrent(ctx, pol, queues, qi)
+				// A quarantined worker serves only its own queue: whatever the
+				// open-time redistribution could not place stays behind as
+				// probe fodder, so no HLOP is ever stranded.
+				var h *hlop.HLOP
+				victim := -1
+				if br.quarantined() {
+					h, _ = queues[qi].Pop()
+				} else {
+					h, victim = e.obtainConcurrent(ctx, pol, queues, qi)
+				}
 				if h == nil {
 					runtime.Gosched()
 					continue
 				}
 				stolen := victim >= 0
+				wasProbe := !stolen && br.beginProbe()
 				result, execErr := dev.ExecuteInto(h.Op, h.Inputs, h.Out, h.Attrs)
 				if execErr != nil {
 					if errors.Is(execErr, device.ErrTooLarge) {
@@ -104,28 +115,60 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 						queues[qi].PushFront(a)
 						continue
 					}
-					telemetry.HLOPRetries.Inc()
 					mu.Lock()
 					retries[h]++
 					r := retries[h]
 					mu.Unlock()
-					if r >= maxExecuteRetries {
+					busy, idle, opened := e.noteFault(fx.rz, br, fx.deg, rt, qi, dev, h, st.devTime, wasProbe)
+					st.devTime += busy
+					st.busy += busy
+					if r >= fx.rz.MaxRetries {
 						fail(fmt.Errorf("core: HLOP %d failed on %s after retries: %w", h.ID, dev.Name(), execErr))
 						return
 					}
-					alt := e.fallbackQueue(ctx, qi, h)
-					if alt < 0 {
-						fail(fmt.Errorf("core: HLOP %d failed on %s with no fallback: %w", h.ID, dev.Name(), execErr))
-						return
+					if opened {
+						openAt := st.devTime
+						st.devTime += idle // quarantine is idle virtual time
+						moved, kept := 0, 0
+						backlog := queues[qi].DrainPending()
+						for bi, b := range backlog {
+							// Hold the last backlog item back as the
+							// re-admission probe (see runDeterministic).
+							if bi == len(backlog)-1 && kept == 0 {
+								queues[qi].Push(b)
+								continue
+							}
+							alt := e.fallbackQueue(ctx, qi, b)
+							if alt < 0 {
+								queues[qi].Push(b) // probe fodder
+								kept++
+								continue
+							}
+							fx.deg.noteReroute(b, b.AssignedQueue)
+							telemetry.HLOPsRerouted.With(dev.Name()).Inc()
+							b.AssignedQueue = alt
+							queues[alt].Push(b)
+							moved++
+						}
+						fx.deg.noteQuarantine(Quarantine{Device: dev.Name(), At: openAt, Cooldown: idle, Rerouted: moved})
 					}
-					st.devTime += dev.DispatchOverhead()
-					h.AssignedQueue = alt
-					queues[alt].Push(h)
+					if alt := e.fallbackQueue(ctx, qi, h); alt >= 0 {
+						fx.deg.noteReroute(h, h.AssignedQueue)
+						telemetry.HLOPsRerouted.With(dev.Name()).Inc()
+						h.AssignedQueue = alt
+						queues[alt].Push(h)
+					} else {
+						// No healthy fallback: keep it ours and let the retry
+						// bound decide between recovery and surfacing.
+						queues[qi].PushFront(h)
+					}
 					continue
 				}
+				e.noteRecovery(br, fx.deg, rt, qi, dev)
 
 				start := st.devTime
 				dur, xferT, exposedT, bytes := e.hlopCost(dev, h, st.prevExec, etc)
+				dur += takeInjectedDelay(dev)
 				st.devTime += dur
 				st.prevExec = etc.ExecTime(dev, h.Op, h.Elems)
 				st.busy += dur
@@ -199,7 +242,7 @@ func (e *Engine) obtainConcurrent(ctx *sched.Context, pol sched.Policy,
 	type cand struct{ q, depth int }
 	var cands []cand
 	for vq := range queues {
-		if vq == qi {
+		if vq == qi || !ctx.StealableVictim(vq) {
 			continue
 		}
 		if l := queues[vq].Pending(); l > 0 {
@@ -212,7 +255,7 @@ func (e *Engine) obtainConcurrent(ctx *sched.Context, pol sched.Policy,
 		if !ok {
 			continue
 		}
-		if !pol.CanSteal(ctx, qi, c.q, h) {
+		if !pol.CanSteal(ctx, qi, c.q, h) || !ctx.StealableVictim(c.q) {
 			telemetry.StealRejected.Inc()
 			queues[c.q].Push(h) // put it back; not ours to take
 			continue

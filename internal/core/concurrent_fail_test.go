@@ -17,8 +17,10 @@ import (
 // draining the queues alone left outstanding > 0 and every other worker spun
 // in its obtain loop forever. With the CPU hosting the runtime, the only
 // kernel-eligible device here is the permanently failing GPU: its worker
-// fails terminally with an HLOP in hand while the CPU worker idles — the
-// exact livelock shape. The run must surface the injected error promptly.
+// fails with an HLOP in hand while the CPU worker idles — the exact livelock
+// shape. The run must terminate promptly; with graceful degradation the
+// GPU's breaker opens and the whole workload reroutes to the CPU, so the
+// batch now completes instead of aborting.
 func TestConcurrentPermanentFailureTerminates(t *testing.T) {
 	flaky := &flakyDevice{Device: gpu.New(gpu.Config{})}
 	flaky.failures.Store(1 << 20) // never recovers
@@ -29,15 +31,28 @@ func TestConcurrentPermanentFailureTerminates(t *testing.T) {
 	e := &Engine{Reg: reg, Policy: sched.WorkStealing{}, Concurrent: true,
 		Spec: hlop.Spec{TargetPartitions: 4, MinTile: 8}}
 
-	done := make(chan error, 1)
+	type outcome struct {
+		rep *Report
+		err error
+	}
+	done := make(chan outcome, 1)
 	go func() {
-		_, err := e.Run(sobelVOP(t, 64, 21))
-		done <- err
+		rep, err := e.Run(sobelVOP(t, 64, 21))
+		done <- outcome{rep, err}
 	}()
 	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("permanent failure with no fallback must surface")
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("dead GPU should degrade onto the CPU, got error: %v", o.err)
+		}
+		if o.rep.Degraded == nil || len(o.rep.Degraded.Quarantines) == 0 {
+			t.Fatalf("Degraded report missing after a permanent device failure: %+v", o.rep.Degraded)
+		}
+		if o.rep.Degraded.Rerouted == 0 {
+			t.Fatal("dead device's HLOPs were not rerouted")
+		}
+		if quar := e.QuarantinedDevices(); len(quar) != 1 || quar[0] != "gpu" {
+			t.Fatalf("quarantined devices = %v, want [gpu]", quar)
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("concurrent engine livelocked after a terminal device failure")

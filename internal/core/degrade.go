@@ -1,0 +1,372 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"shmt/internal/device"
+	"shmt/internal/hlop"
+	"shmt/internal/telemetry"
+)
+
+// This file is the engines' graceful-degradation layer: instead of "retry
+// then abort", a device that keeps failing is quarantined behind a per-device
+// circuit breaker, its backlog is redistributed to healthy devices, transient
+// errors are retried under exponential backoff, and the whole episode is
+// quantified in Report.Degraded. The breaker state machine:
+//
+//	closed --(threshold consecutive failures)--> open
+//	open   --(cooldown elapses on the device's virtual clock, next own-queue
+//	          HLOP becomes a probe)--> half-open
+//	half-open --(probe succeeds)--> closed (re-admitted)
+//	half-open --(probe fails)--> open, cooldown doubled
+//
+// Quarantine is modelled as idle virtual time: when the breaker opens, the
+// device's clock jumps past the cooldown, so healthy devices (whose clocks
+// are earlier) drain its queue through the existing steal path before the
+// probe window arrives. Breaker state persists across an Engine's runs, so a
+// device that died in one batch is not re-assigned work in the next.
+
+// Resilience tunes the engines' fault handling. The zero value selects the
+// defaults below; it is always active — a run with no failures pays nothing.
+type Resilience struct {
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// device's breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is the initial quarantine length in virtual seconds
+	// (default 5ms). Each failed re-admission probe doubles it, up to
+	// CooldownCap.
+	BreakerCooldown float64
+	// CooldownCap bounds the doubled cooldown (default 1s).
+	CooldownCap float64
+	// BackoffBase is the first retry backoff in virtual seconds (default
+	// 200µs); consecutive failures double it up to BackoffCap.
+	BackoffBase float64
+	// BackoffCap bounds the exponential backoff (default 20ms).
+	BackoffCap float64
+	// MaxRetries bounds how many dispatches one HLOP may fail before the
+	// run errors out (default 4, the historical maxExecuteRetries).
+	MaxRetries int
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.BreakerThreshold <= 0 {
+		r.BreakerThreshold = 3
+	}
+	if r.BreakerCooldown <= 0 {
+		r.BreakerCooldown = 5e-3
+	}
+	if r.CooldownCap <= 0 {
+		r.CooldownCap = 1.0
+	}
+	if r.BackoffBase <= 0 {
+		r.BackoffBase = 200e-6
+	}
+	if r.BackoffCap <= 0 {
+		r.BackoffCap = 20e-3
+	}
+	if r.MaxRetries <= 0 {
+		r.MaxRetries = maxExecuteRetries
+	}
+	return r
+}
+
+// Breaker states, also the values of the shmt_breaker_state gauge.
+const (
+	brClosed int32 = iota
+	brOpen
+	brHalfOpen
+)
+
+// breaker is one device's circuit breaker. All methods are safe for
+// concurrent use (the concurrent engine's workers consult each other's
+// breakers through fallbackQueue and the scheduler's quarantine filter).
+type breaker struct {
+	mu          sync.Mutex
+	state       int32
+	consecFails int
+	opens       int
+	cooldown    float64
+}
+
+// quarantined reports whether the device is refusing regular work.
+func (b *breaker) quarantined() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == brOpen
+}
+
+// beginProbe turns an open breaker half-open; the caller executes the next
+// HLOP as the re-admission probe. Returns whether this dispatch is a probe.
+func (b *breaker) beginProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == brOpen {
+		b.state = brHalfOpen
+		return true
+	}
+	return false
+}
+
+// onFailure records a failed dispatch: it computes the exponential backoff to
+// charge and decides whether the breaker opens (threshold reached, or a
+// failed probe re-opening with doubled cooldown).
+func (b *breaker) onFailure(rz Resilience) (backoff float64, opened bool, cooldown float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails++
+	exp := b.consecFails - 1
+	if exp > 16 {
+		exp = 16
+	}
+	backoff = rz.BackoffBase * math.Pow(2, float64(exp))
+	if backoff > rz.BackoffCap {
+		backoff = rz.BackoffCap
+	}
+	switch {
+	case b.state == brHalfOpen:
+		b.opens++
+		b.cooldown *= 2
+		if b.cooldown > rz.CooldownCap {
+			b.cooldown = rz.CooldownCap
+		}
+		b.state = brOpen
+		opened, cooldown = true, b.cooldown
+	case b.state == brClosed && b.consecFails >= rz.BreakerThreshold:
+		b.opens++
+		b.cooldown = rz.BreakerCooldown
+		b.state = brOpen
+		opened, cooldown = true, b.cooldown
+	}
+	return backoff, opened, cooldown
+}
+
+// onSuccess closes the breaker; readmitted reports whether this success was a
+// half-open probe (a quarantined device returning to service).
+func (b *breaker) onSuccess() (readmitted bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	readmitted = b.state == brHalfOpen
+	b.state = brClosed
+	b.consecFails = 0
+	return readmitted
+}
+
+// breakerSet lazily builds the engine's persistent per-device breakers.
+func (e *Engine) breakerSet() []*breaker {
+	e.brMu.Lock()
+	defer e.brMu.Unlock()
+	if len(e.brs) != e.Reg.Len() {
+		e.brs = make([]*breaker, e.Reg.Len())
+		for i := range e.brs {
+			e.brs[i] = &breaker{}
+		}
+	}
+	return e.brs
+}
+
+// QuarantinedDevices returns the names of devices whose breaker is currently
+// open — work submitted now will not be assigned to them.
+func (e *Engine) QuarantinedDevices() []string {
+	if e.Reg == nil {
+		return nil
+	}
+	var names []string
+	for i, b := range e.breakerSet() {
+		if b.quarantined() {
+			names = append(names, e.Reg.Get(i).Name())
+		}
+	}
+	return names
+}
+
+// Quarantine is one breaker-open event.
+type Quarantine struct {
+	// Device is the quarantined device's name.
+	Device string
+	// At is the virtual time the breaker opened.
+	At float64
+	// Cooldown is the quarantine length in virtual seconds.
+	Cooldown float64
+	// Rerouted is how many backlog HLOPs were redistributed when the
+	// breaker opened.
+	Rerouted int
+}
+
+// Degraded quantifies a run's graceful-degradation activity: which devices
+// were quarantined, how much work was rerouted, and the quality impact when
+// rerouted work executed at lower accuracy. Nil when the run saw no faults.
+type Degraded struct {
+	// Quarantines lists breaker-open events in occurrence order.
+	Quarantines []Quarantine
+	// FailedDispatches counts dispatches that returned an error.
+	FailedDispatches int
+	// FailedDispatchSeconds is the virtual time charged for them (dispatch
+	// overhead plus backoff).
+	FailedDispatchSeconds float64
+	// BackoffSeconds is the portion of that spent in exponential backoff.
+	BackoffSeconds float64
+	// Rerouted counts HLOPs the failure path moved off their assigned
+	// device (steals are not degradation and are not counted).
+	Rerouted int
+	// ReroutedElems is those HLOPs' total element count.
+	ReroutedElems int
+	// Downgraded counts rerouted HLOPs that ultimately executed on a device
+	// with a worse accuracy rank than originally assigned — e.g. exact work
+	// that fell back to the INT8 NPU.
+	Downgraded int
+	// DowngradedElems is the element count computed at reduced accuracy;
+	// relative to the VOP size it bounds the quality impact.
+	DowngradedElems int
+	// ProbeSuccesses counts re-admissions (quarantined device recovered).
+	ProbeSuccesses int
+	// ProbeFailures counts probes that re-opened the breaker.
+	ProbeFailures int
+}
+
+// degTracker accumulates one run's Degraded report. Safe for concurrent use.
+type degTracker struct {
+	mu        sync.Mutex
+	d         Degraded
+	origQueue map[*hlop.HLOP]int // first pre-reroute queue, per moved HLOP
+}
+
+func newDegTracker() *degTracker {
+	return &degTracker{origQueue: map[*hlop.HLOP]int{}}
+}
+
+func (t *degTracker) noteFailure(charge, backoff float64) {
+	t.mu.Lock()
+	t.d.FailedDispatches++
+	t.d.FailedDispatchSeconds += charge
+	t.d.BackoffSeconds += backoff
+	t.mu.Unlock()
+}
+
+func (t *degTracker) noteQuarantine(q Quarantine) {
+	t.mu.Lock()
+	t.d.Quarantines = append(t.d.Quarantines, q)
+	t.mu.Unlock()
+}
+
+func (t *degTracker) noteReroute(h *hlop.HLOP, from int) {
+	t.mu.Lock()
+	if _, seen := t.origQueue[h]; !seen {
+		t.origQueue[h] = from
+	}
+	t.d.Rerouted++
+	t.mu.Unlock()
+}
+
+func (t *degTracker) noteProbe(ok bool) {
+	t.mu.Lock()
+	if ok {
+		t.d.ProbeSuccesses++
+	} else {
+		t.d.ProbeFailures++
+	}
+	t.mu.Unlock()
+}
+
+// finish resolves quality impact — rerouted HLOPs that executed on a device
+// less accurate than originally assigned — and returns the report, or nil
+// when the run saw no degradation at all.
+func (t *degTracker) finish(reg *device.Registry, done []doneHLOP) *Degraded {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.d.FailedDispatches == 0 && len(t.d.Quarantines) == 0 && t.d.Rerouted == 0 {
+		return nil
+	}
+	for _, dn := range done {
+		orig, moved := t.origQueue[dn.h]
+		if !moved {
+			continue
+		}
+		t.d.ReroutedElems += dn.h.Elems
+		if reg.Get(dn.h.ExecQueue).AccuracyRank() > reg.Get(orig).AccuracyRank() {
+			t.d.Downgraded++
+			t.d.DowngradedElems += dn.h.Elems
+		}
+	}
+	d := t.d
+	return &d
+}
+
+// faultState bundles one run's degradation machinery: the resolved tuning,
+// the engine's persistent breakers, and the run-scoped degradation tracker.
+type faultState struct {
+	rz  Resilience
+	brs []*breaker
+	deg *degTracker
+}
+
+func (e *Engine) newFaultState() *faultState {
+	return &faultState{rz: e.Resilience.withDefaults(), brs: e.breakerSet(), deg: newDegTracker()}
+}
+
+// quarantined is the sched.Context hook: policies route new work around
+// devices whose breaker is open.
+func (f *faultState) quarantined(i int) bool { return f.brs[i].quarantined() }
+
+// injectedDelayer is implemented by the chaos wrapper (and any future
+// instrumented device) to surface injected virtual latency; asserting the
+// interface here keeps core from importing internal/chaos.
+type injectedDelayer interface {
+	TakeInjectedDelay() float64
+}
+
+// takeInjectedDelay drains a device's pending injected delay, if any.
+func takeInjectedDelay(dev device.Device) float64 {
+	if d, ok := dev.(injectedDelayer); ok {
+		return d.TakeInjectedDelay()
+	}
+	return 0
+}
+
+// noteFault centralizes both engines' failed-dispatch bookkeeping so the
+// accounting cannot drift between them again: the returned busy charge is the
+// dispatch overhead plus exponential backoff (charged to the device's clock
+// AND its busy time), idle is the quarantine cooldown to advance the clock by
+// when the breaker opened, and the telemetry counters and device-lane fault
+// span are recorded here.
+func (e *Engine) noteFault(rz Resilience, br *breaker, deg *degTracker, rt *runTel,
+	qi int, dev device.Device, h *hlop.HLOP, now float64, wasProbe bool) (busy, idle float64, opened bool) {
+
+	telemetry.HLOPRetries.Inc()
+	telemetry.FailedDispatches.With(dev.Name()).Inc()
+	backoff, opened, cooldown := br.onFailure(rz)
+	busy = dev.DispatchOverhead() + backoff
+	telemetry.FailedDispatchVirtualNanos.Add(int64(busy * 1e9))
+	telemetry.Backoffs.Inc()
+	telemetry.BackoffVirtualNanos.Add(int64(backoff * 1e9))
+	deg.noteFailure(busy, backoff)
+	if wasProbe {
+		deg.noteProbe(false)
+		telemetry.BreakerProbeFailure.Inc()
+	}
+	if opened {
+		idle = cooldown
+		telemetry.BreakerOpens.With(dev.Name()).Inc()
+	}
+	if rt != nil {
+		rt.dispatchFailed(qi, h, now, now+busy)
+		if opened {
+			rt.breakerState(qi, int64(brOpen))
+		}
+	}
+	return busy, idle, opened
+}
+
+// noteRecovery records a successful dispatch's breaker bookkeeping; true when
+// the device was just re-admitted from quarantine.
+func (e *Engine) noteRecovery(br *breaker, deg *degTracker, rt *runTel, qi int, dev device.Device) bool {
+	if !br.onSuccess() {
+		return false
+	}
+	deg.noteProbe(true)
+	telemetry.BreakerProbeSuccess.Inc()
+	if rt != nil {
+		rt.breakerState(qi, int64(brClosed))
+	}
+	return true
+}

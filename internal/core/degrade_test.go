@@ -1,0 +1,224 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"shmt/internal/device"
+	"shmt/internal/device/cpu"
+	"shmt/internal/device/dsp"
+	"shmt/internal/device/gpu"
+	"shmt/internal/device/tpu"
+	"shmt/internal/hlop"
+	"shmt/internal/sched"
+	"shmt/internal/vop"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	rz := Resilience{}.withDefaults()
+	b := &breaker{}
+
+	// Closed absorbs failures below the threshold.
+	for i := 0; i < rz.BreakerThreshold-1; i++ {
+		if _, opened, _ := b.onFailure(rz); opened {
+			t.Fatalf("breaker opened after %d failures (threshold %d)", i+1, rz.BreakerThreshold)
+		}
+	}
+	if b.quarantined() {
+		t.Fatal("breaker should still be closed")
+	}
+	// The threshold failure opens it.
+	_, opened, cd := b.onFailure(rz)
+	if !opened || cd != rz.BreakerCooldown {
+		t.Fatalf("opened=%v cooldown=%g", opened, cd)
+	}
+	if !b.quarantined() {
+		t.Fatal("open breaker must quarantine")
+	}
+	// Probe: open -> half-open; a failed probe re-opens with doubled cooldown.
+	if !b.beginProbe() {
+		t.Fatal("beginProbe on an open breaker must start a probe")
+	}
+	if b.quarantined() {
+		t.Fatal("half-open is not quarantined (the probe is in flight)")
+	}
+	_, opened, cd = b.onFailure(rz)
+	if !opened || cd != 2*rz.BreakerCooldown {
+		t.Fatalf("failed probe: opened=%v cooldown=%g want %g", opened, cd, 2*rz.BreakerCooldown)
+	}
+	// A successful probe re-admits.
+	if !b.beginProbe() {
+		t.Fatal("second probe")
+	}
+	if !b.onSuccess() {
+		t.Fatal("probe success must report re-admission")
+	}
+	if b.quarantined() || b.consecFails != 0 {
+		t.Fatal("breaker must be closed and reset after re-admission")
+	}
+	// Ordinary successes are not re-admissions.
+	if b.onSuccess() {
+		t.Fatal("a success on a closed breaker is not a re-admission")
+	}
+}
+
+func TestBackoffIsExponentialAndCapped(t *testing.T) {
+	rz := Resilience{BreakerThreshold: 100}.withDefaults()
+	b := &breaker{}
+	prev := 0.0
+	for i := 0; i < 12; i++ {
+		backoff, _, _ := b.onFailure(rz)
+		if backoff < prev {
+			t.Fatalf("backoff shrank: %g after %g", backoff, prev)
+		}
+		if backoff > rz.BackoffCap {
+			t.Fatalf("backoff %g exceeds cap %g", backoff, rz.BackoffCap)
+		}
+		prev = backoff
+	}
+	if prev != rz.BackoffCap {
+		t.Fatalf("backoff should saturate at the cap, got %g", prev)
+	}
+}
+
+// fallbackQueue edge cases.
+
+func TestFallbackQueueNoOtherDevice(t *testing.T) {
+	reg, _ := device.NewRegistry(gpu.New(gpu.Config{}))
+	e := &Engine{Reg: reg}
+	ctx := &sched.Context{Reg: reg}
+	h := &hlop.HLOP{Op: vop.OpSobel}
+	if alt := e.fallbackQueue(ctx, 0, h); alt != -1 {
+		t.Fatalf("sole device must have no fallback, got %d", alt)
+	}
+}
+
+func TestFallbackQueuePrefersAccuracyAndSkipsQuarantined(t *testing.T) {
+	reg, _ := device.NewRegistry(cpu.New(1), gpu.New(gpu.Config{}), tpu.New(tpu.Config{}))
+	e := &Engine{Reg: reg}
+	fx := e.newFaultState()
+	ctx := &sched.Context{Reg: reg, Quarantined: fx.quarantined}
+	h := &hlop.HLOP{Op: vop.OpSobel}
+
+	// TPU fails: the GPU (more accurate accelerator) is the fallback.
+	gpuIdx, tpuIdx := reg.Index("gpu"), reg.Index("tpu")
+	if alt := e.fallbackQueue(ctx, tpuIdx, h); alt != gpuIdx {
+		t.Fatalf("fallback = %d want gpu (%d)", alt, gpuIdx)
+	}
+
+	// Quarantine the GPU: the healthy-accelerator tier holds only the failing
+	// TPU itself, so there is no fallback yet — the CPU is not drafted while
+	// another accelerator is merely failing, only once it quarantines too.
+	for i := 0; i < fx.rz.BreakerThreshold; i++ {
+		fx.brs[gpuIdx].onFailure(fx.rz)
+	}
+	if alt := e.fallbackQueue(ctx, tpuIdx, h); alt != -1 {
+		t.Fatalf("fallback with gpu quarantined = %d want -1 (no healthy accelerator)", alt)
+	}
+
+	// Quarantine the TPU too: with every accelerator out, the tier drops to
+	// any healthy device and the CPU absorbs the work.
+	for i := 0; i < fx.rz.BreakerThreshold; i++ {
+		fx.brs[tpuIdx].onFailure(fx.rz)
+	}
+	if alt := e.fallbackQueue(ctx, tpuIdx, h); alt != reg.Index("cpu") {
+		t.Fatalf("fallback with both accelerators quarantined = %d want cpu (%d)", alt, reg.Index("cpu"))
+	}
+}
+
+func TestFallbackQueueUnsupportedOp(t *testing.T) {
+	// No other device supports the op: no fallback. The image DSP's home
+	// domain has no GEMM, so a GPU failure has nowhere to send it.
+	reg, _ := device.NewRegistry(gpu.New(gpu.Config{}), dsp.New(dsp.Config{}))
+	e := &Engine{Reg: reg}
+	ctx := &sched.Context{Reg: reg}
+	h := &hlop.HLOP{Op: vop.OpGEMM}
+	if alt := e.fallbackQueue(ctx, reg.Index("gpu"), h); alt != -1 {
+		t.Fatalf("fallback for unsupported op = %d want -1", alt)
+	}
+}
+
+// TestRetriesExhaustedSurfaces drives one HLOP through MaxRetries failures
+// and checks the surfaced error wraps the device's.
+func TestRetriesExhaustedSurfaces(t *testing.T) {
+	flaky := &flakyDevice{Device: gpu.New(gpu.Config{})}
+	flaky.failures.Store(1 << 20)
+	reg, _ := device.NewRegistry(flaky)
+	e := &Engine{Reg: reg, Policy: sched.SingleDevice{Device: "gpu"},
+		Spec: hlop.Spec{TargetPartitions: 2, MinTile: 8}}
+	_, err := e.Run(sobelVOP(t, 32, 31))
+	if err == nil {
+		t.Fatal("exhausted retries must surface")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("surfaced error should wrap the device error, got %v", err)
+	}
+}
+
+// TestRetryBoundConfigurable checks Resilience.MaxRetries is honored: with a
+// huge bound and a device that recovers late, the run succeeds.
+func TestRetryBoundConfigurable(t *testing.T) {
+	flaky := &flakyDevice{Device: gpu.New(gpu.Config{})}
+	flaky.failures.Store(6) // more than the default bound of 4
+	reg, _ := device.NewRegistry(flaky)
+	e := &Engine{Reg: reg, Policy: sched.SingleDevice{Device: "gpu"},
+		Spec:       hlop.Spec{TargetPartitions: 2, MinTile: 8},
+		Resilience: Resilience{MaxRetries: 32}}
+	rep, err := e.Run(sobelVOP(t, 32, 32))
+	if err != nil {
+		t.Fatalf("raised retry bound should let the run recover: %v", err)
+	}
+	if rep.Degraded == nil || rep.Degraded.FailedDispatches != 6 {
+		t.Fatalf("Degraded = %+v, want 6 failed dispatches", rep.Degraded)
+	}
+	if len(rep.Degraded.Quarantines) == 0 {
+		t.Fatal("six consecutive failures must have opened the breaker")
+	}
+	if rep.Degraded.ProbeSuccesses == 0 {
+		t.Fatal("recovery after quarantine must count a probe success")
+	}
+	if quar := e.QuarantinedDevices(); len(quar) != 0 {
+		t.Fatalf("device should be re-admitted, still quarantined: %v", quar)
+	}
+}
+
+// TestFailedDispatchAccountingSymmetry: both engines charge the same failed
+// dispatches to busy time and the Degraded report.
+func TestFailedDispatchAccountingSymmetry(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		// The flaky TPU is the sole accelerator, so exactly its first two
+		// dispatches fail in both engines regardless of interleaving.
+		flaky := &flakyDevice{Device: tpu.New(tpu.Config{})}
+		flaky.failures.Store(2)
+		reg, _ := device.NewRegistry(cpu.New(1), flaky)
+		e := &Engine{Reg: reg, Policy: sched.WorkStealing{}, Concurrent: concurrent,
+			Spec: hlop.Spec{TargetPartitions: 4, MinTile: 8}}
+		rep, err := e.Run(sobelVOP(t, 64, 33))
+		if err != nil {
+			t.Fatalf("concurrent=%v: %v", concurrent, err)
+		}
+		d := rep.Degraded
+		if d == nil || d.FailedDispatches != 2 {
+			t.Fatalf("concurrent=%v: Degraded = %+v, want 2 failed dispatches", concurrent, d)
+		}
+		if d.FailedDispatchSeconds <= 0 || d.BackoffSeconds <= 0 {
+			t.Fatalf("concurrent=%v: failed dispatch time not charged: %+v", concurrent, d)
+		}
+		if d.FailedDispatchSeconds <= d.BackoffSeconds {
+			t.Fatalf("concurrent=%v: charge must include dispatch overhead beyond backoff", concurrent)
+		}
+	}
+}
+
+// TestDegradedNilWhenHealthy: a clean run must not allocate a report.
+func TestDegradedNilWhenHealthy(t *testing.T) {
+	e := &Engine{Reg: stdRegistry(t), Policy: sched.WorkStealing{},
+		Spec: hlop.Spec{TargetPartitions: 4, MinTile: 8}}
+	rep, err := e.Run(sobelVOP(t, 64, 34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded != nil {
+		t.Fatalf("healthy run has Degraded = %+v", rep.Degraded)
+	}
+}

@@ -18,6 +18,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"shmt/internal/device"
 	"shmt/internal/energy"
@@ -57,6 +58,14 @@ type Engine struct {
 	// every run (see internal/telemetry); process-global counters are
 	// maintained whenever telemetry is enabled, recorder or not.
 	Telemetry *telemetry.Recorder
+	// Resilience tunes the graceful-degradation machinery (circuit breakers,
+	// backoff, retry bounds — see degrade.go). The zero value uses defaults.
+	Resilience Resilience
+
+	// Per-device circuit breakers, lazily sized to Reg and persistent across
+	// runs so a dead device stays quarantined between batches.
+	brMu sync.Mutex
+	brs  []*breaker
 }
 
 // Report is the outcome of one VOP execution.
@@ -81,6 +90,9 @@ type Report struct {
 	PeakBytes int64
 	// Trace holds per-HLOP events when RecordTrace was set.
 	Trace *trace.Trace
+	// Degraded quantifies fault handling (quarantines, reroutes, quality
+	// impact); nil when the run saw no device failures.
+	Degraded *Degraded
 }
 
 // maxExecuteRetries bounds how many devices one HLOP may fail on before the
@@ -116,7 +128,9 @@ func (e *Engine) Run(v *vop.VOP) (*Report, error) {
 	if hostScale < 1 {
 		hostScale = 1
 	}
-	ctx := &sched.Context{Reg: e.Reg, Seed: e.Seed, HostScale: hostScale}
+	fx := e.newFaultState()
+	ctx := &sched.Context{Reg: e.Reg, Seed: e.Seed, HostScale: hostScale,
+		Quarantined: fx.quarantined}
 	overhead, err := pol.Assign(ctx, hs)
 	if err != nil {
 		return nil, err
@@ -144,9 +158,9 @@ func (e *Engine) Run(v *vop.VOP) (*Report, error) {
 
 	var res *runResult
 	if e.Concurrent {
-		res, err = e.runConcurrent(ctx, pol, hs, overhead, tr, rt)
+		res, err = e.runConcurrent(ctx, pol, hs, overhead, tr, rt, fx)
 	} else {
-		res, err = e.runDeterministic(ctx, pol, hs, overhead, tr, rt)
+		res, err = e.runDeterministic(ctx, pol, hs, overhead, tr, rt, fx)
 	}
 	if err != nil {
 		return nil, err
@@ -194,6 +208,7 @@ func (e *Engine) Run(v *vop.VOP) (*Report, error) {
 		Busy:          res.busy,
 		Comm:          res.comm,
 		PeakBytes:     tr.PeakBytes(),
+		Degraded:      fx.deg.finish(e.Reg, res.done),
 	}
 	// The host is busy for sampling and aggregation.
 	rep.Busy["cpu"] += overhead + float64(aggBytes)/copyBw
@@ -223,8 +238,15 @@ type runResult struct {
 // queue, then stealing under the policy), execute the HLOP for real, and
 // advance that device's clock by the modelled dispatch, exposed transfer,
 // and execution costs.
+//
+// Failure handling (see degrade.go): a failed dispatch charges dispatch
+// overhead plus exponential backoff, then reroutes the HLOP to the best
+// healthy fallback (or requeues it locally when there is none). Crossing the
+// breaker threshold quarantines the device — its clock jumps past the
+// cooldown and its backlog is redistributed — and its next own-queue HLOP
+// after the cooldown runs as the re-admission probe.
 func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
-	hs []*hlop.HLOP, overhead float64, tr *trace.Trace, rt *runTel) (*runResult, error) {
+	hs []*hlop.HLOP, overhead float64, tr *trace.Trace, rt *runTel, fx *faultState) (*runResult, error) {
 
 	n := e.Reg.Len()
 	queues := make([][]*hlop.HLOP, n)
@@ -244,14 +266,16 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 	etc := device.NewExecTimeCache()
 
 	for remaining > 0 {
-		// Choose the earliest device that can obtain work.
+		// Choose the earliest device that can obtain work. A quarantined
+		// device serves only its own queue (the probe path); it neither
+		// steals nor is handed new work.
 		pick, victim := -1, -1
 		for i := 0; i < n; i++ {
 			var ok bool
 			var vict int
 			if len(queues[i]) > 0 {
 				ok, vict = true, -1
-			} else if pol.StealingEnabled() {
+			} else if pol.StealingEnabled() && !fx.brs[i].quarantined() {
 				vict = e.pickVictim(ctx, pol, queues, i, etc)
 				ok = vict >= 0
 			}
@@ -275,6 +299,7 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 		}
 
 		dev := e.Reg.Get(pick)
+		wasProbe := victim < 0 && fx.brs[pick].beginProbe()
 		result, execErr := dev.ExecuteInto(h.Op, h.Inputs, h.Out, h.Attrs)
 		if execErr != nil {
 			if errors.Is(execErr, device.ErrTooLarge) {
@@ -289,26 +314,61 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 				queues[pick] = append([]*hlop.HLOP{a, b}, queues[pick]...)
 				continue
 			}
-			// Any other failure: requeue on the most accurate other device.
-			telemetry.HLOPRetries.Inc()
 			retries[h]++
-			if retries[h] >= maxExecuteRetries {
+			busy, idle, opened := e.noteFault(fx.rz, fx.brs[pick], fx.deg, rt, pick, dev, h, devTime[pick], wasProbe)
+			devTime[pick] += busy
+			res.busy[dev.Name()] += busy
+			if retries[h] >= fx.rz.MaxRetries {
 				return nil, fmt.Errorf("core: HLOP %d failed on %s after retries: %w", h.ID, dev.Name(), execErr)
 			}
-			alt := e.fallbackQueue(ctx, pick, h)
-			if alt < 0 {
-				return nil, fmt.Errorf("core: HLOP %d failed on %s with no fallback: %w", h.ID, dev.Name(), execErr)
+			if opened {
+				openAt := devTime[pick]
+				devTime[pick] += idle // quarantine is idle virtual time
+				moved, kept := 0, 0
+				backlog := queues[pick]
+				queues[pick] = nil
+				for bi, b := range backlog {
+					// Hold the last backlog item back as the re-admission
+					// probe: an emptied queue would leave a recovered
+					// device quarantined forever with nothing to probe.
+					if bi == len(backlog)-1 && kept == 0 {
+						queues[pick] = append(queues[pick], b)
+						continue
+					}
+					alt := e.fallbackQueue(ctx, pick, b)
+					if alt < 0 {
+						queues[pick] = append(queues[pick], b) // probe fodder
+						kept++
+						continue
+					}
+					fx.deg.noteReroute(b, b.AssignedQueue)
+					telemetry.HLOPsRerouted.With(dev.Name()).Inc()
+					b.AssignedQueue = alt
+					queues[alt] = append(queues[alt], b)
+					moved++
+				}
+				fx.deg.noteQuarantine(Quarantine{Device: dev.Name(), At: openAt, Cooldown: idle, Rerouted: moved})
 			}
-			h.AssignedQueue = alt
-			queues[alt] = append(queues[alt], h)
-			devTime[pick] += dev.DispatchOverhead() // the failed dispatch still cost time
+			// Reroute the failed HLOP to the best healthy fallback; with no
+			// fallback it stays at the front of the owner's queue and the
+			// retry bound decides between recovery and surfacing the error.
+			if alt := e.fallbackQueue(ctx, pick, h); alt >= 0 {
+				fx.deg.noteReroute(h, h.AssignedQueue)
+				telemetry.HLOPsRerouted.With(dev.Name()).Inc()
+				h.AssignedQueue = alt
+				queues[alt] = append(queues[alt], h)
+			} else {
+				queues[pick] = append([]*hlop.HLOP{h}, queues[pick]...)
+			}
 			continue
 		}
+		e.noteRecovery(fx.brs[pick], fx.deg, rt, pick, dev)
 
 		start := devTime[pick]
 		stageB := e.stagingBytes(dev, h)
 		tr.AllocStaging(stageB)
 		dur, xferT, exposedT, bytes := e.hlopCost(dev, h, prevExec[pick], etc)
+		dur += takeInjectedDelay(dev)
 		devTime[pick] = start + dur
 		prevExec[pick] = etc.ExecTime(dev, h.Op, h.Elems)
 		ran[pick] = true
@@ -354,7 +414,7 @@ func (e *Engine) pickVictim(ctx *sched.Context, pol sched.Policy, queues [][]*hl
 	best, bestLen := -1, 0
 	bestScore := 0.0
 	for vq := range queues {
-		if vq == thief || len(queues[vq]) == 0 {
+		if vq == thief || len(queues[vq]) == 0 || !ctx.StealableVictim(vq) {
 			continue
 		}
 		tail := queues[vq][len(queues[vq])-1]

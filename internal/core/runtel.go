@@ -23,6 +23,7 @@ type runTel struct {
 	assigned []*telemetry.Counter
 	depth    []*telemetry.Gauge
 	wait     []*telemetry.Histogram
+	breaker  []*telemetry.Gauge
 	phases   map[string]*telemetry.Histogram
 }
 
@@ -45,6 +46,7 @@ func (e *Engine) newRunTel(policy string) *runTel {
 	rt.assigned = make([]*telemetry.Counter, n)
 	rt.depth = make([]*telemetry.Gauge, n)
 	rt.wait = make([]*telemetry.Histogram, n)
+	rt.breaker = make([]*telemetry.Gauge, n)
 	for i := 0; i < n; i++ {
 		name := e.Reg.Get(i).Name()
 		rt.names[i] = name
@@ -53,6 +55,7 @@ func (e *Engine) newRunTel(policy string) *runTel {
 		rt.assigned[i] = telemetry.HLOPsAssigned.With(name)
 		rt.depth[i] = telemetry.QueueDepth.With(name)
 		rt.wait[i] = telemetry.QueueWaitSeconds.With(name)
+		rt.breaker[i] = telemetry.BreakerState.With(name)
 	}
 	for _, p := range []string{telemetry.PhasePartition, telemetry.PhaseSchedule,
 		telemetry.PhaseExecute, telemetry.PhaseAggregate} {
@@ -112,6 +115,23 @@ func (rt *runTel) hlopDone(qi, victim int, h *hlop.HLOP, start, end float64) {
 			StealFrom: stealFrom, Critical: h.Critical,
 		})
 	}
+}
+
+// dispatchFailed records a failed dispatch's device-lane fault span — the
+// interval of dispatch overhead plus backoff charged for an HLOP that
+// errored. The Perfetto export colours fault spans as errors.
+func (rt *runTel) dispatchFailed(qi int, h *hlop.HLOP, start, end float64) {
+	if rt.rec != nil {
+		rt.rec.RecordSpan(telemetry.Span{
+			Track: rt.names[qi], Name: "fault:" + h.Op.String(), Clock: telemetry.ClockVirtual,
+			Start: start, End: end, ID: h.ID, Fault: true,
+		})
+	}
+}
+
+// breakerState publishes a device's circuit-breaker state transition.
+func (rt *runTel) breakerState(qi int, state int64) {
+	rt.breaker[qi].Set(state)
 }
 
 // instrumentQueues attaches depth gauges and wait histograms to the

@@ -145,6 +145,28 @@ func TestTaskQueuePushFront(t *testing.T) {
 	}
 }
 
+func TestTaskQueueDrainPending(t *testing.T) {
+	q := NewTaskQueue[int]()
+	q.Push(1)
+	q.Push(2)
+	q.PushFront(0)
+	got := q.DrainPending()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("drained = %v, want [0 1 2] in queue order", got)
+	}
+	if q.Pending() != 0 {
+		t.Fatalf("pending after drain = %d", q.Pending())
+	}
+	if len(q.DrainPending()) != 0 {
+		t.Fatal("draining an empty queue must return nothing")
+	}
+	// The queue keeps working after a drain.
+	q.Push(7)
+	if v, ok := q.Pop(); !ok || v != 7 {
+		t.Fatalf("pop after drain = %d,%v", v, ok)
+	}
+}
+
 func TestTaskQueueCompletion(t *testing.T) {
 	q := NewTaskQueue[string]()
 	q.Complete("a")

@@ -123,6 +123,20 @@ func (q *TaskQueue[T]) Steal() (T, bool) {
 	return t, true
 }
 
+// DrainPending empties and returns the incoming queue in order. The engines
+// use it when a device's circuit breaker opens: the quarantined device's
+// backlog is redistributed to healthy queues instead of waiting out the
+// cooldown.
+func (q *TaskQueue[T]) DrainPending() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.incoming
+	q.incoming = nil
+	q.enqueued = nil
+	q.noteDepthLocked()
+	return out
+}
+
 // Pending returns the incoming-queue depth, the signal the paper's stealing
 // trigger reads ("the incoming queue of a hardware device has more pending
 // items than others").

@@ -31,6 +31,16 @@ type Context struct {
 	// the virtual-platform slowdown of the devices (see the engine's
 	// HostScale). Zero is treated as 1.
 	HostScale float64
+	// Quarantined, when non-nil, reports whether the device at a queue index
+	// is quarantined by the engine's circuit breaker (see internal/core).
+	// Eligible filters quarantined devices out so new work routes around
+	// them; nil means no device is quarantined.
+	Quarantined func(i int) bool
+}
+
+// quarantined reports queue i's breaker state, tolerating a nil hook.
+func (c *Context) quarantined(i int) bool {
+	return c.Quarantined != nil && c.Quarantined(i)
 }
 
 func (c *Context) hostScale() float64 {
@@ -47,17 +57,37 @@ func (c *Context) Rand() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
 // across: the accelerators (GPU, TPU). The CPU hosts the runtime — it
 // samples, aggregates and orchestrates, as on the prototype platform — and
 // only receives kernel HLOPs when it is the sole device.
+//
+// Quarantined devices are filtered out in tiers: healthy accelerators first,
+// then any healthy device (the CPU absorbs kernel work when every
+// accelerator is quarantined), and only when everything is quarantined does
+// the unfiltered set come back — assignments must land somewhere, and the
+// dispatch failure there surfaces the real error.
 func (c *Context) Eligible() []int {
-	var idx []int
+	var accel, accelOK, anyOK []int
 	for i, d := range c.Reg.Devices() {
+		q := c.quarantined(i)
 		if d.Kind() != device.CPU {
-			idx = append(idx, i)
+			accel = append(accel, i)
+			if !q {
+				accelOK = append(accelOK, i)
+			}
+		}
+		if !q {
+			anyOK = append(anyOK, i)
 		}
 	}
-	if len(idx) == 0 {
-		for i := range c.Reg.Devices() {
-			idx = append(idx, i)
-		}
+	switch {
+	case len(accelOK) > 0:
+		return accelOK
+	case len(anyOK) > 0:
+		return anyOK
+	case len(accel) > 0:
+		return accel
+	}
+	idx := make([]int, c.Reg.Len())
+	for i := range idx {
+		idx[i] = i
 	}
 	return idx
 }
@@ -81,6 +111,12 @@ func (c *Context) EligibleFor(op vop.Opcode) []int {
 	}
 	return idx
 }
+
+// StealableVictim reports whether queue v may be stolen from. A quarantined
+// device's remaining backlog is reserved as its re-admission probe (see the
+// engine's circuit breaker): stealing it would leave a recovered device
+// quarantined forever with nothing left to probe.
+func (c *Context) StealableVictim(v int) bool { return !c.quarantined(v) }
 
 // IsEligible reports whether queue i belongs to the kernel-eligible device
 // set (see Eligible).

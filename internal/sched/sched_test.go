@@ -69,6 +69,55 @@ func TestContextEligibleFallsBackToCPU(t *testing.T) {
 	}
 }
 
+// TestContextEligibleQuarantineTiers walks the breaker-driven eligibility
+// tiers: healthy accelerators, then any healthy device (the CPU absorbs
+// kernel work), then — when everything is quarantined — the raw accelerator
+// set so assignments still land somewhere.
+func TestContextEligibleQuarantineTiers(t *testing.T) {
+	ctx := testCtx(t)
+	cpuIdx, gpuIdx, tpuIdx := ctx.Reg.Index("cpu"), ctx.Reg.Index("gpu"), ctx.Reg.Index("tpu")
+	quar := map[int]bool{}
+	ctx.Quarantined = func(i int) bool { return quar[i] }
+
+	if el := ctx.Eligible(); len(el) != 2 {
+		t.Fatalf("healthy eligible = %v", el)
+	}
+	// One accelerator down: the other carries the kernel work alone.
+	quar[gpuIdx] = true
+	if el := ctx.Eligible(); len(el) != 1 || el[0] != tpuIdx {
+		t.Fatalf("eligible with gpu quarantined = %v, want [%d]", el, tpuIdx)
+	}
+	if ctx.IsEligible(gpuIdx) {
+		t.Fatal("quarantined GPU must not be eligible")
+	}
+	// All accelerators down: the CPU absorbs.
+	quar[tpuIdx] = true
+	if el := ctx.Eligible(); len(el) != 1 || el[0] != cpuIdx {
+		t.Fatalf("eligible with all accelerators quarantined = %v, want cpu", el)
+	}
+	// Everything down: the raw accelerator set comes back so the dispatch
+	// failure surfaces on a real device instead of deadlocking assignment.
+	quar[cpuIdx] = true
+	if el := ctx.Eligible(); len(el) != 2 {
+		t.Fatalf("eligible with everything quarantined = %v, want raw accelerators", el)
+	}
+
+	// StealableVictim mirrors the hook: quarantined queues keep their
+	// backlog as probe fodder.
+	if ctx.StealableVictim(gpuIdx) {
+		t.Fatal("quarantined queue must not be stolen from")
+	}
+	delete(quar, gpuIdx)
+	if !ctx.StealableVictim(gpuIdx) {
+		t.Fatal("healthy queue must be stealable")
+	}
+	// A nil hook means nothing is quarantined.
+	ctx.Quarantined = nil
+	if !ctx.StealableVictim(tpuIdx) || !ctx.IsEligible(tpuIdx) {
+		t.Fatal("nil Quarantined hook must quarantine nothing")
+	}
+}
+
 func TestAccuracyExtremes(t *testing.T) {
 	ctx := testCtx(t)
 	if ctx.Reg.Get(ctx.MostAccurate()).Name() != "gpu" {

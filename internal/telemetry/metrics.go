@@ -107,6 +107,47 @@ var (
 	DatapathCopiesAvoided = Default.NewCounter("shmt_datapath_copies_avoided_total",
 		"Staging copies eliminated by view aliasing.")
 
+	// Fault handling & graceful degradation.
+
+	// BreakerState gauges each device's circuit-breaker state
+	// (0 closed, 1 open/quarantined, 2 half-open/probing).
+	BreakerState = Default.NewGaugeVec("shmt_breaker_state",
+		"Per-device circuit-breaker state (0 closed, 1 open, 2 half-open).", "device")
+	// BreakerOpens counts breaker open transitions (quarantines) per device.
+	BreakerOpens = Default.NewCounterVec("shmt_breaker_opens_total",
+		"Circuit-breaker open transitions (device quarantines).", "device")
+	// BreakerProbeSuccess counts half-open probes that re-admitted a device.
+	BreakerProbeSuccess = Default.NewCounter("shmt_breaker_probe_success_total",
+		"Half-open probes that re-admitted a quarantined device.")
+	// BreakerProbeFailure counts half-open probes that re-opened the breaker.
+	BreakerProbeFailure = Default.NewCounter("shmt_breaker_probe_failure_total",
+		"Half-open probes that failed and re-opened the breaker.")
+	// FailedDispatches counts failed HLOP dispatches per device (both engines
+	// charge the dispatch overhead for these; see DESIGN.md "Fault model").
+	FailedDispatches = Default.NewCounterVec("shmt_failed_dispatches_total",
+		"Failed HLOP dispatches by device.", "device")
+	// FailedDispatchVirtualNanos accumulates the virtual nanoseconds charged
+	// for failed dispatches (dispatch overhead plus retry backoff).
+	FailedDispatchVirtualNanos = Default.NewCounter("shmt_failed_dispatch_virtual_nanoseconds_total",
+		"Virtual nanoseconds charged to devices for failed dispatches (overhead + backoff).")
+	// Backoffs counts exponential-backoff waits after transient errors.
+	Backoffs = Default.NewCounter("shmt_backoffs_total",
+		"Exponential-backoff waits charged after transient dispatch errors.")
+	// BackoffVirtualNanos accumulates virtual nanoseconds spent backing off.
+	BackoffVirtualNanos = Default.NewCounter("shmt_backoff_virtual_nanoseconds_total",
+		"Virtual nanoseconds devices spent in exponential backoff.")
+	// HLOPsRerouted counts HLOPs redistributed off a failing or quarantined
+	// device, labelled by the device the work was moved away from.
+	HLOPsRerouted = Default.NewCounterVec("shmt_hlops_rerouted_total",
+		"HLOPs redistributed off a failing or quarantined device.", "device")
+
+	// Chaos (fault injection; see internal/chaos).
+
+	// ChaosInjected counts injected faults by mode (transient, dead, spike,
+	// corrupt).
+	ChaosInjected = Default.NewCounterVec("shmt_chaos_injected_total",
+		"Faults injected by the chaos layer, by mode.", "mode")
+
 	// Execution-time cache.
 
 	// ExecCacheHits counts memoized cost-model lookups.

@@ -21,15 +21,18 @@ const (
 // TraceEvent is one entry of the Chrome trace-event format. Exported so the
 // format tests can unmarshal what WritePerfetto produced.
 type TraceEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"` // microseconds
-	Dur  float64        `json:"dur,omitempty"`
-	PID  int            `json:"pid"`
-	TID  int            `json:"tid"`
-	ID   int            `json:"id,omitempty"`
-	BP   string         `json:"bp,omitempty"`
-	Args map[string]any `json:"args,omitempty"`
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"` // microseconds
+	Dur  float64 `json:"dur,omitempty"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	ID   int     `json:"id,omitempty"`
+	BP   string  `json:"bp,omitempty"`
+	// Cname is the Chrome trace-viewer colour name; fault spans use
+	// "terrible" so failed dispatches stand out on the device lanes.
+	Cname string         `json:"cname,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
 }
 
 // TraceFile is the top-level trace-event JSON object.
@@ -121,6 +124,10 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 		}
 		if s.Critical {
 			args["critical"] = true
+		}
+		if s.Fault {
+			args["fault"] = true
+			ev.Cname = "terrible"
 		}
 		if s.StealFrom != "" {
 			args["stolen_from"] = s.StealFrom

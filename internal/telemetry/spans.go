@@ -36,6 +36,10 @@ type Span struct {
 	StealFrom string
 	// Critical marks spans whose HLOP the policy classified critical.
 	Critical bool
+	// Fault marks failed-dispatch intervals (dispatch overhead + backoff
+	// charged to the device for an HLOP that errored); the Perfetto export
+	// colours them as errors.
+	Fault bool
 }
 
 // Recorder collects one run's (or session's) spans and remembers the

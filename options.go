@@ -99,6 +99,15 @@ type Config struct {
 	Workers int
 	// Telemetry configures runtime observability (see internal/telemetry).
 	Telemetry Telemetry
+	// Chaos maps device names ("cpu", "gpu", "tpu", "dsp") to fault plans
+	// (see internal/chaos): seeded, reproducible transient errors, latency
+	// degradation, permanent death, and output corruption. A plan with a
+	// zero Seed inherits Config.Seed. Unknown device names error.
+	Chaos map[string]ChaosConfig
+	// Resilience tunes the engines' graceful degradation: circuit-breaker
+	// threshold and cooldown, exponential backoff, and the per-HLOP retry
+	// bound. The zero value uses the defaults (see core.Resilience).
+	Resilience Resilience
 }
 
 // Telemetry configures the session's observability layer. The zero value

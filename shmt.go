@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"shmt/internal/chaos"
 	"shmt/internal/core"
 	"shmt/internal/device"
 	"shmt/internal/device/cpu"
@@ -88,6 +89,27 @@ type Trace = trace.Trace
 // span digest. See Session.TelemetryReport.
 type TelemetryReport = telemetry.Report
 
+// ChaosConfig is one device's fault-injection plan (see internal/chaos):
+// seeded reproducible transient errors, latency degradation, permanent
+// death, and output corruption. Set per device via Config.Chaos.
+type ChaosConfig = chaos.Config
+
+// Resilience tunes the engines' graceful degradation — circuit-breaker
+// threshold/cooldown, exponential backoff, retry bound (see internal/core).
+type Resilience = core.Resilience
+
+// Degraded quantifies a run's fault handling: quarantined devices, rerouted
+// HLOPs, and the quality impact when work fell back to a less accurate
+// device. Reports carry it as Report.Degraded (nil when nothing failed).
+type Degraded = core.Degraded
+
+// ParseChaosSpec parses the CLI fault-plan syntax
+// ("device:key=value[,key=value];...") into a Config.Chaos map. See
+// chaos.ParseSpec for the key set.
+func ParseChaosSpec(spec string, seed int64) (map[string]ChaosConfig, error) {
+	return chaos.ParseSpec(spec, seed)
+}
+
 // Session is SHMT's virtual hardware device: it owns the simulated device
 // set and the runtime engine, and executes VOPs submitted through Execute or
 // the convenience kernel methods.
@@ -120,6 +142,22 @@ func NewSession(cfg Config) (*Session, error) {
 	if cfg.UseDSP {
 		devs = append(devs, dsp.New(dsp.Config{Slowdown: cfg.VirtualScale}))
 	}
+	if len(cfg.Chaos) > 0 {
+		byName := map[string]int{}
+		for i, d := range devs {
+			byName[d.Name()] = i
+		}
+		for name, cc := range cfg.Chaos {
+			i, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("shmt: chaos plan for unknown device %q (have %v)", name, devNames(devs))
+			}
+			if cc.Seed == 0 {
+				cc.Seed = cfg.Seed
+			}
+			devs[i] = chaos.Wrap(devs[i], cc)
+		}
+	}
 	reg, err := device.NewRegistry(devs...)
 	if err != nil {
 		return nil, fmt.Errorf("shmt: %w", err)
@@ -138,6 +176,7 @@ func NewSession(cfg Config) (*Session, error) {
 		HostScale:    cfg.VirtualScale,
 		RecordTrace:  cfg.RecordTrace,
 		Concurrent:   cfg.Concurrent,
+		Resilience:   cfg.Resilience,
 	}
 	s := &Session{cfg: cfg, reg: reg, eng: eng}
 
@@ -210,6 +249,19 @@ func (s *Session) Devices() []string {
 	}
 	return names
 }
+
+func devNames(devs []device.Device) []string {
+	names := make([]string, len(devs))
+	for i, d := range devs {
+		names[i] = d.Name()
+	}
+	return names
+}
+
+// QuarantinedDevices lists devices whose circuit breaker is currently open —
+// the engine routes new work around them until a re-admission probe
+// succeeds.
+func (s *Session) QuarantinedDevices() []string { return s.eng.QuarantinedDevices() }
 
 // PolicyName returns the active scheduling policy's label.
 func (s *Session) PolicyName() string { return s.eng.Policy.Name() }
