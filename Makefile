@@ -2,17 +2,18 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath benchdiff experiments examples fmt fmt-check vet clean
+.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath benchdiff servesmoke experiments examples fmt fmt-check vet clean
 
 all: check
 
 # check is the pre-merge gate: formatting, build, vet, tests, the race
 # detector over the whole module (the host worker pool runs everywhere now),
 # a one-shot benchmark pass so the bench suites can't silently rot, the
-# telemetry overhead benchmark so instrumentation cost stays visible, and the
+# telemetry overhead benchmark so instrumentation cost stays visible, the
 # datapath benchmark so the zero-copy partition/aggregate path can't regress
-# silently. CI (.github/workflows/ci.yml) runs exactly these stages.
-check: fmt-check build vet test race benchsmoke benchtelemetry benchdatapath
+# silently, and the serving smoke test so shmtserved's coalescing/drain path
+# stays live. CI (.github/workflows/ci.yml) runs exactly these stages.
+check: fmt-check build vet test race benchsmoke benchtelemetry benchdatapath servesmoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +47,13 @@ benchtelemetry:
 benchdatapath:
 	$(GO) test -run='^$$' -bench=BenchmarkDatapath -benchmem \
 		-benchtime=0.3s ./internal/core/
+
+# servesmoke boots shmtserved on a free port, fires concurrent request
+# volleys, and asserts every request succeeds, the micro-batcher coalesced
+# (batch_size_sum > batch_size_count in the exposition), /healthz is ok, and
+# SIGTERM drains to a clean exit.
+servesmoke:
+	sh scripts/servesmoke.sh
 
 # benchdiff re-runs every committed BENCH_*.json suite and fails on ns/op
 # regressions beyond the tolerance; CI runs it as a non-blocking job.

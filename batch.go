@@ -44,5 +44,10 @@ func (s *Session) ExecuteBatch(reqs []BatchRequest) (*BatchResult, error) {
 		}
 		vops[i] = v
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
 	return s.eng.RunBatch(vops)
 }

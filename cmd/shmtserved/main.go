@@ -1,0 +1,131 @@
+// Command shmtserved serves a shmt.Session over HTTP/JSON: concurrent VOP
+// requests are admitted into a bounded queue, coalesced by the dynamic
+// micro-batcher (flush on max batch size or max linger, whichever first) and
+// executed as ExecuteBatch rounds, so simultaneous clients share one
+// scheduling round the way §5.6's oversubscribed multi-tenant batches do.
+//
+// Usage:
+//
+//	shmtserved -addr :8080
+//	shmtserved -addr 127.0.0.1:0 -max-batch 8 -max-linger 5ms -policy work-stealing
+//	shmtserved -chaos "tpu:die=5" -chaos-seed 42
+//
+//	curl -s localhost:8080/v1/execute -d '{"op":"add","inputs":[
+//	  {"rows":2,"cols":2,"data":[1,2,3,4]},
+//	  {"rows":2,"cols":2,"data":[5,6,7,8]}]}'
+//
+// Endpoints: POST /v1/execute, GET /healthz (reports "degraded" while any
+// device breaker is open, "draining" with a 503 during shutdown), GET
+// /metrics (Prometheus). Responses carry X-SHMT-Batch-Size, X-SHMT-Degraded
+// and, when breakers are open, X-SHMT-Quarantined headers. A full admission
+// queue answers 429 with Retry-After instead of queueing without bound.
+// SIGTERM/SIGINT drain gracefully: new work is refused, queued rounds
+// finish, then the session closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shmt"
+	"shmt/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		policy       = flag.String("policy", string(shmt.PolicyQAWSTS), "scheduling policy")
+		partitions   = flag.Int("partitions", 64, "HLOPs per VOP")
+		seed         = flag.Int64("seed", 1, "session seed")
+		workers      = flag.Int("workers", 0, "host worker-pool cap (0 = GOMAXPROCS/SHMT_WORKERS)")
+		concurrent   = flag.Bool("concurrent", false, "use the goroutine engine")
+		maxBatch     = flag.Int("max-batch", 16, "max requests coalesced per micro-batch round")
+		maxLinger    = flag.Duration("max-linger", 2*time.Millisecond, "max wait for a round to fill before flushing")
+		queueDepth   = flag.Int("queue-depth", 0, "admission queue bound (0 = 4x max-batch); overflow answers 429")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "default per-request deadline (overridable via timeout_ms)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound after SIGTERM")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		metricsAddr  = flag.String("metrics-addr", "", "optional separate Prometheus listener (metrics are always on the serving mux at /metrics)")
+		chaosSpec    = flag.String("chaos", "", `fault-injection plan, e.g. "tpu:die=5;gpu:transient=0.2"`)
+		chaosSeed    = flag.Int64("chaos-seed", 0, "fault-schedule seed (default: -seed)")
+	)
+	flag.Parse()
+
+	cfg := shmt.Config{
+		Policy:           shmt.PolicyName(*policy),
+		TargetPartitions: *partitions,
+		Seed:             *seed,
+		Workers:          *workers,
+		Concurrent:       *concurrent,
+	}
+	cfg.Telemetry.Enabled = true
+	cfg.Telemetry.MetricsAddr = *metricsAddr
+	if *chaosSpec != "" {
+		cs := *chaosSeed
+		if cs == 0 {
+			cs = *seed
+		}
+		plans, err := shmt.ParseChaosSpec(*chaosSpec, cs)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Chaos = plans
+	}
+	sess, err := shmt.NewSession(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+
+	srv := serve.New(sess, serve.Config{
+		MaxBatch:       *maxBatch,
+		MaxLinger:      *maxLinger,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *reqTimeout,
+		RetryAfter:     *retryAfter,
+		Spans:          sess.TelemetryRecorder(),
+	})
+	if err := srv.Listen(*addr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("shmtserved listening on http://%s (policy %s, max-batch %d, linger %s)\n",
+		srv.Addr(), sess.PolicyName(), *maxBatch, *maxLinger)
+	if a := sess.MetricsAddr(); a != "" {
+		fmt.Fprintf(os.Stderr, "also serving Prometheus metrics on http://%s/metrics\n", a)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "shmtserved: draining (queued rounds finish, new work refused)")
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "shmtserved: drain:", err)
+			os.Exit(1)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "shmtserved: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shmtserved:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAcquireCapClampsEffectiveWidth(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+
+	c1 := AcquireCap(4)
+	if Workers() != 4 {
+		t.Fatalf("Workers() = %d with cap 4, want 4", Workers())
+	}
+	c2 := AcquireCap(2)
+	if Workers() != 2 {
+		t.Fatalf("Workers() = %d with caps {4,2}, want 2 (strictest wins)", Workers())
+	}
+	c2.Release()
+	if Workers() != 4 {
+		t.Fatalf("Workers() = %d after releasing cap 2, want 4", Workers())
+	}
+	c1.Release()
+	if Workers() != 8 {
+		t.Fatalf("Workers() = %d after releasing all caps, want base 8", Workers())
+	}
+}
+
+func TestCapReleaseIdempotentAndNilSafe(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+
+	c := AcquireCap(3)
+	c.Release()
+	c.Release() // second release must be a no-op
+	var nilCap *Cap
+	nilCap.Release()
+	if Workers() != 8 {
+		t.Fatalf("Workers() = %d after double release, want 8", Workers())
+	}
+}
+
+func TestCapNeverWidensBase(t *testing.T) {
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+
+	c := AcquireCap(16)
+	defer c.Release()
+	if Workers() != 2 {
+		t.Fatalf("Workers() = %d, a cap above the base must not widen the pool", Workers())
+	}
+}
+
+// TestCapConcurrent exercises acquire/release from many goroutines while For
+// runs, so `go test -race` covers the session-configures-workers path.
+func TestCapConcurrent(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := AcquireCap(1 + (g+i)%4)
+				out := make([]int, 64)
+				For(len(out), 8, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						out[j] = j
+					}
+				})
+				for j, v := range out {
+					if v != j {
+						t.Errorf("out[%d] = %d", j, v)
+						break
+					}
+				}
+				c.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if Workers() != 4 {
+		t.Fatalf("Workers() = %d after all caps released, want 4", Workers())
+	}
+}

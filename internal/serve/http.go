@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"shmt"
+	"shmt/internal/telemetry"
+)
+
+// The wire format. A request is one VOP: opcode by name, dense row-major
+// inputs, optional scalar attrs and deadline.
+//
+//	POST /v1/execute
+//	{"op":"add","inputs":[{"rows":2,"cols":2,"data":[1,2,3,4]},
+//	                      {"rows":2,"cols":2,"data":[5,6,7,8]}],
+//	 "attrs":{},"timeout_ms":1000}
+//
+// Responses carry the output matrix plus the round's accounting, and the
+// degradation headers X-SHMT-Batch-Size, X-SHMT-Degraded and (when breakers
+// are open) X-SHMT-Quarantined.
+type matrixJSON struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+type executeRequest struct {
+	Op        string             `json:"op"`
+	Inputs    []matrixJSON       `json:"inputs"`
+	Attrs     map[string]float64 `json:"attrs,omitempty"`
+	TimeoutMs int                `json:"timeout_ms,omitempty"`
+}
+
+type executeResponse struct {
+	Output          matrixJSON     `json:"output"`
+	HLOPs           int            `json:"hlops"`
+	MakespanSeconds float64        `json:"makespan_seconds"`
+	BatchSize       int            `json:"batch_size"`
+	Degraded        *shmt.Degraded `json:"degraded,omitempty"`
+}
+
+type healthResponse struct {
+	Status      string   `json:"status"` // "ok" | "degraded" | "draining"
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server ties the batcher to an HTTP listener: POST /v1/execute for work,
+// GET /healthz for health (degraded while breakers are open, draining — and
+// 503 — during shutdown), GET /metrics for Prometheus exposition of the
+// process registry.
+type Server struct {
+	cfg      Config
+	be       Backend
+	batcher  *Batcher
+	hs       *http.Server
+	ln       net.Listener
+	draining atomic.Bool
+}
+
+// New builds a server around be. Call Listen then Serve; Shutdown drains.
+func New(be Backend, cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults(), be: be}
+	s.batcher = NewBatcher(be, s.cfg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/execute", s.handleExecute)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = telemetry.Default.WriteExposition(w)
+	})
+	s.hs = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Handler exposes the mux (httptest-friendly).
+func (s *Server) Handler() http.Handler { return s.hs.Handler }
+
+// Listen binds addr (host:port; port 0 picks a free port).
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen: %w", err)
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections until Shutdown; it returns nil on a clean
+// drain-initiated stop.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("serve: Serve before Listen")
+	}
+	err := s.hs.Serve(s.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: new requests are refused with 503 +
+// Retry-After, queued requests finish their rounds, in-flight handlers
+// complete, then the listener closes — all bounded by ctx. The backend
+// session is the caller's to close afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.batcher.Close(ctx)
+	if herr := s.hs.Shutdown(ctx); err == nil {
+		err = herr
+	}
+	return err
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	outcome := "error"
+	defer func() {
+		telemetry.ServeRequests.With(outcome).Inc()
+		telemetry.ServeRequestSeconds.Observe(time.Since(start).Seconds())
+	}()
+
+	var req executeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		outcome = "invalid"
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	op, ok := shmt.ParseOp(req.Op)
+	if !ok {
+		outcome = "invalid"
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", req.Op))
+		return
+	}
+	if len(req.Inputs) == 0 {
+		outcome = "invalid"
+		writeError(w, http.StatusBadRequest, errors.New("no inputs"))
+		return
+	}
+	inputs := make([]*shmt.Matrix, len(req.Inputs))
+	for i, m := range req.Inputs {
+		mat, err := shmt.FromSlice(m.Rows, m.Cols, m.Data)
+		if err != nil {
+			outcome = "invalid"
+			writeError(w, http.StatusBadRequest, fmt.Errorf("input %d: %w", i, err))
+			return
+		}
+		inputs[i] = mat
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	res, err := s.batcher.Submit(ctx, shmt.BatchRequest{Op: op, Inputs: inputs, Attrs: req.Attrs})
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		outcome = "shed"
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining), errors.Is(err, shmt.ErrSessionClosed):
+		outcome = "draining"
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		outcome = "timeout"
+		writeError(w, http.StatusGatewayTimeout, err)
+		return
+	case errors.Is(err, context.Canceled):
+		outcome = "canceled"
+		// Client went away; 499 matches the common reverse-proxy convention.
+		writeError(w, 499, err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	outcome = "ok"
+
+	w.Header().Set("X-SHMT-Batch-Size", strconv.Itoa(res.BatchSize))
+	w.Header().Set("X-SHMT-Degraded", strconv.FormatBool(res.Degraded != nil))
+	if quar := s.be.QuarantinedDevices(); len(quar) > 0 {
+		w.Header().Set("X-SHMT-Quarantined", strings.Join(quar, ","))
+	}
+	out := res.Report.Output
+	resp := executeResponse{
+		HLOPs:           res.Report.HLOPs,
+		MakespanSeconds: res.Report.Makespan,
+		BatchSize:       res.BatchSize,
+		Degraded:        res.Degraded,
+	}
+	if out != nil {
+		resp.Output = matrixJSON{Rows: out.Rows, Cols: out.Cols, Data: out.Data}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "draining"})
+		return
+	}
+	if quar := s.be.QuarantinedDevices(); len(quar) > 0 {
+		// Still serving (work reroutes around open breakers), so the status
+		// stays 200 — load balancers should keep routing — but the body and
+		// header flag the degradation for operators and smart clients.
+		w.Header().Set("X-SHMT-Quarantined", strings.Join(quar, ","))
+		writeJSON(w, http.StatusOK, healthResponse{Status: "degraded", Quarantined: quar})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

@@ -1,0 +1,280 @@
+// Package serve is the concurrent serving layer in front of a shmt.Session:
+// an admission queue plus dynamic micro-batcher that coalesces concurrent
+// VOP requests into ExecuteBatch rounds, and an HTTP/JSON front-end
+// (http.go) that speaks it.
+//
+// Request flow: Submit enqueues into a bounded admission queue (overflow is
+// shed immediately — the HTTP layer answers 429 + Retry-After rather than
+// letting the queue grow without bound). A single dispatcher goroutine
+// gathers a round: it takes the first waiting request, then keeps gathering
+// until either MaxBatch requests are in hand or the first request has
+// lingered MaxLinger, whichever comes first — under load rounds fill to
+// MaxBatch back-to-back, and a lone request never waits more than the
+// linger. Each round becomes one Session.ExecuteBatch call, so the engine
+// co-schedules the requests' HLOPs over shared device queues — the
+// oversubscription §5.6 of the paper credits for hiding data-exchange
+// latency. Requests whose deadline expired while queued are dropped at
+// gather time instead of wasting a batch slot.
+//
+// A single dispatcher is deliberate: the engine serializes runs anyway (see
+// shmt.Session), so more dispatchers would only contend; the parallelism
+// that matters is inside the round.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"shmt"
+	"shmt/internal/telemetry"
+)
+
+// Errors the admission path surfaces; the HTTP layer maps them to statuses.
+var (
+	// ErrQueueFull sheds a request because the admission queue is at
+	// capacity (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDraining refuses a request because the server is shutting down
+	// (HTTP 503 + Retry-After).
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+// Backend is the slice of shmt.Session the serving layer needs; the
+// indirection keeps the batcher testable against fakes.
+type Backend interface {
+	ExecuteBatch(reqs []shmt.BatchRequest) (*shmt.BatchResult, error)
+	QuarantinedDevices() []string
+}
+
+// Config tunes the serving layer. The zero value serves with the defaults
+// noted per field.
+type Config struct {
+	// MaxBatch is the most requests one micro-batch round may coalesce
+	// (default 16).
+	MaxBatch int
+	// MaxLinger is the longest the dispatcher holds an admitted request
+	// open for company before flushing a partial round (default 2ms).
+	MaxLinger time.Duration
+	// QueueDepth bounds the admission queue; requests beyond it are shed
+	// with ErrQueueFull (default 4×MaxBatch).
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline applied when the client
+	// does not send one (default 30s).
+	DefaultTimeout time.Duration
+	// RetryAfter is the Retry-After hint attached to shed and draining
+	// responses (default 1s).
+	RetryAfter time.Duration
+	// Spans, when non-nil, receives one wall-clock span per micro-batch
+	// round (wire it to Session.TelemetryRecorder).
+	Spans *telemetry.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 16
+	}
+	if c.MaxLinger <= 0 {
+		c.MaxLinger = 2 * time.Millisecond
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Result is one request's share of a completed micro-batch round.
+type Result struct {
+	// Report is the request's own report (output, makespan, HLOP count).
+	Report *shmt.Report
+	// BatchSize is how many requests the round coalesced.
+	BatchSize int
+	// Degraded is the round's batch-wide degradation report (nil when the
+	// round saw no device failures).
+	Degraded *shmt.Degraded
+}
+
+// pending is one admitted request waiting for its round.
+type pending struct {
+	req  shmt.BatchRequest
+	ctx  context.Context
+	done chan outcome // buffered(1); the dispatcher never blocks on it
+}
+
+type outcome struct {
+	res Result
+	err error
+}
+
+// Batcher is the admission queue + dispatcher pair.
+type Batcher struct {
+	cfg Config
+	be  Backend
+
+	// mu makes the draining check-and-enqueue atomic against Close, so the
+	// queue channel can be closed without racing an in-flight send.
+	mu       sync.Mutex
+	draining bool
+	queue    chan *pending
+
+	done chan struct{} // closed when the dispatcher has drained and exited
+}
+
+// NewBatcher starts the dispatcher; callers own exactly one Close.
+func NewBatcher(be Backend, cfg Config) *Batcher {
+	b := &Batcher{
+		cfg:   cfg.withDefaults(),
+		be:    be,
+		queue: make(chan *pending, cfg.withDefaults().QueueDepth),
+		done:  make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Submit admits one request and blocks until its round completes or ctx
+// expires. It never blocks on admission: a full queue sheds immediately with
+// ErrQueueFull, and after Close it refuses with ErrDraining.
+func (b *Batcher) Submit(ctx context.Context, req shmt.BatchRequest) (Result, error) {
+	p := &pending{req: req, ctx: ctx, done: make(chan outcome, 1)}
+
+	b.mu.Lock()
+	if b.draining {
+		b.mu.Unlock()
+		return Result{}, ErrDraining
+	}
+	telemetry.ServeQueueDepth.Add(1)
+	select {
+	case b.queue <- p:
+		b.mu.Unlock()
+	default:
+		telemetry.ServeQueueDepth.Add(-1)
+		b.mu.Unlock()
+		return Result{}, ErrQueueFull
+	}
+
+	select {
+	case out := <-p.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// Abandoned while queued (or mid-round): the dispatcher drops
+		// expired requests at gather time; an outcome racing in here lands
+		// in the buffered channel and is garbage-collected with it.
+		return Result{}, ctx.Err()
+	}
+}
+
+// Close stops admission and waits — bounded by ctx — for the dispatcher to
+// drain every queued request. Safe to call more than once.
+func (b *Batcher) Close(ctx context.Context) error {
+	b.mu.Lock()
+	already := b.draining
+	b.draining = true
+	b.mu.Unlock()
+	if !already {
+		// No Submit can be between its draining check and the send now, so
+		// closing the channel is race-free; buffered requests still drain.
+		close(b.queue)
+	}
+	select {
+	case <-b.done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// run is the dispatcher: one micro-batch round per iteration until the
+// queue is closed and empty.
+func (b *Batcher) run() {
+	defer close(b.done)
+	for {
+		first, ok := <-b.queue
+		if !ok {
+			return
+		}
+		telemetry.ServeQueueDepth.Add(-1)
+		b.flush(b.gather(first))
+	}
+}
+
+// gather assembles one round: the first request plus whatever arrives until
+// MaxBatch is reached or the first request has lingered MaxLinger.
+func (b *Batcher) gather(first *pending) []*pending {
+	batch := []*pending{first}
+	if b.cfg.MaxBatch == 1 {
+		return batch
+	}
+	linger := time.NewTimer(b.cfg.MaxLinger)
+	defer linger.Stop()
+	for len(batch) < b.cfg.MaxBatch {
+		select {
+		case p, ok := <-b.queue:
+			if !ok {
+				return batch // draining: take what is buffered and go
+			}
+			telemetry.ServeQueueDepth.Add(-1)
+			batch = append(batch, p)
+		case <-linger.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush runs one round: expired requests are answered without occupying a
+// batch slot, the rest execute as one ExecuteBatch call and each gets its
+// own report back.
+func (b *Batcher) flush(batch []*pending) {
+	live := batch[:0]
+	for _, p := range batch {
+		if err := p.ctx.Err(); err != nil {
+			p.done <- outcome{err: err}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	reqs := make([]shmt.BatchRequest, len(live))
+	for i, p := range live {
+		reqs[i] = p.req
+	}
+	var start float64
+	if b.cfg.Spans != nil {
+		start = b.cfg.Spans.Now()
+	}
+	res, err := b.be.ExecuteBatch(reqs)
+	if b.cfg.Spans != nil {
+		b.cfg.Spans.RecordSpan(telemetry.Span{
+			Track: "serve", Name: fmt.Sprintf("batch(%d)", len(reqs)),
+			Clock: telemetry.ClockWall, Start: start, End: b.cfg.Spans.Now(),
+		})
+	}
+	telemetry.ServeBatchRounds.Inc()
+	telemetry.ServeBatchSize.Observe(float64(len(reqs)))
+
+	if err != nil {
+		for _, p := range live {
+			p.done <- outcome{err: err}
+		}
+		return
+	}
+	for i, p := range live {
+		p.done <- outcome{res: Result{
+			Report:    res.Reports[i],
+			BatchSize: len(reqs),
+			Degraded:  res.Degraded,
+		}}
+	}
+}

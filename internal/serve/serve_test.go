@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"shmt"
+)
+
+// fakeBackend records batch sizes and can be gated to hold rounds open.
+type fakeBackend struct {
+	mu    sync.Mutex
+	sizes []int
+	gate  chan struct{} // when non-nil, each round blocks until a receive
+	quar  []string
+	err   error
+}
+
+func (f *fakeBackend) ExecuteBatch(reqs []shmt.BatchRequest) (*shmt.BatchResult, error) {
+	if f.gate != nil {
+		<-f.gate
+	}
+	f.mu.Lock()
+	f.sizes = append(f.sizes, len(reqs))
+	f.mu.Unlock()
+	if f.err != nil {
+		return nil, f.err
+	}
+	br := &shmt.BatchResult{}
+	for range reqs {
+		br.Reports = append(br.Reports, &shmt.Report{Output: shmt.NewMatrix(1, 1), HLOPs: 1})
+	}
+	return br, nil
+}
+
+func (f *fakeBackend) QuarantinedDevices() []string { return f.quar }
+
+func (f *fakeBackend) batchSizes() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.sizes...)
+}
+
+func testReq() shmt.BatchRequest {
+	return shmt.BatchRequest{Op: shmt.OpAdd, Inputs: []*shmt.Matrix{shmt.NewMatrix(2, 2), shmt.NewMatrix(2, 2)}}
+}
+
+// TestBatcherCoalesces: concurrent submissions against a gated backend must
+// land in one multi-request round once the first round's gate opens.
+func TestBatcherCoalesces(t *testing.T) {
+	be := &fakeBackend{gate: make(chan struct{})}
+	b := NewBatcher(be, Config{MaxBatch: 8, MaxLinger: 20 * time.Millisecond, QueueDepth: 32})
+
+	const n = 6
+	var wg sync.WaitGroup
+	results := make([]Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = b.Submit(context.Background(), testReq())
+		}(i)
+	}
+	// First submitter becomes round 1 (held at the gate); the rest pile up
+	// and must coalesce into round 2. Open the gate for both rounds.
+	go func() {
+		be.gate <- struct{}{}
+		be.gate <- struct{}{}
+	}()
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	sizes := be.batchSizes()
+	if len(sizes) == 0 || len(sizes) > 3 {
+		t.Fatalf("batch sizes = %v, want 6 requests in at most 3 rounds", sizes)
+	}
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	if maxSize < 2 {
+		t.Fatalf("batch sizes = %v, no round coalesced more than one request", sizes)
+	}
+	for i, r := range results {
+		if r.Report == nil || r.BatchSize < 1 {
+			t.Fatalf("result %d incomplete: %+v", i, r)
+		}
+	}
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatcherLingerFlushesPartialRound: a lone request must not wait for a
+// full batch — the linger timer flushes it.
+func TestBatcherLingerFlushesPartialRound(t *testing.T) {
+	be := &fakeBackend{}
+	b := NewBatcher(be, Config{MaxBatch: 64, MaxLinger: 5 * time.Millisecond})
+	start := time.Now()
+	res, err := b.Submit(context.Background(), testReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchSize != 1 {
+		t.Fatalf("BatchSize = %d, want 1", res.BatchSize)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("lone request waited %v; linger did not flush", waited)
+	}
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatcherShedsWhenQueueFull: with the dispatcher wedged and the queue at
+// capacity, the next Submit must fail fast with ErrQueueFull.
+func TestBatcherShedsWhenQueueFull(t *testing.T) {
+	be := &fakeBackend{gate: make(chan struct{})}
+	b := NewBatcher(be, Config{MaxBatch: 1, MaxLinger: time.Millisecond, QueueDepth: 2})
+
+	// One request occupies the dispatcher (gated); give it time to be taken
+	// off the queue, then fill the two queue slots.
+	first := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(context.Background(), testReq())
+		first <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	queued := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := b.Submit(context.Background(), testReq())
+			queued <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	if _, err := b.Submit(context.Background(), testReq()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+
+	close(be.gate) // release every round
+	for i := 0; i < 3; i++ {
+		var err error
+		if i == 0 {
+			err = <-first
+		} else {
+			err = <-queued
+		}
+		if err != nil {
+			t.Fatalf("queued submit %d failed after release: %v", i, err)
+		}
+	}
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatcherDeadlineWhileQueued: a request whose context expires before its
+// round starts is answered with the context error and skipped at gather.
+func TestBatcherDeadlineWhileQueued(t *testing.T) {
+	be := &fakeBackend{gate: make(chan struct{})}
+	b := NewBatcher(be, Config{MaxBatch: 1, MaxLinger: time.Millisecond, QueueDepth: 8})
+
+	go b.Submit(context.Background(), testReq()) // wedges the dispatcher
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := b.Submit(ctx, testReq())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+
+	close(be.gate)
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The expired request must not have occupied a batch slot.
+	for _, s := range be.batchSizes() {
+		if s != 1 {
+			t.Fatalf("batch sizes = %v; expired request executed", be.batchSizes())
+		}
+	}
+}
+
+// TestBatcherDrain: Close refuses new work, finishes queued work, and is
+// idempotent.
+func TestBatcherDrain(t *testing.T) {
+	be := &fakeBackend{}
+	b := NewBatcher(be, Config{MaxBatch: 4, MaxLinger: time.Millisecond})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Submit(context.Background(), testReq())
+		}(i)
+	}
+	wg.Wait()
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("pre-drain submit %d: %v", i, err)
+		}
+	}
+	if _, err := b.Submit(context.Background(), testReq()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit: err = %v, want ErrDraining", err)
+	}
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err) // second Close is a no-op
+	}
+}
+
+// TestBatcherBackendError: a failed round propagates the error to every
+// member request.
+func TestBatcherBackendError(t *testing.T) {
+	boom := errors.New("boom")
+	be := &fakeBackend{err: boom}
+	b := NewBatcher(be, Config{MaxBatch: 4, MaxLinger: time.Millisecond})
+	if _, err := b.Submit(context.Background(), testReq()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want backend error", err)
+	}
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

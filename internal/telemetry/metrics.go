@@ -148,6 +148,29 @@ var (
 	ChaosInjected = Default.NewCounterVec("shmt_chaos_injected_total",
 		"Faults injected by the chaos layer, by mode.", "mode")
 
+	// Serving layer (internal/serve).
+
+	// ServeRequests counts serving-layer requests by outcome (ok, shed,
+	// timeout, canceled, draining, invalid, error).
+	ServeRequests = Default.NewCounterVec("shmt_serve_requests_total",
+		"Serving-layer requests by outcome.", "outcome")
+	// ServeQueueDepth gauges the admission queue's current depth.
+	ServeQueueDepth = Default.NewGauge("shmt_serve_queue_depth",
+		"Requests waiting in the serving layer's admission queue.")
+	// ServeBatchRounds counts dispatched micro-batch rounds.
+	ServeBatchRounds = Default.NewCounter("shmt_serve_batches_total",
+		"Micro-batch rounds dispatched to the engine.")
+	// ServeBatchSize observes how many requests each round coalesced
+	// (sum > count in the exposition means multi-request rounds happened).
+	ServeBatchSize = Default.NewHistogram("shmt_serve_batch_size",
+		"Requests coalesced per micro-batch round.",
+		ExpBuckets(1, 2, 8))
+	// ServeRequestSeconds observes end-to-end wall latency per request
+	// (admission wait + batch execution + response).
+	ServeRequestSeconds = Default.NewHistogram("shmt_serve_request_seconds",
+		"End-to-end wall-clock request latency in the serving layer.",
+		ExpBuckets(1e-4, 4, 12))
+
 	// Execution-time cache.
 
 	// ExecCacheHits counts memoized cost-model lookups.

@@ -9,6 +9,7 @@ package vop
 
 import (
 	"fmt"
+	"strings"
 
 	"shmt/internal/tensor"
 )
@@ -107,6 +108,22 @@ func (op Opcode) String() string {
 		return s
 	}
 	return fmt.Sprintf("Opcode(%d)", int(op))
+}
+
+// opsByLowerName inverts opNames for Parse, case-folded so wire formats can
+// spell "gemm" or "GEMM" alike.
+var opsByLowerName = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opNames))
+	for op, n := range opNames {
+		m[strings.ToLower(n)] = op
+	}
+	return m
+}()
+
+// Parse returns the opcode whose String form is name (case-insensitive).
+func Parse(name string) (Opcode, bool) {
+	op, ok := opsByLowerName[strings.ToLower(name)]
+	return op, ok
 }
 
 // Model returns the parallelization model of the opcode.

@@ -94,8 +94,11 @@ type Config struct {
 	// Workers caps the host worker-pool size kernels fan out over (see
 	// internal/parallel). 0 keeps the current setting — GOMAXPROCS, or the
 	// SHMT_WORKERS environment variable when set. 1 forces sequential
-	// execution. Results are bit-identical at every setting; the pool is
-	// process-wide, so the last session configured wins.
+	// execution. Results are bit-identical at every setting. The pool itself
+	// is process-wide, but the setting is scoped to the session: it acquires
+	// a cap released by Close, and with several live sessions the strictest
+	// cap wins, so concurrent sessions compose deterministically instead of
+	// racing last-write-wins.
 	Workers int
 	// Telemetry configures runtime observability (see internal/telemetry).
 	Telemetry Telemetry

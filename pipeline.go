@@ -136,14 +136,17 @@ func (s *Session) ExecutePipeline(input *Matrix, stages []Stage, mode PipelineMo
 }
 
 // executeOn runs one VOP wholly on the named device, reusing the session's
-// registry and virtual scale.
+// virtual scale and partitioning. The copied config goes through the
+// sub-session constructor, which strips the metrics listener and the chaos
+// plan: the stage must neither re-bind the parent's (or SHMT_METRICS_ADDR's)
+// already-bound address nor restart the parent's fault schedule per stage.
 func (s *Session) executeOn(devName string, op Op, inputs []*Matrix, attrs map[string]float64) (*Report, error) {
 	cfg := s.cfg
 	cfg.Policy = PolicyGPUBaseline
 	if devName == "tpu" {
 		cfg.Policy = PolicyTPUOnly
 	}
-	sub, err := NewSession(cfg)
+	sub, err := newSession(cfg, true)
 	if err != nil {
 		return nil, err
 	}

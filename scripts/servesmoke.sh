@@ -1,0 +1,99 @@
+#!/bin/sh
+# servesmoke drives shmtserved end to end: boot on a free port, fire
+# concurrent requests, and assert (1) every request got a 200 with a sane
+# output, (2) the micro-batcher actually coalesced — some round held more
+# than one request, proven from the Prometheus exposition alone
+# (shmt_serve_batch_size_sum > shmt_serve_batch_size_count, since every
+# round's size is >= 1), (3) /healthz answers ok, (4) SIGTERM drains to a
+# clean exit.
+#
+# Needs only a POSIX shell, curl and awk. Run via `make servesmoke`.
+set -eu
+
+BIN=${BIN:-/tmp/shmtserved-smoke}
+LOG=${LOG:-/tmp/shmtserved-smoke.log}
+CONCURRENCY=${CONCURRENCY:-8}
+VOLLEYS=${VOLLEYS:-5}
+
+go build -o "$BIN" ./cmd/shmtserved
+
+# A generous linger so one volley of concurrent curls lands in one round even
+# on a slow CI runner.
+"$BIN" -addr 127.0.0.1:0 -max-batch 8 -max-linger 150ms >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$BIN"' EXIT
+
+# The daemon prints "shmtserved listening on http://ADDR (...)" once bound.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(awk '/^shmtserved listening on http:\/\//{sub(/^.*http:\/\//,""); print $1; exit}' "$LOG" || true)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "FAIL: shmtserved died:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: no listen line in log:"; cat "$LOG"; exit 1; }
+echo "shmtserved up on $ADDR"
+
+BODY='{"op":"add","inputs":[{"rows":2,"cols":2,"data":[1,2,3,4]},{"rows":2,"cols":2,"data":[5,6,7,8]}]}'
+
+# Several volleys of concurrent requests; each volley fires CONCURRENCY curls
+# at once so the linger window can coalesce them.
+v=0
+while [ "$v" -lt "$VOLLEYS" ]; do
+    v=$((v + 1))
+    i=0
+    CURL_PIDS=""
+    while [ "$i" -lt "$CONCURRENCY" ]; do
+        i=$((i + 1))
+        curl -s -o "/tmp/shmtserved-smoke-resp.$i" -w '%{http_code}\n' \
+            -d "$BODY" "http://$ADDR/v1/execute" >"/tmp/shmtserved-smoke-code.$i" &
+        CURL_PIDS="$CURL_PIDS $!"
+    done
+    for cp in $CURL_PIDS; do
+        wait "$cp" || true
+    done
+    i=0
+    while [ "$i" -lt "$CONCURRENCY" ]; do
+        i=$((i + 1))
+        code=$(cat "/tmp/shmtserved-smoke-code.$i")
+        if [ "$code" != "200" ]; then
+            echo "FAIL: volley $v request $i: HTTP $code"
+            cat "/tmp/shmtserved-smoke-resp.$i"; echo
+            exit 1
+        fi
+        grep -q '"output"' "/tmp/shmtserved-smoke-resp.$i" || {
+            echo "FAIL: volley $v request $i: no output in response"
+            cat "/tmp/shmtserved-smoke-resp.$i"; echo
+            exit 1
+        }
+    done
+done
+rm -f /tmp/shmtserved-smoke-resp.* /tmp/shmtserved-smoke-code.*
+echo "all $((VOLLEYS * CONCURRENCY)) requests answered 200"
+
+EXPO=$(curl -s "http://$ADDR/metrics")
+echo "$EXPO" | grep -q '^shmt_serve_batches_total' || {
+    echo "FAIL: /metrics not scrapeable or missing serve metrics"; exit 1; }
+echo "$EXPO" | awk '
+    /^shmt_serve_batch_size_sum/   { sum = $2 }
+    /^shmt_serve_batch_size_count/ { count = $2 }
+    END {
+        if (count == "" || sum == "") { print "FAIL: batch-size series missing"; exit 1 }
+        printf "batch rounds: %d, requests batched: %d (mean %.2f)\n", count, sum, sum / count
+        if (sum + 0 <= count + 0) { print "FAIL: no round coalesced more than one request"; exit 1 }
+    }'
+
+HEALTH=$(curl -s "http://$ADDR/healthz")
+echo "$HEALTH" | grep -q '"status":"ok"' || { echo "FAIL: healthz: $HEALTH"; exit 1; }
+
+kill -TERM "$PID"
+DEADLINE=$(( $(date +%s) + 15 ))
+while kill -0 "$PID" 2>/dev/null; do
+    [ "$(date +%s)" -lt "$DEADLINE" ] || { echo "FAIL: no exit within 15s of SIGTERM"; exit 1; }
+    sleep 0.2
+done
+wait "$PID" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 0 ] || { echo "FAIL: exit status $rc after SIGTERM:"; cat "$LOG"; exit 1; }
+trap 'rm -f "$BIN"' EXIT
+
+echo "servesmoke OK"

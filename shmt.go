@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"shmt/internal/chaos"
 	"shmt/internal/core"
@@ -113,20 +114,51 @@ func ParseChaosSpec(spec string, seed int64) (map[string]ChaosConfig, error) {
 // Session is SHMT's virtual hardware device: it owns the simulated device
 // set and the runtime engine, and executes VOPs submitted through Execute or
 // the convenience kernel methods.
+//
+// A Session is safe for concurrent use: Execute, ExecuteBatch and
+// ExecutePipeline may be called from any number of goroutines. Calls
+// serialize on the session's engine (the engine's queue/clock state is
+// single-run), so concurrent throughput comes from co-scheduling work in one
+// round — batch independent requests through ExecuteBatch (or the
+// internal/serve front-end, which coalesces concurrent callers into
+// ExecuteBatch rounds) rather than racing many Execute calls.
 type Session struct {
-	cfg        Config
-	reg        *device.Registry
-	eng        *core.Engine
-	tel        *telemetry.Recorder
+	cfg       Config
+	reg       *device.Registry
+	eng       *core.Engine
+	tel       *telemetry.Recorder
+	workerCap *parallel.Cap
+
+	// mu serializes engine runs and guards closed/metricsSrv. Close takes it
+	// too, so closing waits for (or refuses, if it wins the lock) in-flight
+	// work rather than racing a running batch.
+	mu         sync.Mutex
+	closed     bool
 	metricsSrv *telemetry.Server
 }
+
+// ErrSessionClosed is returned by Execute/ExecuteBatch/ExecutePipeline after
+// Session.Close.
+var ErrSessionClosed = errors.New("shmt: session is closed")
 
 // NewSession builds a session from cfg (zero value = all three devices,
 // QAWS-TS policy, paper-default partitioning).
 func NewSession(cfg Config) (*Session, error) {
+	return newSession(cfg, false)
+}
+
+// newSession is the shared constructor. Sub-sessions — the throwaway
+// sessions Reference and the conventional/pipelined ExecutePipeline modes
+// build around the same virtual platform — must not inherit the parent's
+// listener or fault plan: re-reading SHMT_METRICS_ADDR (or copying
+// Telemetry.MetricsAddr) would re-bind the already-bound metrics address,
+// and re-applying cfg.Chaos would restart every fault schedule per stage
+// (FailFirstOps outages re-firing on each one). Strip both when sub is set.
+func newSession(cfg Config, sub bool) (*Session, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Workers > 0 {
-		parallel.SetWorkers(cfg.Workers)
+	if sub {
+		cfg.Telemetry.MetricsAddr = ""
+		cfg.Chaos = nil
 	}
 
 	var devs []device.Device
@@ -181,7 +213,7 @@ func NewSession(cfg Config) (*Session, error) {
 	s := &Session{cfg: cfg, reg: reg, eng: eng}
 
 	metricsAddr := cfg.Telemetry.MetricsAddr
-	if metricsAddr == "" {
+	if metricsAddr == "" && !sub {
 		metricsAddr = os.Getenv("SHMT_METRICS_ADDR")
 	}
 	if cfg.Telemetry.Enabled || metricsAddr != "" {
@@ -196,13 +228,30 @@ func NewSession(cfg Config) (*Session, error) {
 			s.metricsSrv = srv
 		}
 	}
+	if cfg.Workers > 0 {
+		// A scoped cap, not a global write: the pool width is the strictest
+		// cap among live sessions, released by Close (see internal/parallel).
+		s.workerCap = parallel.AcquireCap(cfg.Workers)
+	}
 	return s, nil
 }
 
 // Close releases the session: it stops the metrics listener when one was
-// started. (The simulated devices hold no external resources; Close also
-// exists so call sites read like the driver-backed API the paper describes.)
+// started, releases the session's worker-pool cap, and marks the session
+// closed so later Execute/ExecuteBatch calls return ErrSessionClosed.
+// Close waits for an in-flight run to finish (they share the session mutex),
+// so tearing a server down cannot race a running batch. Idempotent.
 func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.workerCap != nil {
+		s.workerCap.Release()
+		s.workerCap = nil
+	}
 	if s.metricsSrv != nil {
 		err := s.metricsSrv.Close()
 		s.metricsSrv = nil
@@ -235,11 +284,20 @@ func (s *Session) WriteTrace(w io.Writer) error {
 // MetricsAddr returns the bound address of the session's Prometheus endpoint
 // ("" when none was configured). Useful with ":0" listeners.
 func (s *Session) MetricsAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.metricsSrv == nil {
 		return ""
 	}
 	return s.metricsSrv.Addr()
 }
+
+// TelemetryRecorder returns the session's span recorder so embedding layers
+// can add wall-clock spans of their own — the serving front-end records one
+// span per micro-batch round, which then shows up in WriteTrace and
+// TelemetryReport next to the engine's lanes. Nil unless telemetry was
+// enabled in the Config.
+func (s *Session) TelemetryRecorder() *telemetry.Recorder { return s.tel }
 
 // Devices lists the session's device names in queue-index order.
 func (s *Session) Devices() []string {
@@ -280,27 +338,38 @@ func (s *Session) Execute(op Op, inputs []*Matrix, attrs map[string]float64) (*R
 	if s.cfg.CriticalFraction > 0 {
 		v.CriticalFraction = s.cfg.CriticalFraction
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
 	return s.eng.Run(v)
 }
 
 // Reference executes the VOP bit-exactly (float64 on the CPU device, same
 // partitioning) — the quality baseline MAPE/SSIM compare against.
 func (s *Session) Reference(op Op, inputs []*Matrix, attrs map[string]float64) (*Matrix, error) {
-	ref, err := NewSession(Config{
+	ref, err := newSession(Config{
 		UseCPU:           true,
 		Policy:           PolicyCPUOnly,
 		TargetPartitions: s.cfg.TargetPartitions,
 		Seed:             s.cfg.Seed,
-	})
+	}, true)
 	if err != nil {
 		return nil, err
 	}
+	defer ref.Close()
 	rep, err := ref.Execute(op, inputs, attrs)
 	if err != nil {
 		return nil, err
 	}
 	return rep.Output, nil
 }
+
+// ParseOp parses an opcode by the name Op.String prints ("add", "GEMM",
+// "Sobel", ...), case-insensitively. The second return is false for unknown
+// names.
+func ParseOp(name string) (Op, bool) { return vop.Parse(name) }
 
 var errNilInput = errors.New("shmt: nil input matrix")
 
