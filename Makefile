@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath benchdiff servesmoke experiments examples fmt fmt-check vet clean
+.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath benchplan benchdiff servesmoke experiments examples fmt fmt-check vet clean
 
 all: check
 
@@ -11,9 +11,10 @@ all: check
 # a one-shot benchmark pass so the bench suites can't silently rot, the
 # telemetry overhead benchmark so instrumentation cost stays visible, the
 # datapath benchmark so the zero-copy partition/aggregate path can't regress
-# silently, and the serving smoke test so shmtserved's coalescing/drain path
-# stays live. CI (.github/workflows/ci.yml) runs exactly these stages.
-check: fmt-check build vet test race benchsmoke benchtelemetry benchdatapath servesmoke
+# silently, the planning-overhead benchmark so plan-cache replay keeps paying
+# for itself, and the serving smoke test so shmtserved's coalescing/drain
+# path stays live. CI (.github/workflows/ci.yml) runs exactly these stages.
+check: fmt-check build vet test race benchsmoke benchtelemetry benchdatapath benchplan servesmoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +47,14 @@ benchtelemetry:
 # BENCH_datapath.json snapshots the result.
 benchdatapath:
 	$(GO) test -run='^$$' -bench=BenchmarkDatapath -benchmem \
+		-benchtime=0.3s ./internal/core/
+
+# benchplan isolates host-side planning (partition + assign) and compares
+# cold planning against plan-cache replay; BENCH_plan.json snapshots the
+# result. Only the plan/* rows run here — the execute/* rows are
+# kernel-dominated and covered by the one-shot pass in benchsmoke.
+benchplan:
+	$(GO) test -run='^$$' -bench='BenchmarkPlanningOverhead/plan' -benchmem \
 		-benchtime=0.3s ./internal/core/
 
 # servesmoke boots shmtserved on a free port, fires concurrent request

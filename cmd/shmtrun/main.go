@@ -52,6 +52,7 @@ func main() {
 		reportOut   = flag.String("report-out", "", "write the structured JSON telemetry report to this file")
 		chaosSpec   = flag.String("chaos", "", `fault-injection plan, e.g. "tpu:die=5;gpu:transient=0.2"`)
 		chaosSeed   = flag.Int64("chaos-seed", 0, "fault-schedule seed (default: -seed)")
+		planCache   = flag.Bool("plan-cache", false, "enable the memoized execution-plan cache (off by default: single-shot runs measure per-invocation planning)")
 		list        = flag.Bool("list", false, "list benchmarks and policies, then exit")
 	)
 	flag.Parse()
@@ -79,6 +80,7 @@ func main() {
 
 	cfg := o.SessionConfig(b, shmt.PolicyName(*policy))
 	cfg.RecordTrace = *trace
+	cfg.PlanCache.Disabled = !*planCache
 	if *chaosSpec != "" {
 		cs := *chaosSeed
 		if cs == 0 {

@@ -53,6 +53,7 @@ func main() {
 		metricsAddr  = flag.String("metrics-addr", "", "optional separate Prometheus listener (metrics are always on the serving mux at /metrics)")
 		chaosSpec    = flag.String("chaos", "", `fault-injection plan, e.g. "tpu:die=5;gpu:transient=0.2"`)
 		chaosSeed    = flag.Int64("chaos-seed", 0, "fault-schedule seed (default: -seed)")
+		planEntries  = flag.Int("plan-cache-entries", 0, "execution-plan cache LRU capacity (0 = default, negative disables)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,11 @@ func main() {
 		Seed:             *seed,
 		Workers:          *workers,
 		Concurrent:       *concurrent,
+	}
+	if *planEntries < 0 {
+		cfg.PlanCache.Disabled = true
+	} else {
+		cfg.PlanCache.Entries = *planEntries
 	}
 	cfg.Telemetry.Enabled = true
 	cfg.Telemetry.MetricsAddr = *metricsAddr

@@ -186,6 +186,10 @@ func (o Options) SessionConfig(b Benchmark, pol shmt.PolicyName) shmt.Config {
 		Seed:             o.Seed,
 		VirtualScale:     scale,
 		Concurrent:       o.Concurrent,
+		// The paper's figures measure per-invocation planning (sampling
+		// overhead is part of what Figs. 6 and 9 report), so experiment
+		// sessions never replay memoized plans.
+		PlanCache: shmt.PlanCacheConfig{Disabled: true},
 	}
 }
 

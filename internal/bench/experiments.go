@@ -417,6 +417,8 @@ func Fig1(o Options) ([]Fig1Row, error) {
 		SamplingRate:     o.SamplingRate,
 		Seed:             o.Seed,
 		VirtualScale:     o.VirtualScale(),
+		// Measurement session: plan per invocation, like the paper does.
+		PlanCache: shmt.PlanCacheConfig{Disabled: true},
 	})
 	if err != nil {
 		return nil, err

@@ -69,11 +69,10 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 	var overhead float64
 	nextID := 0
 	for i, v := range vops {
-		hs, err := hlop.Partition(v, e.Spec)
-		if err != nil {
-			return nil, fmt.Errorf("core: batch vop %d: %w", i, err)
-		}
-		ovh, err := pol.Assign(ctx, hs)
+		// Plan (or replay a cached plan) per VOP; phase telemetry stays
+		// lumped into the batch-level schedule phase below, so no runTel is
+		// passed down.
+		hs, ovh, _, err := e.planVOP(ctx, pol, v, nil, 0)
 		if err != nil {
 			return nil, fmt.Errorf("core: batch vop %d: %w", i, err)
 		}

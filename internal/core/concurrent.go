@@ -82,7 +82,7 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 			defer wg.Done()
 			dev := e.Reg.Get(qi)
 			br := fx.brs[qi]
-			etc := device.NewExecTimeCache() // per-worker: the cache is not concurrency-safe
+			etc := device.NewExecTimeCacheSized(e.ExecTimeCacheEntries) // per-worker: the cache is not concurrency-safe
 			for outstanding.Load() > 0 && !aborted.Load() {
 				// A quarantined worker serves only its own queue: whatever the
 				// open-time redistribution could not place stays behind as

@@ -161,6 +161,9 @@ func (e *Engine) breakerSet() []*breaker {
 		for i := range e.brs {
 			e.brs[i] = &breaker{}
 		}
+		// A new breaker set means a new (or resized) device set: any plan
+		// captured against the old queue indices is meaningless.
+		e.planEpoch.Add(1)
 	}
 	return e.brs
 }
@@ -347,6 +350,9 @@ func (e *Engine) noteFault(rz Resilience, br *breaker, deg *degTracker, rt *runT
 	if opened {
 		idle = cooldown
 		telemetry.BreakerOpens.With(dev.Name()).Inc()
+		// The eligible device set shrank: cached execution plans may route
+		// work to the quarantined device, so invalidate them all.
+		e.planEpoch.Add(1)
 	}
 	if rt != nil {
 		rt.dispatchFailed(qi, h, now, now+busy)
@@ -365,6 +371,9 @@ func (e *Engine) noteRecovery(br *breaker, deg *degTracker, rt *runTel, qi int, 
 	}
 	deg.noteProbe(true)
 	telemetry.BreakerProbeSuccess.Inc()
+	// The re-admitted device widens the eligible set; plans captured while it
+	// was quarantined would keep routing around it, so invalidate them.
+	e.planEpoch.Add(1)
 	if rt != nil {
 		rt.breakerState(qi, int64(brClosed))
 	}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"shmt/internal/device"
 	"shmt/internal/energy"
@@ -61,11 +62,27 @@ type Engine struct {
 	// Resilience tunes the graceful-degradation machinery (circuit breakers,
 	// backoff, retry bounds — see degrade.go). The zero value uses defaults.
 	Resilience Resilience
+	// PlanCacheEntries, when positive, enables the memoized execution-plan
+	// layer with that LRU capacity: repeated same-shape VOPs replay the
+	// captured partition geometry and device assignment instead of
+	// re-planning (see plancache.go). 0 (the default) plans every run from
+	// scratch.
+	PlanCacheEntries int
+	// ExecTimeCacheEntries caps the per-run cost-model memo
+	// (device.ExecTimeCache); ≤ 0 selects device.DefaultExecTimeEntries.
+	ExecTimeCacheEntries int
 
 	// Per-device circuit breakers, lazily sized to Reg and persistent across
 	// runs so a dead device stays quarantined between batches.
 	brMu sync.Mutex
 	brs  []*breaker
+
+	// Memoized execution plans (plancache.go), guarded by the device-health
+	// epoch: breaker transitions advance planEpoch, so plans captured against
+	// a different eligible device set miss instead of replaying.
+	pcMu      sync.Mutex
+	pc        *planCache
+	planEpoch atomic.Uint64
 }
 
 // Report is the outcome of one VOP execution.
@@ -117,13 +134,6 @@ func (e *Engine) Run(v *vop.VOP) (*Report, error) {
 	if rt != nil {
 		phaseT = rt.now()
 	}
-	hs, err := hlop.Partition(v, e.Spec)
-	if err != nil {
-		return nil, err
-	}
-	if rt != nil {
-		phaseT = rt.phase(telemetry.PhasePartition, phaseT)
-	}
 	hostScale := e.HostScale
 	if hostScale < 1 {
 		hostScale = 1
@@ -131,7 +141,7 @@ func (e *Engine) Run(v *vop.VOP) (*Report, error) {
 	fx := e.newFaultState()
 	ctx := &sched.Context{Reg: e.Reg, Seed: e.Seed, HostScale: hostScale,
 		Quarantined: fx.quarantined}
-	overhead, err := pol.Assign(ctx, hs)
+	hs, overhead, phaseT, err := e.planVOP(ctx, pol, v, rt, phaseT)
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +273,7 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 	remaining := len(hs)
 	res := &runResult{busy: map[string]float64{}}
 	retries := make(map[*hlop.HLOP]int)
-	etc := device.NewExecTimeCache()
+	etc := device.NewExecTimeCacheSized(e.ExecTimeCacheEntries)
 
 	for remaining > 0 {
 		// Choose the earliest device that can obtain work. A quarantined

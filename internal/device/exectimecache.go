@@ -12,19 +12,20 @@ import (
 // one cache per run (per worker in the concurrent engine; the cache is not
 // safe for concurrent use) and hit the model once per distinct shape.
 //
-// Growth is capped at maxExecTimeEntries: a long session streaming
-// continually varying shapes (ExecuteBatch over ragged inputs) would
-// otherwise grow the map without bound. On overflow the cache drops the whole
-// map — an epoch flush keeps the common case (few distinct shapes, hit after
-// hit) at zero bookkeeping cost, and a full rebuild is just a few thousand
-// cost-model calls. Hit/miss/eviction totals feed the
-// shmt_exec_cache_* telemetry counters.
+// Growth is capped: a long session streaming continually varying shapes
+// (ExecuteBatch over ragged inputs) would otherwise grow the map without
+// bound. On overflow the cache drops the whole map — an epoch flush keeps
+// the common case (few distinct shapes, hit after hit) at zero bookkeeping
+// cost, and a full rebuild is just a few thousand cost-model calls.
+// Hit/miss/eviction totals feed the shmt_exec_cache_* telemetry counters.
 type ExecTimeCache struct {
-	m map[execTimeKey]float64
+	m   map[execTimeKey]float64
+	max int
 }
 
-// maxExecTimeEntries bounds the memo size; beyond it the map is flushed.
-const maxExecTimeEntries = 4096
+// DefaultExecTimeEntries is the default memo size cap; beyond it the map is
+// flushed. Tune per session via shmt.Config.ExecTimeCacheEntries.
+const DefaultExecTimeEntries = 4096
 
 type execTimeKey struct {
 	dev   string
@@ -32,9 +33,18 @@ type execTimeKey struct {
 	elems int
 }
 
-// NewExecTimeCache returns an empty cache.
+// NewExecTimeCache returns an empty cache with the default entry cap.
 func NewExecTimeCache() *ExecTimeCache {
-	return &ExecTimeCache{m: make(map[execTimeKey]float64)}
+	return NewExecTimeCacheSized(DefaultExecTimeEntries)
+}
+
+// NewExecTimeCacheSized returns an empty cache flushed once it exceeds max
+// entries; max ≤ 0 selects DefaultExecTimeEntries.
+func NewExecTimeCacheSized(max int) *ExecTimeCache {
+	if max <= 0 {
+		max = DefaultExecTimeEntries
+	}
+	return &ExecTimeCache{m: make(map[execTimeKey]float64), max: max}
 }
 
 // ExecTime returns dev.ExecTime(op, elems), memoized.
@@ -46,7 +56,7 @@ func (c *ExecTimeCache) ExecTime(dev Device, op vop.Opcode, elems int) float64 {
 	}
 	telemetry.ExecCacheMisses.Inc()
 	t := dev.ExecTime(op, elems)
-	if len(c.m) >= maxExecTimeEntries {
+	if len(c.m) >= c.max {
 		telemetry.ExecCacheEvictions.Add(int64(len(c.m)))
 		c.m = make(map[execTimeKey]float64)
 	}

@@ -38,7 +38,7 @@ func TestExecTimeCacheMemoizes(t *testing.T) {
 }
 
 // TestExecTimeCacheCapped streams more distinct shapes than the cap and
-// checks the epoch flush: the map never exceeds maxExecTimeEntries and the
+// checks the epoch flush: the map never exceeds DefaultExecTimeEntries and the
 // eviction counter records the dropped entries (satellite: unbounded growth
 // fix).
 func TestExecTimeCacheCapped(t *testing.T) {
@@ -48,19 +48,40 @@ func TestExecTimeCacheCapped(t *testing.T) {
 
 	c := NewExecTimeCache()
 	dev := &costDevice{fakeDevice{name: "cpu"}}
-	for elems := 1; elems <= maxExecTimeEntries+100; elems++ {
+	for elems := 1; elems <= DefaultExecTimeEntries+100; elems++ {
 		c.ExecTime(dev, vop.OpAdd, elems)
-		if c.Len() > maxExecTimeEntries {
+		if c.Len() > DefaultExecTimeEntries {
 			t.Fatalf("cache grew past the cap: %d", c.Len())
 		}
 	}
 	// One flush happened: the 4097th insert dropped the full map.
-	if got := telemetry.ExecCacheEvictions.Value() - base; got != maxExecTimeEntries {
-		t.Fatalf("evictions = %d, want %d", got, maxExecTimeEntries)
+	if got := telemetry.ExecCacheEvictions.Value() - base; got != DefaultExecTimeEntries {
+		t.Fatalf("evictions = %d, want %d", got, DefaultExecTimeEntries)
 	}
 	// Values remain correct across the flush.
 	if got, want := c.ExecTime(dev, vop.OpAdd, 7), dev.ExecTime(vop.OpAdd, 7); got != want {
 		t.Fatalf("post-flush value %g, want %g", got, want)
+	}
+}
+
+// TestExecTimeCacheSized checks the configurable entry cap: a small cap
+// flushes early, and non-positive caps fall back to the default.
+func TestExecTimeCacheSized(t *testing.T) {
+	c := NewExecTimeCacheSized(8)
+	dev := &costDevice{fakeDevice{name: "cpu"}}
+	for elems := 1; elems <= 100; elems++ {
+		c.ExecTime(dev, vop.OpAdd, elems)
+		if c.Len() > 8 {
+			t.Fatalf("cache grew past its configured cap: %d", c.Len())
+		}
+	}
+	if got, want := c.ExecTime(dev, vop.OpAdd, 3), dev.ExecTime(vop.OpAdd, 3); got != want {
+		t.Fatalf("post-flush value %g, want %g", got, want)
+	}
+	for _, bad := range []int{0, -5} {
+		if d := NewExecTimeCacheSized(bad); d.max != DefaultExecTimeEntries {
+			t.Fatalf("NewExecTimeCacheSized(%d).max = %d, want default %d", bad, d.max, DefaultExecTimeEntries)
+		}
 	}
 }
 

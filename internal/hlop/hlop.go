@@ -244,7 +244,7 @@ func partitionTiles(v *vop.VOP, spec Spec) ([]*HLOP, error) {
 }
 
 func partitionGEMM(v *vop.VOP, spec Spec) ([]*HLOP, error) {
-	a, b := v.Inputs[0], v.Inputs[1]
+	a := v.Inputs[0]
 	rowsPer := a.Rows / spec.TargetPartitions
 	if rowsPer < 1 {
 		rowsPer = 1
@@ -255,23 +255,34 @@ func partitionGEMM(v *vop.VOP, spec Spec) ([]*HLOP, error) {
 		if r+h > a.Rows {
 			h = a.Rows - r
 		}
-		reg := tensor.Region{Row: r, Col: 0, Height: h, Width: a.Cols}
-		band, err := bandOf(a, reg, spec.ForceCopy)
+		hl, err := gemmBand(v, r, h, len(hs), spec.ForceCopy)
 		if err != nil {
 			return nil, err
 		}
-		hs = append(hs, &HLOP{
-			ID:       len(hs),
-			Op:       v.Op,
-			Parent:   v,
-			Region:   tensor.Region{Row: r, Col: 0, Height: h, Width: b.Cols},
-			Inputs:   []*tensor.Matrix{band, b},
-			Interior: tensor.Region{Row: 0, Col: 0, Height: h, Width: b.Cols},
-			Attrs:    v.Attrs,
-			Elems:    h * b.Cols,
-		})
+		hs = append(hs, hl)
 	}
 	return hs, nil
+}
+
+// gemmBand builds the GEMM HLOP for rows [row, row+height) of A paired with
+// the whole right-hand matrix. Its Region lives in *output* space (B-columns
+// wide); the input band is A-columns wide.
+func gemmBand(v *vop.VOP, row, height, id int, forceCopy bool) (*HLOP, error) {
+	a, b := v.Inputs[0], v.Inputs[1]
+	band, err := bandOf(a, tensor.Region{Row: row, Col: 0, Height: height, Width: a.Cols}, forceCopy)
+	if err != nil {
+		return nil, err
+	}
+	return &HLOP{
+		ID:       id,
+		Op:       v.Op,
+		Parent:   v,
+		Region:   tensor.Region{Row: row, Col: 0, Height: height, Width: b.Cols},
+		Inputs:   []*tensor.Matrix{band, b},
+		Interior: tensor.Region{Row: 0, Col: 0, Height: height, Width: b.Cols},
+		Attrs:    v.Attrs,
+		Elems:    height * b.Cols,
+	}, nil
 }
 
 // bandOf returns region reg of src either as a zero-copy strided view or,
@@ -334,6 +345,120 @@ func extract(v *vop.VOP, reg tensor.Region, id int, forceCopy bool) (*HLOP, erro
 		Attrs:    v.Attrs,
 		Elems:    int(float64(reg.Len()) * v.WorkFactor()),
 	}, nil
+}
+
+// Planned is one HLOP's entry in a captured execution plan: the partition
+// geometry plus everything the scheduling policy decided. Data blocks are
+// deliberately absent — a replay re-extracts them from the new inputs — so a
+// plan stays valid across Execute calls that reuse a shape but carry
+// different data.
+type Planned struct {
+	// Region is the partition's region (output space for GEMM, input space
+	// otherwise), exactly as Partition produced it.
+	Region tensor.Region
+	// AssignedQueue, Criticality and Critical are the policy's decisions.
+	AssignedQueue int
+	Criticality   float64
+	Critical      bool
+}
+
+// Capture records the replayable part of a freshly planned HLOP list.
+func Capture(hs []*HLOP) []Planned {
+	ps := make([]Planned, len(hs))
+	for i, h := range hs {
+		ps[i] = Planned{
+			Region:        h.Region,
+			AssignedQueue: h.AssignedQueue,
+			Criticality:   h.Criticality,
+			Critical:      h.Critical,
+		}
+	}
+	return ps
+}
+
+// Replay rebuilds HLOPs from a captured plan against v's (possibly new)
+// input tensors: partition geometry and the policy's assignment come from
+// the plan, while data blocks — views or materialized halo copies — are
+// re-extracted exactly as Partition would produce them. The caller
+// guarantees the plan was captured for the same opcode, input shapes, and
+// Spec (the plan cache's key pins all three).
+func Replay(v *vop.VOP, spec Spec, parts []Planned) ([]*HLOP, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	if !spec.ForceCopy && v.Op != vop.OpGEMM && v.HaloWidth() == 0 && len(v.Inputs) <= 2 {
+		return replayViews(v, parts)
+	}
+	hs := make([]*HLOP, len(parts))
+	for i, p := range parts {
+		var h *HLOP
+		var err error
+		if v.Op == vop.OpGEMM {
+			h, err = gemmBand(v, p.Region.Row, p.Region.Height, i, spec.ForceCopy)
+		} else {
+			h, err = extract(v, p.Region, i, spec.ForceCopy)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hlop: replaying partition %d: %w", i, err)
+		}
+		h.AssignedQueue = p.AssignedQueue
+		h.Criticality = p.Criticality
+		h.Critical = p.Critical
+		hs[i] = h
+	}
+	return hs, nil
+}
+
+// replayViews is Replay's fast path for halo-free opcodes in zero-copy view
+// mode — the common case on the serving path. Replay cost is dominated not by
+// arithmetic but by per-partition allocation (one HLOP, one input slice, one
+// view header per input), so this path lays all partitions out in one shared
+// slab and rebinds views in place with ViewInto. The HLOPs it returns are
+// interchangeable with extract's: engines mutate only their own slot of the
+// slab, and Split re-extracts from the parent VOP.
+func replayViews(v *vop.VOP, parts []Planned) ([]*HLOP, error) {
+	n, k := len(parts), len(v.Inputs)
+	// One slab holds every partition's HLOP, view headers and input-pointer
+	// array: one allocation and one contiguous clear for the whole replay
+	// (halo-free opcodes take at most two inputs).
+	type slot struct {
+		h    HLOP
+		view [2]tensor.Matrix
+		ins  [2]*tensor.Matrix
+	}
+	slab := make([]slot, n)
+	hs := make([]*HLOP, n)
+	wf := v.WorkFactor()
+	var aliased int64
+	for i := range parts {
+		p := &parts[i]
+		s := &slab[i]
+		h := &s.h
+		h.ID = i
+		h.Op = v.Op
+		h.Parent = v
+		h.Region = p.Region
+		h.Interior = tensor.Region{Height: p.Region.Height, Width: p.Region.Width}
+		h.Attrs = v.Attrs
+		h.Elems = int(float64(p.Region.Len()) * wf)
+		h.AssignedQueue = p.AssignedQueue
+		h.Criticality = p.Criticality
+		h.Critical = p.Critical
+		for j, src := range v.Inputs {
+			dst := &s.view[j]
+			if err := src.ViewInto(dst, p.Region); err != nil {
+				return nil, fmt.Errorf("hlop: replaying partition %d: %w", i, err)
+			}
+			s.ins[j] = dst
+			aliased += p.Region.Bytes(tensor.ElemSize)
+		}
+		h.Inputs = s.ins[:k:k]
+		hs[i] = h
+	}
+	telemetry.DatapathBytesAliased.Add(aliased)
+	telemetry.DatapathCopiesAvoided.Add(int64(n * k))
+	return hs, nil
 }
 
 // Split halves an HLOP along its taller axis, re-extracting both halves from

@@ -182,6 +182,22 @@ var (
 	// ExecCacheEvictions counts entries dropped by the growth cap.
 	ExecCacheEvictions = Default.NewCounter("shmt_exec_cache_evictions_total",
 		"ExecTimeCache entries evicted by the size cap.")
+
+	// Execution-plan cache (internal/core plan memoization).
+
+	// PlanCacheHits counts Execute calls that replayed a cached plan.
+	PlanCacheHits = Default.NewCounter("shmt_plan_cache_hits_total",
+		"VOP executions that replayed a memoized execution plan.")
+	// PlanCacheMisses counts Execute calls that planned from scratch.
+	PlanCacheMisses = Default.NewCounter("shmt_plan_cache_misses_total",
+		"VOP executions that ran partitioning and assignment from scratch.")
+	// PlanCacheEvictions counts plans dropped by the LRU size cap.
+	PlanCacheEvictions = Default.NewCounter("shmt_plan_cache_evictions_total",
+		"Cached execution plans evicted by the LRU size cap.")
+	// PlanCacheInvalidations counts plans dropped because the device-health
+	// epoch moved (a breaker opened or a device was re-admitted).
+	PlanCacheInvalidations = Default.NewCounter("shmt_plan_cache_invalidations_total",
+		"Cached execution plans invalidated by a device-health epoch change.")
 )
 
 // Phase label values for PhaseSeconds and host-lane spans.

@@ -90,6 +90,24 @@ func (m *Matrix) View(r Region) (*Matrix, error) {
 	return v, nil
 }
 
+// ViewInto writes the strided window onto region r of m into dst, with the
+// same semantics as View but no per-view heap allocation. Callers that build
+// many views at once (plan replay rebinds every partition of a VOP) point dst
+// at slots of one backing array. dst is fully overwritten.
+func (m *Matrix) ViewInto(dst *Matrix, r Region) error {
+	if !r.In(m.Rows, m.Cols) {
+		return fmt.Errorf("%w: view %v in %dx%d", ErrRegionBounds, r, m.Rows, m.Cols)
+	}
+	s := m.RowStride()
+	*dst = Matrix{Rows: r.Height, Cols: r.Width, Stride: s, view: true}
+	if r.Height > 0 && r.Width > 0 {
+		off := r.Row*s + r.Col
+		n := (r.Height-1)*s + r.Width
+		dst.Data = m.Data[off : off+n : off+n]
+	}
+	return nil
+}
+
 // Row returns row i as a slice aliasing the matrix storage.
 func (m *Matrix) Row(i int) []float64 {
 	off := i * m.RowStride()

@@ -42,6 +42,38 @@ func TestAllCoversEveryOpcodeOnce(t *testing.T) {
 	}
 }
 
+// TestParseRoundTripsEveryOpcode: Parse(op.String()) must return op for all
+// 26 opcodes, in printed, lower, and upper spellings — Parse is the wire
+// format's entry point (shmt.ParseOp, the HTTP server, the CLIs).
+func TestParseRoundTripsEveryOpcode(t *testing.T) {
+	for _, op := range All() {
+		name := op.String()
+		for _, spelling := range []string{name, strings.ToLower(name), strings.ToUpper(name)} {
+			got, ok := Parse(spelling)
+			if !ok {
+				t.Errorf("Parse(%q) not found", spelling)
+				continue
+			}
+			if got != op {
+				t.Errorf("Parse(%q) = %s, want %s", spelling, got, op)
+			}
+		}
+	}
+}
+
+func TestParseRejectsUnknownNames(t *testing.T) {
+	for _, bad := range []string{"", "nope", "add ", " add", "Opcode(3)", "gem", "addmultiply"} {
+		if op, ok := Parse(bad); ok {
+			t.Errorf("Parse(%q) = %s, want not-found", bad, op)
+		}
+	}
+	// The not-found opcode must be the invalid zero value, so callers that
+	// ignore ok still can't execute anything.
+	if op, _ := Parse("nope"); op != OpInvalid {
+		t.Errorf("Parse miss returned %s, want OpInvalid", op)
+	}
+}
+
 func TestParallelizationModels(t *testing.T) {
 	vectorOps := []Opcode{OpAdd, OpLog, OpReduceSum, OpReduceHist256, OpParabolicPDE}
 	for _, op := range vectorOps {

@@ -111,6 +111,54 @@ type Config struct {
 	// threshold and cooldown, exponential backoff, and the per-HLOP retry
 	// bound. The zero value uses the defaults (see core.Resilience).
 	Resilience Resilience
+	// PlanCache configures the memoized execution-plan layer. The zero value
+	// enables it with DefaultPlanCacheEntries — production traffic is
+	// shape-repetitive, so repeated same-shape Execute calls replay the
+	// captured partition geometry and device assignment instead of
+	// re-planning. See PlanCacheConfig for the data-dependence caveat.
+	PlanCache PlanCacheConfig
+	// ExecTimeCacheEntries caps the engines' per-run cost-model memo (see
+	// device.ExecTimeCache); on overflow the memo is flushed wholesale. 0
+	// keeps the default (device.DefaultExecTimeEntries = 4096).
+	ExecTimeCacheEntries int
+}
+
+// DefaultPlanCacheEntries is the plan cache's default LRU capacity: plans
+// are a few hundred bytes each (geometry plus assignment, no data), so even
+// a serving session streaming many distinct shapes stays small.
+const DefaultPlanCacheEntries = 512
+
+// PlanCacheConfig configures the memoized execution-plan layer: a plan —
+// partition geometry, per-HLOP device assignment, criticality — is captured
+// on first execution of a (opcode, input shapes, attrs, Spec, policy) key
+// and replayed by later same-key executions, skipping partition geometry,
+// sampling reads and the assignment pass. Plans are invalidated wholesale
+// whenever the device-health epoch moves (a circuit breaker opens, or a
+// quarantined device is re-admitted), so a replay can never route work to a
+// device the engine has quarantined, and bounded by LRU eviction.
+//
+// Caveat: data-dependent policies (QAWS, IRA, oracle) sample input values
+// for criticality, so a replayed plan reuses the criticality profile of the
+// execution that captured it. Steady-state serving traffic overwhelmingly
+// shares profiles across same-shaped requests; workloads where per-request
+// criticality matters (or measurement runs reproducing the paper's figures,
+// as internal/bench does) should set Disabled.
+type PlanCacheConfig struct {
+	// Disabled turns the plan cache off: every Execute plans from scratch.
+	Disabled bool
+	// Entries is the LRU capacity; ≤ 0 means DefaultPlanCacheEntries.
+	Entries int
+}
+
+// entries resolves the engine-level capacity (0 disables).
+func (p PlanCacheConfig) entries() int {
+	if p.Disabled {
+		return 0
+	}
+	if p.Entries <= 0 {
+		return DefaultPlanCacheEntries
+	}
+	return p.Entries
 }
 
 // Telemetry configures the session's observability layer. The zero value

@@ -200,15 +200,17 @@ func newSession(cfg Config, sub bool) (*Session, error) {
 		return nil, err
 	}
 	eng := &core.Engine{
-		Reg:          reg,
-		Policy:       pol,
-		Spec:         hlop.Spec{TargetPartitions: cfg.TargetPartitions},
-		DoubleBuffer: doubleBuffer,
-		Seed:         cfg.Seed,
-		HostScale:    cfg.VirtualScale,
-		RecordTrace:  cfg.RecordTrace,
-		Concurrent:   cfg.Concurrent,
-		Resilience:   cfg.Resilience,
+		Reg:                  reg,
+		Policy:               pol,
+		Spec:                 hlop.Spec{TargetPartitions: cfg.TargetPartitions},
+		DoubleBuffer:         doubleBuffer,
+		Seed:                 cfg.Seed,
+		HostScale:            cfg.VirtualScale,
+		RecordTrace:          cfg.RecordTrace,
+		Concurrent:           cfg.Concurrent,
+		Resilience:           cfg.Resilience,
+		PlanCacheEntries:     cfg.PlanCache.entries(),
+		ExecTimeCacheEntries: cfg.ExecTimeCacheEntries,
 	}
 	s := &Session{cfg: cfg, reg: reg, eng: eng}
 
@@ -320,6 +322,14 @@ func devNames(devs []device.Device) []string {
 // the engine routes new work around them until a re-admission probe
 // succeeds.
 func (s *Session) QuarantinedDevices() []string { return s.eng.QuarantinedDevices() }
+
+// PlanCacheStats is a snapshot of the session's execution-plan cache
+// counters (hits, misses, LRU evictions, epoch invalidations, population).
+type PlanCacheStats = core.PlanCacheStats
+
+// PlanCacheStats reports the session's plan-cache activity; all-zero when
+// the cache is disabled (Config.PlanCache.Disabled).
+func (s *Session) PlanCacheStats() PlanCacheStats { return s.eng.PlanCacheStats() }
 
 // PolicyName returns the active scheduling policy's label.
 func (s *Session) PolicyName() string { return s.eng.Policy.Name() }

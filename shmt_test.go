@@ -292,3 +292,61 @@ func TestFourDeviceSession(t *testing.T) {
 		t.Fatal("DSP executed an opcode outside its home domain")
 	}
 }
+
+// TestParseOpWireNames: the public ParseOp round-trips every opcode the way
+// wire formats spell them (the HTTP server lowercases, CLIs copy Table 1).
+func TestParseOpWireNames(t *testing.T) {
+	for _, op := range []shmt.Op{shmt.OpSobel, shmt.OpGEMM, shmt.OpAdd} {
+		got, ok := shmt.ParseOp(op.String())
+		if !ok || got != op {
+			t.Fatalf("ParseOp(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if got, ok := shmt.ParseOp("gemm"); !ok || got != shmt.OpGEMM {
+		t.Fatalf("ParseOp is not case-insensitive: %v, %v", got, ok)
+	}
+	if _, ok := shmt.ParseOp("not-an-op"); ok {
+		t.Fatal("ParseOp accepted an unknown name")
+	}
+}
+
+// TestSessionPlanCacheDefaultOn: repeated same-shape Execute calls replay
+// the memoized plan by default, and the stats surface through the Session.
+func TestSessionPlanCacheDefaultOn(t *testing.T) {
+	s := newSession(t, shmt.Config{TargetPartitions: 8})
+	img := workload.Mixed(128, 128, workload.Profile{TileSize: 32}, 5)
+	var last *shmt.Report
+	for i := 0; i < 3; i++ {
+		rep, err := s.Execute(shmt.OpSobel, []*shmt.Matrix{img}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last != nil && !rep.Output.Equal(last.Output) {
+			t.Fatalf("run %d: replayed plan changed the output", i)
+		}
+		last = rep
+	}
+	st := s.PlanCacheStats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("plan cache stats = %+v, want 2 hits / 1 miss / 1 entry", st)
+	}
+	// A replayed run charges zero scheduling overhead.
+	if last.SchedOverhead != 0 {
+		t.Fatalf("replayed run charged %g scheduling overhead", last.SchedOverhead)
+	}
+}
+
+// TestSessionPlanCacheDisabled: Config.PlanCache.Disabled opts out entirely.
+func TestSessionPlanCacheDisabled(t *testing.T) {
+	s := newSession(t, shmt.Config{TargetPartitions: 8,
+		PlanCache: shmt.PlanCacheConfig{Disabled: true}})
+	img := workload.Mixed(128, 128, workload.Profile{TileSize: 32}, 5)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Execute(shmt.OpSobel, []*shmt.Matrix{img}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.PlanCacheStats(); st != (shmt.PlanCacheStats{}) {
+		t.Fatalf("disabled plan cache recorded activity: %+v", st)
+	}
+}
