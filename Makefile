@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath benchplan benchdiff servesmoke experiments examples fmt fmt-check vet clean
+.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath benchplan benchserve benchdiff servesmoke experiments examples fmt fmt-check vet clean
 
 all: check
 
@@ -14,7 +14,7 @@ all: check
 # silently, the planning-overhead benchmark so plan-cache replay keeps paying
 # for itself, and the serving smoke test so shmtserved's coalescing/drain
 # path stays live. CI (.github/workflows/ci.yml) runs exactly these stages.
-check: fmt-check build vet test race benchsmoke benchtelemetry benchdatapath benchplan servesmoke
+check: fmt-check build vet test race benchsmoke benchtelemetry benchdatapath benchplan benchserve servesmoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,14 @@ benchdatapath:
 benchplan:
 	$(GO) test -run='^$$' -bench='BenchmarkPlanningOverhead/plan' -benchmem \
 		-benchtime=0.3s ./internal/core/
+
+# benchserve measures the serving layer's per-request tracing cost
+# (Batcher.Submit, tracing off vs on); BENCH_serve.json snapshots the
+# result. The disabled row is the contract: tracing must add zero
+# allocations to the untraced request path.
+benchserve:
+	$(GO) test -run='^$$' -bench=BenchmarkServeTraceOverhead -benchmem \
+		-benchtime=0.3s ./internal/serve/
 
 # servesmoke boots shmtserved on a free port, fires concurrent request
 # volleys, and asserts every request succeeds, the micro-batcher coalesced

@@ -15,6 +15,9 @@ type BatchRequest struct {
 	Inputs []*Matrix
 	// Attrs are the request's kernel parameters.
 	Attrs map[string]float64
+	// TraceID, when set, tags the engine spans this request produces so the
+	// Perfetto export can stitch them to the serving layer's request lane.
+	TraceID string
 }
 
 // BatchResult carries the per-request reports and the batch-wide accounting
@@ -42,6 +45,7 @@ func (s *Session) ExecuteBatch(reqs []BatchRequest) (*BatchResult, error) {
 		if s.cfg.CriticalFraction > 0 {
 			v.CriticalFraction = s.cfg.CriticalFraction
 		}
+		v.TraceID = r.TraceID
 		vops[i] = v
 	}
 	s.mu.Lock()

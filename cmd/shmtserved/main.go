@@ -9,6 +9,7 @@
 //	shmtserved -addr :8080
 //	shmtserved -addr 127.0.0.1:0 -max-batch 8 -max-linger 5ms -policy work-stealing
 //	shmtserved -chaos "tpu:die=5" -chaos-seed 42
+//	shmtserved -log-format json -slow-slo 50ms -trace-out serve.trace.json
 //
 //	curl -s localhost:8080/v1/execute -d '{"op":"add","inputs":[
 //	  {"rows":2,"cols":2,"data":[1,2,3,4]},
@@ -16,9 +17,12 @@
 //
 // Endpoints: POST /v1/execute, GET /healthz (reports "degraded" while any
 // device breaker is open, "draining" with a 503 during shutdown), GET
-// /metrics (Prometheus). Responses carry X-SHMT-Batch-Size, X-SHMT-Degraded
-// and, when breakers are open, X-SHMT-Quarantined headers. A full admission
-// queue answers 429 with Retry-After instead of queueing without bound.
+// /metrics (Prometheus), GET /statusz (live process snapshot, JSON or
+// ?format=html), GET /debug/requests (flight-recorder dump; ?slow=1 for SLO
+// violations only), and — with -pprof — net/http/pprof under /debug/pprof/.
+// Responses carry X-SHMT-Batch-Size, X-SHMT-Degraded, X-SHMT-Trace-Id and,
+// when breakers are open, X-SHMT-Quarantined headers. A full admission queue
+// answers 429 with Retry-After instead of queueing without bound.
 // SIGTERM/SIGINT drain gracefully: new work is refused, queued rounds
 // finish, then the session closes.
 package main
@@ -27,6 +31,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +39,7 @@ import (
 
 	"shmt"
 	"shmt/internal/serve"
+	"shmt/internal/telemetry"
 )
 
 func main() {
@@ -54,8 +60,20 @@ func main() {
 		chaosSpec    = flag.String("chaos", "", `fault-injection plan, e.g. "tpu:die=5;gpu:transient=0.2"`)
 		chaosSeed    = flag.Int64("chaos-seed", 0, "fault-schedule seed (default: -seed)")
 		planEntries  = flag.Int("plan-cache-entries", 0, "execution-plan cache LRU capacity (0 = default, negative disables)")
+		tracing      = flag.Bool("tracing", true, "request-scoped tracing: trace IDs, stage breakdowns, flight recorder, request lanes")
+		flightSize   = flag.Int("flight-recorder", telemetry.DefaultFlightRecorderSize, "flight-recorder ring capacity (traces retained)")
+		slowSLO      = flag.Duration("slow-slo", 100*time.Millisecond, "latency SLO; slower requests are retained in the flight recorder's slow ring (0 disables)")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in)")
+		traceOut     = flag.String("trace-out", "", "write the session's Perfetto trace here after drain")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := shmt.Config{
 		Policy:           shmt.PolicyName(*policy),
@@ -81,28 +99,52 @@ func main() {
 			fatal(err)
 		}
 		cfg.Chaos = plans
+		logger.Info("chaos enabled", "spec", *chaosSpec, "seed", cs)
 	}
 	sess, err := shmt.NewSession(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer sess.Close()
+	sess.OnBreakerEvent(func(device, event string) {
+		switch event {
+		case "open":
+			logger.Warn("breaker open", "device", device)
+		default:
+			logger.Info("breaker "+event, "device", device)
+		}
+	})
 
 	srv := serve.New(sess, serve.Config{
-		MaxBatch:       *maxBatch,
-		MaxLinger:      *maxLinger,
-		QueueDepth:     *queueDepth,
-		DefaultTimeout: *reqTimeout,
-		RetryAfter:     *retryAfter,
-		Spans:          sess.TelemetryRecorder(),
+		MaxBatch:           *maxBatch,
+		MaxLinger:          *maxLinger,
+		QueueDepth:         *queueDepth,
+		DefaultTimeout:     *reqTimeout,
+		RetryAfter:         *retryAfter,
+		Spans:              sess.TelemetryRecorder(),
+		Tracing:            *tracing,
+		FlightRecorderSize: *flightSize,
+		SlowSLO:            *slowSLO,
+		Logger:             logger,
+		EnablePprof:        *pprofOn,
 	})
 	if err := srv.Listen(*addr); err != nil {
 		fatal(err)
 	}
+	logger.Info("listening",
+		"addr", srv.Addr(),
+		"policy", sess.PolicyName(),
+		"devices", fmt.Sprint(sess.Devices()),
+		"max_batch", *maxBatch,
+		"max_linger", maxLinger.String(),
+		"tracing", *tracing,
+		"slow_slo", slowSLO.String(),
+		"pprof", *pprofOn,
+	)
 	fmt.Printf("shmtserved listening on http://%s (policy %s, max-batch %d, linger %s)\n",
 		srv.Addr(), sess.PolicyName(), *maxBatch, *maxLinger)
 	if a := sess.MetricsAddr(); a != "" {
-		fmt.Fprintf(os.Stderr, "also serving Prometheus metrics on http://%s/metrics\n", a)
+		logger.Info("metrics listener", "addr", a)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -117,18 +159,54 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop()
-		fmt.Fprintln(os.Stderr, "shmtserved: draining (queued rounds finish, new work refused)")
 		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
-			fmt.Fprintln(os.Stderr, "shmtserved: drain:", err)
+			logger.Error("drain failed", "err", err)
 			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(sess, *traceOut); err != nil {
+			logger.Error("trace write failed", "path", *traceOut, "err", err)
+		} else {
+			logger.Info("trace written", "path", *traceOut)
 		}
 	}
 	if err := sess.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintln(os.Stderr, "shmtserved: stopped")
+	logger.Info("stopped")
+}
+
+// buildLogger assembles the process logger from the -log-format/-log-level
+// flags; logs go to stderr so stdout stays clean for scripting.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+func writeTrace(sess *shmt.Session, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sess.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -33,6 +33,26 @@ type BatchResult struct {
 	// Degraded quantifies batch-wide fault handling (quarantines, reroutes,
 	// quality impact); nil when the batch saw no device failures.
 	Degraded *Degraded
+	// StageWall is the batch's host wall-clock stage durations; the serving
+	// layer splits them across the coalesced requests' trace records. Zero
+	// when telemetry was inactive for the run (no clock reads on the
+	// disabled path).
+	StageWall StageWall
+}
+
+// StageWall attributes a batch's host wall-clock time to pipeline stages,
+// in seconds.
+type StageWall struct {
+	// Plan covers per-VOP partitioning and device assignment (or plan-cache
+	// replay).
+	Plan float64
+	// Transfer covers quantize/transfer staging: output allocation and
+	// view binding before execution.
+	Transfer float64
+	// Execute covers the engine run.
+	Execute float64
+	// Aggregate covers result aggregation back into per-VOP outputs.
+	Aggregate float64
 }
 
 // RunBatch executes several independent VOPs in one scheduling round: every
@@ -57,10 +77,12 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 	ctx := &sched.Context{Reg: e.Reg, Seed: e.Seed, HostScale: maxf(e.HostScale, 1),
 		Quarantined: fx.quarantined}
 	rt := e.newRunTel(pol.Name())
-	var phaseT float64
+	var phaseT, planStart float64
 	if rt != nil {
 		phaseT = rt.now()
+		planStart = phaseT
 	}
+	var sw StageWall
 
 	// Partition and assign per VOP (window semantics stay per VOP), then
 	// interleave into one pool with globally unique IDs.
@@ -92,6 +114,7 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 		// Batch partitioning and assignment interleave per VOP; account them
 		// as one scheduling phase.
 		phaseT = rt.phase(telemetry.PhaseSchedule, phaseT)
+		sw.Plan = phaseT - planStart
 	}
 
 	tr := trace.New()
@@ -109,6 +132,15 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 		}
 	}
 
+	// The staging interval (output allocation + view binding above) sits
+	// inside the execute phase span; split it out for the per-request stage
+	// breakdown without disturbing the phase telemetry.
+	var xferEnd float64
+	if rt != nil {
+		xferEnd = rt.now()
+		sw.Transfer = xferEnd - phaseT
+	}
+
 	var res *runResult
 	var err error
 	if e.Concurrent {
@@ -121,6 +153,7 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 	}
 	if rt != nil {
 		phaseT = rt.phase(telemetry.PhaseExecute, phaseT)
+		sw.Execute = phaseT - xferEnd
 	}
 
 	// Split completions by owning VOP. Splits inherit their parent pointer,
@@ -186,8 +219,10 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 	batch.Busy["cpu"] += overhead + aggBusy
 	batch.Energy = energy.DefaultModel().Energy(energy.Usage{Makespan: batch.Makespan, Busy: batch.Busy})
 	if rt != nil {
-		rt.phase(telemetry.PhaseAggregate, phaseT)
+		aggEnd := rt.phase(telemetry.PhaseAggregate, phaseT)
+		sw.Aggregate = aggEnd - phaseT
 		rt.runs.Inc()
+		batch.StageWall = sw
 	}
 	return batch, nil
 }

@@ -71,11 +71,21 @@ type Engine struct {
 	// ExecTimeCacheEntries caps the per-run cost-model memo
 	// (device.ExecTimeCache); ≤ 0 selects device.DefaultExecTimeEntries.
 	ExecTimeCacheEntries int
+	// BreakerNotify, when non-nil, is called on circuit-breaker transitions
+	// with the device name and event ("open" or "readmitted"). It runs on the
+	// engine's execution path, so it must be quick and must not call back
+	// into the engine.
+	BreakerNotify func(device, event string)
 
 	// Per-device circuit breakers, lazily sized to Reg and persistent across
 	// runs so a dead device stays quarantined between batches.
 	brMu sync.Mutex
 	brs  []*breaker
+
+	// Cached metric handles (see telHandles); rebuilt when the policy or
+	// device set changes.
+	thMu sync.Mutex
+	th   *telHandles
 
 	// Memoized execution plans (plancache.go), guarded by the device-health
 	// epoch: breaker transitions advance planEpoch, so plans captured against

@@ -8,14 +8,16 @@ import (
 	"shmt/internal/telemetry"
 )
 
-// runTel bundles one run's telemetry state: the per-device counter pointers
-// (resolved once so the hot loops never take the registry locks) and the
-// optional span recorder. A nil *runTel disables everything; the engines
-// test it once per event.
-type runTel struct {
-	rec   *telemetry.Recorder
-	start time.Time
-	names []string // device name per queue index
+// telHandles holds the registry-resolved metric pointers a run's telemetry
+// needs: per-device counters, gauges and histograms plus the phase
+// histograms. Resolving a handle takes the registry's family locks and
+// allocates on first use, so the Engine caches one telHandles per (policy,
+// device set) and rebuilds it only when either changes — per-run telemetry
+// setup is then a single runTel allocation instead of ~a dozen slices and a
+// map (the "~225 allocs/run" BENCH_telemetry.json used to note).
+type telHandles struct {
+	policy string
+	names  []string // device name per queue index
 
 	runs     *telemetry.Counter
 	executed []*telemetry.Counter
@@ -24,7 +26,77 @@ type runTel struct {
 	depth    []*telemetry.Gauge
 	wait     []*telemetry.Histogram
 	breaker  []*telemetry.Gauge
-	phases   map[string]*telemetry.Histogram
+	phases   [4]*telemetry.Histogram // indexed by phaseIndex
+}
+
+// phaseIndex maps a phase name to its slot in telHandles.phases.
+func phaseIndex(name string) int {
+	switch name {
+	case telemetry.PhasePartition:
+		return 0
+	case telemetry.PhaseSchedule:
+		return 1
+	case telemetry.PhaseExecute:
+		return 2
+	default: // telemetry.PhaseAggregate
+		return 3
+	}
+}
+
+// telHandlesFor returns the engine's cached handle bundle, rebuilding it when
+// the policy or device set changed since the last run.
+func (e *Engine) telHandlesFor(policy string) *telHandles {
+	n := e.Reg.Len()
+	e.thMu.Lock()
+	defer e.thMu.Unlock()
+	if th := e.th; th != nil && th.policy == policy && len(th.names) == n {
+		fresh := true
+		for i := 0; i < n; i++ {
+			if th.names[i] != e.Reg.Get(i).Name() {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			return th
+		}
+	}
+	th := &telHandles{
+		policy:   policy,
+		names:    make([]string, n),
+		runs:     telemetry.Runs.With(policy),
+		executed: make([]*telemetry.Counter, n),
+		steals:   make([]*telemetry.Counter, n),
+		assigned: make([]*telemetry.Counter, n),
+		depth:    make([]*telemetry.Gauge, n),
+		wait:     make([]*telemetry.Histogram, n),
+		breaker:  make([]*telemetry.Gauge, n),
+	}
+	for i := 0; i < n; i++ {
+		name := e.Reg.Get(i).Name()
+		th.names[i] = name
+		th.executed[i] = telemetry.HLOPsExecuted.With(name)
+		th.steals[i] = telemetry.Steals.With(name)
+		th.assigned[i] = telemetry.HLOPsAssigned.With(name)
+		th.depth[i] = telemetry.QueueDepth.With(name)
+		th.wait[i] = telemetry.QueueWaitSeconds.With(name)
+		th.breaker[i] = telemetry.BreakerState.With(name)
+	}
+	for _, p := range []string{telemetry.PhasePartition, telemetry.PhaseSchedule,
+		telemetry.PhaseExecute, telemetry.PhaseAggregate} {
+		th.phases[phaseIndex(p)] = telemetry.PhaseSeconds.With(p)
+	}
+	e.th = th
+	return th
+}
+
+// runTel bundles one run's telemetry state: the cached metric handles and the
+// optional span recorder. A nil *runTel disables everything; the engines
+// test it once per event.
+type runTel struct {
+	rec   *telemetry.Recorder
+	start time.Time
+	*telHandles
 }
 
 // newRunTel returns the run's telemetry bundle, or nil when telemetry is
@@ -33,35 +105,7 @@ func (e *Engine) newRunTel(policy string) *runTel {
 	if !telemetry.On() && e.Telemetry == nil {
 		return nil
 	}
-	n := e.Reg.Len()
-	rt := &runTel{
-		rec:    e.Telemetry,
-		start:  time.Now(),
-		names:  make([]string, n),
-		runs:   telemetry.Runs.With(policy),
-		phases: make(map[string]*telemetry.Histogram, 4),
-	}
-	rt.executed = make([]*telemetry.Counter, n)
-	rt.steals = make([]*telemetry.Counter, n)
-	rt.assigned = make([]*telemetry.Counter, n)
-	rt.depth = make([]*telemetry.Gauge, n)
-	rt.wait = make([]*telemetry.Histogram, n)
-	rt.breaker = make([]*telemetry.Gauge, n)
-	for i := 0; i < n; i++ {
-		name := e.Reg.Get(i).Name()
-		rt.names[i] = name
-		rt.executed[i] = telemetry.HLOPsExecuted.With(name)
-		rt.steals[i] = telemetry.Steals.With(name)
-		rt.assigned[i] = telemetry.HLOPsAssigned.With(name)
-		rt.depth[i] = telemetry.QueueDepth.With(name)
-		rt.wait[i] = telemetry.QueueWaitSeconds.With(name)
-		rt.breaker[i] = telemetry.BreakerState.With(name)
-	}
-	for _, p := range []string{telemetry.PhasePartition, telemetry.PhaseSchedule,
-		telemetry.PhaseExecute, telemetry.PhaseAggregate} {
-		rt.phases[p] = telemetry.PhaseSeconds.With(p)
-	}
-	return rt
+	return &runTel{rec: e.Telemetry, start: time.Now(), telHandles: e.telHandlesFor(policy)}
 }
 
 // now returns wall seconds on the run's telemetry timeline (the recorder's
@@ -78,7 +122,7 @@ func (rt *runTel) now() float64 {
 // phase's start.
 func (rt *runTel) phase(name string, startRel float64) float64 {
 	end := rt.now()
-	rt.phases[name].Observe(end - startRel)
+	rt.phases[phaseIndex(name)].Observe(end - startRel)
 	if rt.rec != nil {
 		rt.rec.RecordSpan(telemetry.Span{
 			Track: "host", Name: name, Clock: telemetry.ClockWall,
@@ -98,9 +142,17 @@ func (rt *runTel) noteAssignments(hs []*hlop.HLOP) {
 	}
 }
 
+// traceID resolves the serving-layer trace the HLOP belongs to, if any.
+func traceID(h *hlop.HLOP) string {
+	if h.Parent != nil {
+		return h.Parent.TraceID
+	}
+	return ""
+}
+
 // hlopDone records one HLOP execution: the per-device counter, the steal
 // counter when the HLOP was taken from another queue, and a virtual-clock
-// device-lane span.
+// device-lane span carrying the originating request's trace ID.
 func (rt *runTel) hlopDone(qi, victim int, h *hlop.HLOP, start, end float64) {
 	rt.executed[qi].Inc()
 	stealFrom := ""
@@ -112,7 +164,7 @@ func (rt *runTel) hlopDone(qi, victim int, h *hlop.HLOP, start, end float64) {
 		rt.rec.RecordSpan(telemetry.Span{
 			Track: rt.names[qi], Name: h.Op.String(), Clock: telemetry.ClockVirtual,
 			Start: start, End: end, ID: h.ID,
-			StealFrom: stealFrom, Critical: h.Critical,
+			StealFrom: stealFrom, Critical: h.Critical, TraceID: traceID(h),
 		})
 	}
 }
@@ -124,7 +176,7 @@ func (rt *runTel) dispatchFailed(qi int, h *hlop.HLOP, start, end float64) {
 	if rt.rec != nil {
 		rt.rec.RecordSpan(telemetry.Span{
 			Track: rt.names[qi], Name: "fault:" + h.Op.String(), Clock: telemetry.ClockVirtual,
-			Start: start, End: end, ID: h.ID, Fault: true,
+			Start: start, End: end, ID: h.ID, Fault: true, TraceID: traceID(h),
 		})
 	}
 }

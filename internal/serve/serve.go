@@ -25,7 +25,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shmt"
@@ -70,6 +72,27 @@ type Config struct {
 	// Spans, when non-nil, receives one wall-clock span per micro-batch
 	// round (wire it to Session.TelemetryRecorder).
 	Spans *telemetry.Recorder
+	// Tracing enables request-scoped tracing: trace IDs assigned at HTTP
+	// admission (honouring inbound X-SHMT-Trace-Id), per-request stage
+	// breakdowns, flight-recorder retention, request lanes in the Perfetto
+	// export, and exemplars on the latency histogram. Off by default; the
+	// disabled request path performs no clock reads or allocations beyond
+	// the untraced baseline.
+	Tracing bool
+	// FlightRecorderSize caps the flight recorder's rings (default
+	// telemetry.DefaultFlightRecorderSize). Only meaningful with Tracing.
+	FlightRecorderSize int
+	// SlowSLO is the latency threshold above which a trace is retained in
+	// the flight recorder's slow ring (0 disables slow retention). Only
+	// meaningful with Tracing.
+	SlowSLO time.Duration
+	// Logger, when non-nil, receives one structured line per request
+	// outcome plus server lifecycle events. Nil keeps the serving layer
+	// silent.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ on
+	// the serving mux. Off by default — profiling endpoints are opt-in.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +123,11 @@ type Result struct {
 	// Degraded is the round's batch-wide degradation report (nil when the
 	// round saw no device failures).
 	Degraded *shmt.Degraded
+	// Stages is the request's stage breakdown when tracing is on (zero
+	// otherwise). Queue wait and batch linger are per request; the
+	// plan/transfer/execute/aggregate stages are the round's, shared by
+	// every request it coalesced.
+	Stages telemetry.StageBreakdown
 }
 
 // pending is one admitted request waiting for its round.
@@ -107,6 +135,14 @@ type pending struct {
 	req  shmt.BatchRequest
 	ctx  context.Context
 	done chan outcome // buffered(1); the dispatcher never blocks on it
+
+	// Tracing-only timestamps (zero when Config.Tracing is off, so the
+	// untraced path never reads the clock): admission into the queue,
+	// pickup by the dispatcher, and admission on the span recorder's
+	// timeline for the request-lane stage slices.
+	admitted    time.Time
+	gathered    time.Time
+	admittedRel float64
 }
 
 type outcome struct {
@@ -124,6 +160,11 @@ type Batcher struct {
 	mu       sync.Mutex
 	draining bool
 	queue    chan *pending
+
+	// inflight counts rounds currently inside ExecuteBatch. Unlike the
+	// telemetry gauges it is not gated on the enable switch, so /statusz
+	// reads it even with telemetry off.
+	inflight atomic.Int64
 
 	done chan struct{} // closed when the dispatcher has drained and exited
 }
@@ -145,6 +186,12 @@ func NewBatcher(be Backend, cfg Config) *Batcher {
 // ErrQueueFull, and after Close it refuses with ErrDraining.
 func (b *Batcher) Submit(ctx context.Context, req shmt.BatchRequest) (Result, error) {
 	p := &pending{req: req, ctx: ctx, done: make(chan outcome, 1)}
+	if b.cfg.Tracing {
+		p.admitted = time.Now()
+		if b.cfg.Spans != nil {
+			p.admittedRel = b.cfg.Spans.Now()
+		}
+	}
 
 	b.mu.Lock()
 	if b.draining {
@@ -202,9 +249,21 @@ func (b *Batcher) run() {
 			return
 		}
 		telemetry.ServeQueueDepth.Add(-1)
+		if b.cfg.Tracing {
+			first.gathered = time.Now()
+		}
 		b.flush(b.gather(first))
 	}
 }
+
+// QueueLen returns how many requests are waiting in the admission queue.
+func (b *Batcher) QueueLen() int { return len(b.queue) }
+
+// QueueCap returns the admission queue's capacity.
+func (b *Batcher) QueueCap() int { return cap(b.queue) }
+
+// InFlight returns how many micro-batch rounds are currently executing.
+func (b *Batcher) InFlight() int64 { return b.inflight.Load() }
 
 // gather assembles one round: the first request plus whatever arrives until
 // MaxBatch is reached or the first request has lingered MaxLinger.
@@ -222,6 +281,9 @@ func (b *Batcher) gather(first *pending) []*pending {
 				return batch // draining: take what is buffered and go
 			}
 			telemetry.ServeQueueDepth.Add(-1)
+			if b.cfg.Tracing {
+				p.gathered = time.Now()
+			}
 			batch = append(batch, p)
 		case <-linger.C:
 			return batch
@@ -254,7 +316,13 @@ func (b *Batcher) flush(batch []*pending) {
 	if b.cfg.Spans != nil {
 		start = b.cfg.Spans.Now()
 	}
+	var flushAt time.Time
+	if b.cfg.Tracing {
+		flushAt = time.Now()
+	}
+	b.inflight.Add(1)
 	res, err := b.be.ExecuteBatch(reqs)
+	b.inflight.Add(-1)
 	if b.cfg.Spans != nil {
 		b.cfg.Spans.RecordSpan(telemetry.Span{
 			Track: "serve", Name: fmt.Sprintf("batch(%d)", len(reqs)),
@@ -271,10 +339,54 @@ func (b *Batcher) flush(batch []*pending) {
 		return
 	}
 	for i, p := range live {
-		p.done <- outcome{res: Result{
+		out := outcome{res: Result{
 			Report:    res.Reports[i],
 			BatchSize: len(reqs),
 			Degraded:  res.Degraded,
 		}}
+		if b.cfg.Tracing {
+			out.res.Stages = b.stages(p, flushAt, res)
+		}
+		p.done <- out
 	}
+}
+
+// stages assembles one request's stage breakdown from its admission/pickup
+// timestamps and the round's engine stage wall times, and — when a span
+// recorder is attached — lays the stages out as consecutive slices on the
+// request's Perfetto lane.
+func (b *Batcher) stages(p *pending, flushAt time.Time, res *shmt.BatchResult) telemetry.StageBreakdown {
+	st := telemetry.StageBreakdown{
+		QueueWait:   p.gathered.Sub(p.admitted).Seconds(),
+		BatchLinger: flushAt.Sub(p.gathered).Seconds(),
+		Plan:        res.StageWall.Plan,
+		Transfer:    res.StageWall.Transfer,
+		Execute:     res.StageWall.Execute,
+		Aggregate:   res.StageWall.Aggregate,
+	}
+	if b.cfg.Spans != nil && p.req.TraceID != "" {
+		at := p.admittedRel
+		for _, sl := range [...]struct {
+			name string
+			dur  float64
+		}{
+			{"queue_wait", st.QueueWait},
+			{"batch_linger", st.BatchLinger},
+			{"plan", st.Plan},
+			{"quantize_transfer", st.Transfer},
+			{"execute", st.Execute},
+			{"aggregate", st.Aggregate},
+		} {
+			if sl.dur <= 0 {
+				continue
+			}
+			b.cfg.Spans.RecordSpan(telemetry.Span{
+				Name: sl.name, Clock: telemetry.ClockWall,
+				Start: at, End: at + sl.dur,
+				TraceID: p.req.TraceID, Root: true,
+			})
+			at += sl.dur
+		}
+	}
+	return st
 }

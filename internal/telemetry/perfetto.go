@@ -12,10 +12,11 @@ import (
 // without being compared; steals become flow arrows from the victim's lane to
 // the stolen HLOP's execution slice.
 
-// pids for the two clock domains.
+// pids for the two clock domains plus the request-lane process.
 const (
 	perfettoVirtualPID = 1
 	perfettoWallPID    = 2
+	perfettoRequestPID = 3
 )
 
 // TraceEvent is one entry of the Chrome trace-event format. Exported so the
@@ -63,7 +64,7 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 		seen := map[string]bool{}
 		var names []string
 		for _, s := range spans {
-			if s.Clock != clock {
+			if s.Clock != clock || s.Root {
 				continue
 			}
 			if !seen[s.Track] {
@@ -90,6 +91,20 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 		return perfettoVirtualPID
 	}
 
+	// Request lanes: root spans group into one lane per trace ID under a
+	// dedicated process. Lane order follows first appearance in the sorted
+	// span list (i.e. admission order), which is deterministic.
+	reqTIDs := map[string]int{}
+	var reqOrder []string
+	for _, s := range spans {
+		if s.Root {
+			if _, ok := reqTIDs[s.TraceID]; !ok {
+				reqTIDs[s.TraceID] = len(reqOrder)
+				reqOrder = append(reqOrder, s.TraceID)
+			}
+		}
+	}
+
 	var events []TraceEvent
 	events = append(events,
 		TraceEvent{Name: "process_name", Ph: "M", PID: perfettoVirtualPID,
@@ -97,6 +112,10 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 		TraceEvent{Name: "process_name", Ph: "M", PID: perfettoWallPID,
 			Args: map[string]any{"name": "shmt host (wall clock)"}},
 	)
+	if len(reqOrder) > 0 {
+		events = append(events, TraceEvent{Name: "process_name", Ph: "M",
+			PID: perfettoRequestPID, Args: map[string]any{"name": "shmt requests (wall clock)"}})
+	}
 	for _, clock := range []Clock{ClockVirtual, ClockWall} {
 		names := make([]string, 0, len(tids[clock]))
 		for n := range tids[clock] {
@@ -109,9 +128,24 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 				Args: map[string]any{"name": n}})
 		}
 	}
+	for _, id := range reqOrder {
+		events = append(events, TraceEvent{Name: "thread_name", Ph: "M",
+			PID: perfettoRequestPID, TID: reqTIDs[id],
+			Args: map[string]any{"name": id}})
+	}
 
 	flowID := 0
 	for _, s := range spans {
+		if s.Root {
+			events = append(events, TraceEvent{
+				Name: s.Name, Ph: "X",
+				Ts:  s.Start * 1e6,
+				Dur: (s.End - s.Start) * 1e6,
+				PID: perfettoRequestPID, TID: reqTIDs[s.TraceID],
+				Args: map[string]any{"trace_id": s.TraceID},
+			})
+			continue
+		}
 		ev := TraceEvent{
 			Name: s.Name, Ph: "X",
 			Ts:  s.Start * 1e6,
@@ -132,6 +166,9 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 		if s.StealFrom != "" {
 			args["stolen_from"] = s.StealFrom
 		}
+		if s.TraceID != "" {
+			args["trace_id"] = s.TraceID
+		}
 		if len(args) > 0 {
 			ev.Args = args
 		}
@@ -142,6 +179,32 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 				TraceEvent{Name: "steal", Ph: "s", Ts: s.Start * 1e6, ID: flowID,
 					PID: pid(s.Clock), TID: tids[s.Clock][s.StealFrom]},
 				TraceEvent{Name: "steal", Ph: "f", BP: "e", Ts: s.Start * 1e6, ID: flowID,
+					PID: pid(s.Clock), TID: tids[s.Clock][s.Track]},
+			)
+		}
+	}
+
+	// Flow arrows request → engine: one arrow from each request lane to every
+	// engine span that carries its trace ID, anchored at the request's
+	// earliest root span. The arrows cross clock domains (wall → virtual), so
+	// they express causality, not elapsed time.
+	for _, id := range reqOrder {
+		rootTs := 0.0
+		for _, s := range spans {
+			if s.Root && s.TraceID == id {
+				rootTs = s.Start * 1e6
+				break
+			}
+		}
+		for _, s := range spans {
+			if s.Root || s.TraceID != id {
+				continue
+			}
+			flowID++
+			events = append(events,
+				TraceEvent{Name: "request", Ph: "s", Ts: rootTs, ID: flowID,
+					PID: perfettoRequestPID, TID: reqTIDs[id]},
+				TraceEvent{Name: "request", Ph: "f", BP: "e", Ts: s.Start * 1e6, ID: flowID,
 					PID: pid(s.Clock), TID: tids[s.Clock][s.Track]},
 			)
 		}

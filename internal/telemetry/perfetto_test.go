@@ -191,3 +191,88 @@ func TestPerfettoDeterministic(t *testing.T) {
 		t.Fatal("export is not byte-deterministic")
 	}
 }
+
+// TestPerfettoRequestLanes: root spans sharing a trace ID form one lane per
+// request under the dedicated pid-3 process, with stage slices on the lane
+// and flow arrows from the request to every engine span carrying its ID.
+func TestPerfettoRequestLanes(t *testing.T) {
+	rec := &Recorder{}
+	// Request lane: root request span plus two stage slices.
+	rec.RecordSpan(Span{Name: "request sobel", Clock: ClockWall, Start: 0, End: 0.010, TraceID: "t-1", Root: true})
+	rec.RecordSpan(Span{Name: "queue_wait", Clock: ClockWall, Start: 0.001, End: 0.002, TraceID: "t-1", Root: true})
+	rec.RecordSpan(Span{Name: "execute", Clock: ClockWall, Start: 0.002, End: 0.009, TraceID: "t-1", Root: true})
+	// A second request on its own lane.
+	rec.RecordSpan(Span{Name: "request add", Clock: ClockWall, Start: 0.003, End: 0.008, TraceID: "t-2", Root: true})
+	// Engine spans attributed to the first request.
+	rec.RecordSpan(Span{Track: "gpu", Name: "Sobel", Clock: ClockVirtual, Start: 0, End: 0.004, ID: 0, TraceID: "t-1"})
+	rec.RecordSpan(Span{Track: "tpu", Name: "Sobel", Clock: ClockVirtual, Start: 0, End: 0.005, ID: 1, TraceID: "t-1"})
+	// Untraced engine span: no arrow, no trace_id arg.
+	rec.RecordSpan(Span{Track: "host", Name: PhaseExecute, Clock: ClockWall, Start: 0, End: 0.01})
+
+	var buf bytes.Buffer
+	if err := rec.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("invalid trace-event JSON: %v", err)
+	}
+
+	lanes := map[string]int{} // request lane name -> tid
+	slicesByTID := map[int][]string{}
+	var starts, finishes int
+	for _, ev := range tf.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name" && ev.PID == 3:
+			lanes[ev.Args["name"].(string)] = ev.TID
+		case ev.Ph == "X" && ev.PID == 3:
+			slicesByTID[ev.TID] = append(slicesByTID[ev.TID], ev.Name)
+			if ev.Args["trace_id"] == nil {
+				t.Fatalf("request slice without trace_id arg: %+v", ev)
+			}
+		case ev.Ph == "s" && ev.Name == "request":
+			if ev.PID != 3 {
+				t.Fatalf("request flow must start on the request process: %+v", ev)
+			}
+			starts++
+		case ev.Ph == "f" && ev.Name == "request":
+			if ev.PID != 1 {
+				t.Fatalf("request flow must finish on an engine lane: %+v", ev)
+			}
+			finishes++
+		}
+	}
+	if len(lanes) != 2 {
+		t.Fatalf("request lanes = %v, want one per trace ID", lanes)
+	}
+	t1 := slicesByTID[lanes["t-1"]]
+	if len(t1) != 3 {
+		t.Fatalf("t-1 lane slices = %v, want request + 2 stages", t1)
+	}
+	if got := slicesByTID[lanes["t-2"]]; len(got) != 1 || got[0] != "request add" {
+		t.Fatalf("t-2 lane slices = %v", got)
+	}
+	// Two engine spans carry t-1, none carry t-2: two arrow pairs total.
+	if starts != 2 || finishes != 2 {
+		t.Fatalf("request flow arrows: %d starts, %d finishes, want 2/2", starts, finishes)
+	}
+}
+
+// TestPerfettoNoRequestsOmitsRequestProcess: without root spans the export
+// must not mention pid 3 at all — the golden file guards the byte layout,
+// this guards the semantic.
+func TestPerfettoNoRequestsOmitsRequestProcess(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedRecorder().WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range tf.TraceEvents {
+		if ev.PID == 3 {
+			t.Fatalf("request process emitted without any root spans: %+v", ev)
+		}
+	}
+}

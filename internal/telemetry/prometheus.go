@@ -39,39 +39,45 @@ func (r *Registry) WriteExposition(w io.Writer) error {
 func writeChild(w io.Writer, f *family, c *child) error {
 	switch f.kind {
 	case kindCounter:
-		_, err := fmt.Fprintf(w, "%s %s\n", seriesKey(f.name, f.labelKey, c.labelValue), formatValue(float64(c.counter.Value())))
+		_, err := fmt.Fprintf(w, "%s %s\n", c.key, formatValue(float64(c.counter.Value())))
 		return err
 	case kindGauge:
-		_, err := fmt.Fprintf(w, "%s %s\n", seriesKey(f.name, f.labelKey, c.labelValue), formatValue(float64(c.gauge.Value())))
+		_, err := fmt.Fprintf(w, "%s %s\n", c.key, formatValue(float64(c.gauge.Value())))
 		return err
 	case kindHistogram:
 		h := c.hist
 		cum := int64(0)
 		for i, b := range h.bounds {
 			cum += h.buckets[i].Load()
-			if err := writeBucket(w, f, c, formatValue(b), cum); err != nil {
+			if err := writeBucket(w, f, c, formatValue(b), cum, h.exemplar(i)); err != nil {
 				return err
 			}
 		}
 		cum += h.buckets[len(h.bounds)].Load()
-		if err := writeBucket(w, f, c, "+Inf", cum); err != nil {
+		if err := writeBucket(w, f, c, "+Inf", cum, h.exemplar(len(h.bounds))); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s %s\n", seriesKey(f.name+"_sum", f.labelKey, c.labelValue), formatValue(h.Sum())); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %s\n", c.keySum, formatValue(h.Sum())); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s %d\n", seriesKey(f.name+"_count", f.labelKey, c.labelValue), h.Count())
+		_, err := fmt.Fprintf(w, "%s %d\n", c.keyCount, h.Count())
 		return err
 	}
 	return nil
 }
 
-func writeBucket(w io.Writer, f *family, c *child, le string, cum int64) error {
+func writeBucket(w io.Writer, f *family, c *child, le string, cum int64, ex *Exemplar) error {
+	// OpenMetrics-style exemplar annotation; plain-text Prometheus parsers
+	// treat everything after '#' as a comment, so the suffix is additive.
+	suffix := ""
+	if ex != nil {
+		suffix = fmt.Sprintf(" # {trace_id=%q} %s", ex.TraceID, formatValue(ex.Value))
+	}
 	if f.labelKey == "" {
-		_, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, le, cum)
+		_, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", f.name, le, cum, suffix)
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", f.name, f.labelKey, c.labelValue, le, cum)
+	_, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d%s\n", f.name, f.labelKey, c.labelValue, le, cum, suffix)
 	return err
 }
 

@@ -82,6 +82,68 @@ func TestPrometheusExpositionStructure(t *testing.T) {
 	}
 }
 
+// TestExemplarExposition: an ObserveExemplar annotates the matching bucket
+// with an OpenMetrics-style exemplar suffix; buckets without exemplars stay
+// byte-identical to the plain exposition (the golden output covers that).
+func TestExemplarExposition(t *testing.T) {
+	withTelemetry(t)
+	r := NewRegistry()
+	h := r.NewHistogram("ex_wait_seconds", "w", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.ObserveExemplar(0.05, "abcd1234-7")
+	h.ObserveExemplar(2, "abcd1234-9")
+
+	var buf bytes.Buffer
+	if err := r.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`ex_wait_seconds_bucket{le="0.1"} 2 # {trace_id="abcd1234-7"} 0.05`,
+		`ex_wait_seconds_bucket{le="+Inf"} 3 # {trace_id="abcd1234-9"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing exemplar line %q in:\n%s", want, out)
+		}
+	}
+	// The un-exemplared bucket keeps the plain form.
+	if !strings.Contains(out, "ex_wait_seconds_bucket{le=\"0.001\"} 1\n") {
+		t.Fatalf("plain bucket line altered:\n%s", out)
+	}
+}
+
+// TestObserveExemplarDisabledAllocatesNothing extends the disabled-path
+// contract to the exemplar variant.
+func TestObserveExemplarDisabledAllocatesNothing(t *testing.T) {
+	Disable()
+	r := NewRegistry()
+	h := r.NewHistogram("exd_wait_seconds", "w", ExpBuckets(1e-6, 4, 12))
+	if n := testing.AllocsPerRun(1000, func() {
+		h.ObserveExemplar(0.5, "some-trace-id")
+	}); n != 0 {
+		t.Fatalf("disabled ObserveExemplar allocated %v times per op", n)
+	}
+}
+
+// TestObserveExemplarEmptyTraceID: an empty trace ID degrades to a plain
+// observation without storing an exemplar.
+func TestObserveExemplarEmptyTraceID(t *testing.T) {
+	withTelemetry(t)
+	r := NewRegistry()
+	h := r.NewHistogram("exe_wait_seconds", "w", []float64{1})
+	h.ObserveExemplar(0.5, "")
+	var buf bytes.Buffer
+	if err := r.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Fatalf("empty trace ID stored an exemplar:\n%s", buf.String())
+	}
+	if h.Count() != 1 {
+		t.Fatalf("observation lost: count = %d", h.Count())
+	}
+}
+
 func TestFormatValue(t *testing.T) {
 	cases := map[float64]string{
 		0:      "0",

@@ -40,6 +40,15 @@ type Span struct {
 	// charged to the device for an HLOP that errored); the Perfetto export
 	// colours them as errors.
 	Fault bool
+	// TraceID links the span to a serving-layer request trace. On engine
+	// spans it attributes device work to the originating request; combined
+	// with Root it defines the request lanes in the Perfetto export.
+	TraceID string
+	// Root marks a request-lane span (the request's end-to-end interval and
+	// its stage slices). The Perfetto export groups root spans into one lane
+	// per TraceID under a dedicated "shmt requests" process and draws flow
+	// arrows from the request to every engine span sharing its TraceID.
+	Root bool
 }
 
 // Recorder collects one run's (or session's) spans and remembers the
@@ -53,10 +62,38 @@ type Recorder struct {
 	spans []Span
 }
 
+// spanSlabPool recycles span backing arrays between recorders so short-lived
+// recorders (one per run in benchmarks and tools) don't re-grow their slab
+// from scratch each time.
+var spanSlabPool = sync.Pool{New: func() any { return new([]Span) }}
+
 // NewRecorder returns a recorder with its wall epoch at now and its counter
 // baseline at the Default registry's current values.
 func NewRecorder() *Recorder {
-	return &Recorder{epoch: time.Now(), base: Default.Snapshot()}
+	slab := *spanSlabPool.Get().(*[]Span)
+	return &Recorder{epoch: time.Now(), base: Default.Snapshot(), spans: slab[:0]}
+}
+
+// Reset discards recorded spans (retaining their backing array) and re-bases
+// the wall epoch and counter snapshot, so one long-lived recorder can scope
+// per-interval reports without reallocating. Must not race with concurrent
+// recording.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.spans = r.spans[:0]
+	r.mu.Unlock()
+	r.epoch = time.Now()
+	r.base = Default.Snapshot()
+}
+
+// Release returns the recorder's span slab to the shared pool. The recorder
+// must not record after Release.
+func (r *Recorder) Release() {
+	r.mu.Lock()
+	slab := r.spans[:0]
+	r.spans = nil
+	r.mu.Unlock()
+	spanSlabPool.Put(&slab)
 }
 
 // Now returns wall seconds since the recorder's epoch.

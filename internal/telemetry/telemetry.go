@@ -87,13 +87,22 @@ func (g *Gauge) Add(delta int64) {
 // Value returns the current gauge value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// Exemplar ties a sampled observation to the request trace that produced it,
+// OpenMetrics-style: the exposition renders it as a bucket annotation so a
+// dashboard can jump from a latency bucket straight to /debug/requests.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+}
+
 // Histogram counts observations into fixed upper-bound buckets
 // (Prometheus-style cumulative export; storage is per-bucket).
 type Histogram struct {
-	bounds  []float64 // ascending upper bounds; implicit +Inf bucket follows
-	buckets []atomic.Int64
-	count   atomic.Int64
-	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	bounds    []float64 // ascending upper bounds; implicit +Inf bucket follows
+	buckets   []atomic.Int64
+	count     atomic.Int64
+	sumBits   atomic.Uint64 // float64 bits, CAS-updated
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 // Observe records v when telemetry is enabled.
@@ -111,6 +120,27 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records v and attaches an exemplar carrying traceID to the
+// bucket v lands in (last write wins). The Exemplar allocation happens only
+// on the enabled path; disabled, this is one atomic load like Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if !on.Load() {
+		return
+	}
+	h.Observe(v)
+	if h.exemplars != nil && traceID != "" {
+		h.exemplars[sort.SearchFloat64s(h.bounds, v)].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// exemplar returns bucket i's latest exemplar, or nil.
+func (h *Histogram) exemplar(i int) *Exemplar {
+	if h.exemplars == nil {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the number of observations.
@@ -154,9 +184,15 @@ func (k metricKind) String() string {
 	}
 }
 
-// child is one labelled instance within a family.
+// child is one labelled instance within a family. The exposition series keys
+// are rendered once at creation so snapshot/exposition walks never format
+// strings — a Recorder re-based per request would otherwise pay ~100
+// transient keys per Snapshot.
 type child struct {
 	labelValue string // empty for unlabelled metrics
+	key        string // exposition series key: name or name{label="value"}
+	keyCount   string // histogram-only: name_count series key
+	keySum     string // histogram-only: name_sum series key
 	counter    *Counter
 	gauge      *Gauge
 	hist       *Histogram
@@ -181,14 +217,20 @@ func (f *family) get(labelValue string) *child {
 	if c, ok := f.index[labelValue]; ok {
 		return c
 	}
-	c := &child{labelValue: labelValue}
+	c := &child{labelValue: labelValue, key: seriesKey(f.name, f.labelKey, labelValue)}
 	switch f.kind {
 	case kindCounter:
 		c.counter = &Counter{}
 	case kindGauge:
 		c.gauge = &Gauge{}
 	case kindHistogram:
-		c.hist = &Histogram{bounds: f.bounds, buckets: make([]atomic.Int64, len(f.bounds)+1)}
+		c.keyCount = seriesKey(f.name+"_count", f.labelKey, labelValue)
+		c.keySum = seriesKey(f.name+"_sum", f.labelKey, labelValue)
+		c.hist = &Histogram{
+			bounds:    f.bounds,
+			buckets:   make([]atomic.Int64, len(f.bounds)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(f.bounds)+1),
+		}
 	}
 	f.index[labelValue] = c
 	f.children = append(f.children, c)
@@ -293,15 +335,14 @@ func (r *Registry) Snapshot() Snapshot {
 		children := append([]*child(nil), f.children...)
 		f.mu.Unlock()
 		for _, c := range children {
-			key := seriesKey(f.name, f.labelKey, c.labelValue)
 			switch f.kind {
 			case kindCounter:
-				s[key] = float64(c.counter.Value())
+				s[c.key] = float64(c.counter.Value())
 			case kindGauge:
-				s[key] = float64(c.gauge.Value())
+				s[c.key] = float64(c.gauge.Value())
 			case kindHistogram:
-				s[seriesKey(f.name+"_count", f.labelKey, c.labelValue)] = float64(c.hist.Count())
-				s[seriesKey(f.name+"_sum", f.labelKey, c.labelValue)] = c.hist.Sum()
+				s[c.keyCount] = float64(c.hist.Count())
+				s[c.keySum] = c.hist.Sum()
 			}
 		}
 	}

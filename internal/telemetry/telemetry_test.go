@@ -217,6 +217,31 @@ func TestEnabledHotPathAllocatesNothing(t *testing.T) {
 	}
 }
 
+// TestRecorderResetRelease: Reset truncates the span log and re-bases the
+// epoch; Release recycles the slab through the pool so a fresh recorder
+// starts with capacity.
+func TestRecorderResetRelease(t *testing.T) {
+	rec := NewRecorder()
+	for i := 0; i < 64; i++ {
+		rec.RecordSpan(Span{Track: "gpu", Name: "s", Clock: ClockVirtual, Start: float64(i), End: float64(i) + 1})
+	}
+	rec.Reset()
+	if rec.SpanCount() != 0 {
+		t.Fatalf("count after Reset = %d", rec.SpanCount())
+	}
+	// The slab survives the reset: recording within the retained capacity
+	// must not allocate.
+	if n := testing.AllocsPerRun(50, func() {
+		rec.RecordSpan(Span{Track: "gpu", Name: "s", Clock: ClockVirtual})
+	}); n != 0 {
+		t.Fatalf("record after Reset allocated %v times per op", n)
+	}
+	rec.Release()
+	if rec.SpanCount() != 0 {
+		t.Fatal("Release must clear the span log")
+	}
+}
+
 func TestRecorderSpans(t *testing.T) {
 	rec := NewRecorder()
 	rec.RecordSpan(Span{Track: "gpu", Name: "Sobel", Clock: ClockVirtual, Start: 0, End: 1, ID: 0})

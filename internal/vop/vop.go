@@ -198,6 +198,12 @@ type VOP struct {
 	// that are generally critical to the result. Zero means "use the policy
 	// default".
 	CriticalFraction float64
+
+	// TraceID, when set, links this VOP to a serving-layer request trace.
+	// The engine stamps it onto the device-lane spans of every HLOP
+	// partitioned from this VOP, so a request can be followed into the
+	// engine in the Perfetto export.
+	TraceID string
 }
 
 // New builds a VOP and validates its arity and shapes.

@@ -7,6 +7,12 @@
 # round's size is >= 1), (3) /healthz answers ok, (4) SIGTERM drains to a
 # clean exit.
 #
+# With tracing on (the default) it additionally asserts (5) an inbound
+# X-SHMT-Trace-Id round-trips onto the response and into a non-empty stage
+# breakdown retrievable from /debug/requests, and it leaves two artifacts in
+# ARTIFACT_DIR for CI upload: a /statusz snapshot and the daemon's Perfetto
+# trace (written at drain via -trace-out).
+#
 # Needs only a POSIX shell, curl and awk. Run via `make servesmoke`.
 set -eu
 
@@ -14,12 +20,17 @@ BIN=${BIN:-/tmp/shmtserved-smoke}
 LOG=${LOG:-/tmp/shmtserved-smoke.log}
 CONCURRENCY=${CONCURRENCY:-8}
 VOLLEYS=${VOLLEYS:-5}
+ARTIFACT_DIR=${ARTIFACT_DIR:-/tmp}
+TRACE_OUT="$ARTIFACT_DIR/servesmoke-trace.json"
+STATUSZ_OUT="$ARTIFACT_DIR/servesmoke-statusz.json"
 
+mkdir -p "$ARTIFACT_DIR"
 go build -o "$BIN" ./cmd/shmtserved
 
 # A generous linger so one volley of concurrent curls lands in one round even
 # on a slow CI runner.
-"$BIN" -addr 127.0.0.1:0 -max-batch 8 -max-linger 150ms >"$LOG" 2>&1 &
+"$BIN" -addr 127.0.0.1:0 -max-batch 8 -max-linger 150ms \
+    -log-format json -trace-out "$TRACE_OUT" >"$LOG" 2>&1 &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true; rm -f "$BIN"' EXIT
 
@@ -83,6 +94,37 @@ echo "$EXPO" | awk '
         if (sum + 0 <= count + 0) { print "FAIL: no round coalesced more than one request"; exit 1 }
     }'
 
+# Trace round-trip: an inbound X-SHMT-Trace-Id must come back on the
+# response header and in a trace block whose stage breakdown is non-empty
+# (encoding/json renders a zero stage as exactly ":0", so its absence on
+# execute_seconds proves a real measurement).
+TRACED=/tmp/shmtserved-smoke-traced.json
+THDR=$(curl -s -o "$TRACED" -D - -H 'X-SHMT-Trace-Id: smoke-trace-1' \
+    -d "$BODY" "http://$ADDR/v1/execute" |
+    awk -F': *' 'tolower($1)=="x-shmt-trace-id"{sub(/\r$/,"",$2); print $2; exit}')
+[ "$THDR" = "smoke-trace-1" ] || {
+    echo "FAIL: trace header did not round-trip (got '$THDR')"; exit 1; }
+grep -q '"trace_id":"smoke-trace-1"' "$TRACED" || {
+    echo "FAIL: no trace block in response:"; cat "$TRACED"; echo; exit 1; }
+grep -q '"stages"' "$TRACED" || {
+    echo "FAIL: no stage breakdown in trace block:"; cat "$TRACED"; echo; exit 1; }
+if grep -q '"execute_seconds":0[,}]' "$TRACED"; then
+    echo "FAIL: execute stage is zero:"; cat "$TRACED"; echo; exit 1
+fi
+rm -f "$TRACED"
+
+# The flight recorder must serve the trace back on /debug/requests.
+DEBUGREQ=$(curl -s "http://$ADDR/debug/requests")
+echo "$DEBUGREQ" | grep -q '"trace_id":"smoke-trace-1"' || {
+    echo "FAIL: trace missing from /debug/requests: $DEBUGREQ"; exit 1; }
+echo "trace smoke-trace-1 round-tripped with stage breakdown"
+
+# Artifact: live /statusz snapshot.
+curl -s "http://$ADDR/statusz" >"$STATUSZ_OUT"
+grep -q '"status":"ok"' "$STATUSZ_OUT" || {
+    echo "FAIL: statusz: $(cat "$STATUSZ_OUT")"; exit 1; }
+echo "statusz snapshot saved to $STATUSZ_OUT"
+
 HEALTH=$(curl -s "http://$ADDR/healthz")
 echo "$HEALTH" | grep -q '"status":"ok"' || { echo "FAIL: healthz: $HEALTH"; exit 1; }
 
@@ -95,5 +137,14 @@ done
 wait "$PID" 2>/dev/null && rc=0 || rc=$?
 [ "$rc" -eq 0 ] || { echo "FAIL: exit status $rc after SIGTERM:"; cat "$LOG"; exit 1; }
 trap 'rm -f "$BIN"' EXIT
+
+# Artifact: the daemon wrote its Perfetto trace at drain; the request lane
+# for the traced request must be in it.
+[ -s "$TRACE_OUT" ] || { echo "FAIL: no Perfetto trace at $TRACE_OUT:"; cat "$LOG"; exit 1; }
+grep -q '"traceEvents"' "$TRACE_OUT" || {
+    echo "FAIL: $TRACE_OUT is not a Chrome trace file"; exit 1; }
+grep -q 'smoke-trace-1' "$TRACE_OUT" || {
+    echo "FAIL: request lane smoke-trace-1 missing from $TRACE_OUT"; exit 1; }
+echo "Perfetto trace saved to $TRACE_OUT"
 
 echo "servesmoke OK"

@@ -334,6 +334,17 @@ func (s *Session) PlanCacheStats() PlanCacheStats { return s.eng.PlanCacheStats(
 // PolicyName returns the active scheduling policy's label.
 func (s *Session) PolicyName() string { return s.eng.Policy.Name() }
 
+// OnBreakerEvent registers a callback for circuit-breaker transitions: fn is
+// called with the device name and event ("open" when a device is quarantined,
+// "readmitted" when a probe returns it to service). The callback runs on the
+// engine's execution path, so it must be quick. Set before serving traffic;
+// pass nil to remove.
+func (s *Session) OnBreakerEvent(fn func(device, event string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.BreakerNotify = fn
+}
+
 // Execute submits one VOP: opcode, input tensors, and optional scalar
 // attributes (kernel parameters such as SRAD's "lambda"). The returned
 // Report carries the output and the run's accounting.
