@@ -353,9 +353,7 @@ func (e *Engine) noteFault(rz Resilience, br *breaker, deg *degTracker, rt *runT
 		// The eligible device set shrank: cached execution plans may route
 		// work to the quarantined device, so invalidate them all.
 		e.planEpoch.Add(1)
-		if e.BreakerNotify != nil {
-			e.BreakerNotify(dev.Name(), "open")
-		}
+		e.notifyBreaker(dev.Name(), "open")
 	}
 	if rt != nil {
 		rt.dispatchFailed(qi, h, now, now+busy)
@@ -377,9 +375,7 @@ func (e *Engine) noteRecovery(br *breaker, deg *degTracker, rt *runTel, qi int, 
 	// The re-admitted device widens the eligible set; plans captured while it
 	// was quarantined would keep routing around it, so invalidate them.
 	e.planEpoch.Add(1)
-	if e.BreakerNotify != nil {
-		e.BreakerNotify(dev.Name(), "readmitted")
-	}
+	e.notifyBreaker(dev.Name(), "readmitted")
 	if rt != nil {
 		rt.breakerState(qi, int64(brClosed))
 	}

@@ -71,11 +71,11 @@ type Engine struct {
 	// ExecTimeCacheEntries caps the per-run cost-model memo
 	// (device.ExecTimeCache); ≤ 0 selects device.DefaultExecTimeEntries.
 	ExecTimeCacheEntries int
-	// BreakerNotify, when non-nil, is called on circuit-breaker transitions
-	// with the device name and event ("open" or "readmitted"). It runs on the
-	// engine's execution path, so it must be quick and must not call back
-	// into the engine.
-	BreakerNotify func(device, event string)
+	// breakerNotify holds the circuit-breaker transition callback (see
+	// SetBreakerNotify). Atomic so registration may race with the execution
+	// path reading it — a session wiring its observer while requests are in
+	// flight is safe, it just may miss transitions that were already firing.
+	breakerNotify atomic.Pointer[func(device, event string)]
 
 	// Per-device circuit breakers, lazily sized to Reg and persistent across
 	// runs so a dead device stays quarantined between batches.
@@ -93,6 +93,26 @@ type Engine struct {
 	pcMu      sync.Mutex
 	pc        *planCache
 	planEpoch atomic.Uint64
+}
+
+// SetBreakerNotify registers fn to be called on circuit-breaker transitions
+// with the device name and event ("open" or "readmitted"). It runs on the
+// engine's execution path, so it must be quick and must not call back into
+// the engine. nil removes the callback. Safe to call while runs are in
+// flight: the execution path reads the registration atomically.
+func (e *Engine) SetBreakerNotify(fn func(device, event string)) {
+	if fn == nil {
+		e.breakerNotify.Store(nil)
+		return
+	}
+	e.breakerNotify.Store(&fn)
+}
+
+// notifyBreaker invokes the registered breaker callback, if any.
+func (e *Engine) notifyBreaker(device, event string) {
+	if fn := e.breakerNotify.Load(); fn != nil {
+		(*fn)(device, event)
+	}
 }
 
 // Report is the outcome of one VOP execution.

@@ -78,6 +78,15 @@ type Config struct {
 	// export, and exemplars on the latency histogram. Off by default; the
 	// disabled request path performs no clock reads or allocations beyond
 	// the untraced baseline.
+	//
+	// Engine-stage attribution (the plan/quantize_transfer/execute/aggregate
+	// stages) additionally requires telemetry to be enabled on the backend
+	// session (shmt.Config.Telemetry.Enabled, or telemetry.Enable plus an
+	// attached recorder) — the engine only reads its stage clocks when its
+	// run telemetry is active. With Tracing on but session telemetry off,
+	// traces still carry queue_wait and batch_linger but the engine stages
+	// report zero. shmtserved force-enables session telemetry whenever
+	// tracing is on; library embedders must do the same.
 	Tracing bool
 	// FlightRecorderSize caps the flight recorder's rings (default
 	// telemetry.DefaultFlightRecorderSize). Only meaningful with Tracing.

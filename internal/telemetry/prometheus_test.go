@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -83,8 +84,9 @@ func TestPrometheusExpositionStructure(t *testing.T) {
 }
 
 // TestExemplarExposition: an ObserveExemplar annotates the matching bucket
-// with an OpenMetrics-style exemplar suffix; buckets without exemplars stay
-// byte-identical to the plain exposition (the golden output covers that).
+// with an OpenMetrics exemplar suffix in the OpenMetrics rendering only;
+// the classic 0.0.4 exposition stays exemplar-free (a trailing '# {...}' is
+// a parse error for real Prometheus and would fail the whole scrape).
 func TestExemplarExposition(t *testing.T) {
 	withTelemetry(t)
 	r := NewRegistry()
@@ -94,7 +96,7 @@ func TestExemplarExposition(t *testing.T) {
 	h.ObserveExemplar(2, "abcd1234-9")
 
 	var buf bytes.Buffer
-	if err := r.WriteExposition(&buf); err != nil {
+	if err := r.WriteOpenMetrics(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -109,6 +111,91 @@ func TestExemplarExposition(t *testing.T) {
 	// The un-exemplared bucket keeps the plain form.
 	if !strings.Contains(out, "ex_wait_seconds_bucket{le=\"0.001\"} 1\n") {
 		t.Fatalf("plain bucket line altered:\n%s", out)
+	}
+	// OpenMetrics output must be terminated.
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("OpenMetrics output missing '# EOF' terminator:\n%s", out)
+	}
+
+	// The classic exposition of the same registry carries no exemplars.
+	buf.Reset()
+	if err := r.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Fatalf("classic exposition leaked an exemplar:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "# EOF") {
+		t.Fatalf("classic exposition carries an OpenMetrics terminator:\n%s", buf.String())
+	}
+}
+
+// TestOpenMetricsCounterNaming: OpenMetrics counter metadata drops the
+// '_total' suffix while the sample lines keep it.
+func TestOpenMetricsCounterNaming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry(t).WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE demo_runs counter",
+		"# TYPE demo_steals counter",
+		`demo_runs_total{policy="QAWS-TS"} 3`,
+		"demo_steals_total 17",
+		"# TYPE demo_queue_depth gauge",
+		"# TYPE demo_wait_seconds histogram",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "# TYPE demo_runs_total") {
+		t.Fatalf("OpenMetrics counter metadata kept '_total':\n%s", out)
+	}
+}
+
+// TestExpositionNegotiation: the /metrics handler serves classic 0.0.4 by
+// default and switches to OpenMetrics (content type, exemplars, '# EOF')
+// only when the client's Accept header asks for it.
+func TestExpositionNegotiation(t *testing.T) {
+	withTelemetry(t)
+	r := NewRegistry()
+	h := r.NewHistogram("neg_wait_seconds", "w", []float64{0.1})
+	h.ObserveExemplar(0.05, "neg-trace-1")
+	handler := ExpositionHandler(r)
+
+	get := func(accept string) (string, string) {
+		req := httptest.NewRequest("GET", "/metrics", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		handler(rec, req)
+		return rec.Header().Get("Content-Type"), rec.Body.String()
+	}
+
+	// Default (and explicit text/plain) scrapes are classic and clean.
+	for _, accept := range []string{"", "text/plain;version=0.0.4;q=0.5,*/*;q=0.1"} {
+		ct, body := get(accept)
+		if ct != ContentTypeClassic {
+			t.Fatalf("Accept=%q: content-type = %q, want classic", accept, ct)
+		}
+		if strings.Contains(body, "trace_id") || strings.Contains(body, "# EOF") {
+			t.Fatalf("Accept=%q: classic scrape carries OpenMetrics syntax:\n%s", accept, body)
+		}
+	}
+
+	// An OpenMetrics-negotiating scraper gets exemplars and the terminator.
+	ct, body := get("application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5")
+	if ct != ContentTypeOpenMetrics {
+		t.Fatalf("content-type = %q, want OpenMetrics", ct)
+	}
+	if !strings.Contains(body, `# {trace_id="neg-trace-1"} 0.05`) {
+		t.Fatalf("OpenMetrics scrape missing exemplar:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("OpenMetrics scrape missing '# EOF':\n%s", body)
 	}
 }
 
@@ -126,14 +213,15 @@ func TestObserveExemplarDisabledAllocatesNothing(t *testing.T) {
 }
 
 // TestObserveExemplarEmptyTraceID: an empty trace ID degrades to a plain
-// observation without storing an exemplar.
+// observation without storing an exemplar (checked via the OpenMetrics
+// rendering, the only one that would show it).
 func TestObserveExemplarEmptyTraceID(t *testing.T) {
 	withTelemetry(t)
 	r := NewRegistry()
 	h := r.NewHistogram("exe_wait_seconds", "w", []float64{1})
 	h.ObserveExemplar(0.5, "")
 	var buf bytes.Buffer
-	if err := r.WriteExposition(&buf); err != nil {
+	if err := r.WriteOpenMetrics(&buf); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), "trace_id") {

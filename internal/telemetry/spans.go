@@ -55,10 +55,9 @@ type Span struct {
 // registry snapshot taken when it was attached, so Report can compute
 // per-run counter deltas against the process-global metrics.
 type Recorder struct {
+	mu    sync.Mutex
 	epoch time.Time
 	base  Snapshot
-
-	mu    sync.Mutex
 	spans []Span
 }
 
@@ -76,28 +75,43 @@ func NewRecorder() *Recorder {
 
 // Reset discards recorded spans (retaining their backing array) and re-bases
 // the wall epoch and counter snapshot, so one long-lived recorder can scope
-// per-interval reports without reallocating. Must not race with concurrent
-// recording.
+// per-interval reports without reallocating. The epoch/base swap happens
+// under the recorder's lock, so concurrent Now/RecordSpan calls see either
+// the old or the new timebase, never a torn mix — though spans recorded
+// while Reset runs land in whichever interval wins the race.
 func (r *Recorder) Reset() {
+	// Snapshot outside the lock: it walks the registry and must not hold up
+	// concurrent RecordSpan calls.
+	base := Default.Snapshot()
 	r.mu.Lock()
 	r.spans = r.spans[:0]
-	r.mu.Unlock()
 	r.epoch = time.Now()
-	r.base = Default.Snapshot()
+	r.base = base
+	r.mu.Unlock()
 }
 
-// Release returns the recorder's span slab to the shared pool. The recorder
-// must not record after Release.
+// Release returns the recorder's span slab to the shared pool. The caller
+// must have exclusive ownership: no RecordSpan, Spans, Now or Reset may be
+// running or follow — another goroutine holding a stale reference could
+// otherwise append into a slab a fresh recorder has already adopted.
+// Typically called once at session close, after all runs have drained.
 func (r *Recorder) Release() {
 	r.mu.Lock()
 	slab := r.spans[:0]
 	r.spans = nil
 	r.mu.Unlock()
-	spanSlabPool.Put(&slab)
+	if slab != nil {
+		spanSlabPool.Put(&slab)
+	}
 }
 
 // Now returns wall seconds since the recorder's epoch.
-func (r *Recorder) Now() float64 { return time.Since(r.epoch).Seconds() }
+func (r *Recorder) Now() float64 {
+	r.mu.Lock()
+	epoch := r.epoch
+	r.mu.Unlock()
+	return time.Since(epoch).Seconds()
+}
 
 // RecordSpan appends a span. Safe for concurrent use.
 func (r *Recorder) RecordSpan(s Span) {
@@ -120,5 +134,10 @@ func (r *Recorder) SpanCount() int {
 	return len(r.spans)
 }
 
-// Base returns the counter snapshot taken when the recorder was created.
-func (r *Recorder) Base() Snapshot { return r.base }
+// Base returns the counter snapshot taken when the recorder was created (or
+// last Reset).
+func (r *Recorder) Base() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base
+}

@@ -88,8 +88,10 @@ func (g *Gauge) Add(delta int64) {
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Exemplar ties a sampled observation to the request trace that produced it,
-// OpenMetrics-style: the exposition renders it as a bucket annotation so a
-// dashboard can jump from a latency bucket straight to /debug/requests.
+// OpenMetrics-style: the OpenMetrics exposition (negotiated via Accept;
+// see WriteOpenMetrics) renders it as a bucket annotation so a dashboard can
+// jump from a latency bucket straight to /debug/requests. The classic 0.0.4
+// exposition never carries it — the format has no exemplar syntax.
 type Exemplar struct {
 	TraceID string
 	Value   float64

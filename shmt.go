@@ -337,12 +337,11 @@ func (s *Session) PolicyName() string { return s.eng.Policy.Name() }
 // OnBreakerEvent registers a callback for circuit-breaker transitions: fn is
 // called with the device name and event ("open" when a device is quarantined,
 // "readmitted" when a probe returns it to service). The callback runs on the
-// engine's execution path, so it must be quick. Set before serving traffic;
-// pass nil to remove.
+// engine's execution path, so it must be quick. Safe to call while requests
+// are in flight (the registration is atomic), though transitions already
+// firing may be missed; pass nil to remove.
 func (s *Session) OnBreakerEvent(fn func(device, event string)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.eng.BreakerNotify = fn
+	s.eng.SetBreakerNotify(fn)
 }
 
 // Execute submits one VOP: opcode, input tensors, and optional scalar
