@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath benchplan benchserve benchdiff servesmoke experiments examples fmt fmt-check vet clean
+.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath benchplan benchoverlap benchserve benchdiff servesmoke experiments examples fmt fmt-check vet clean
 
 all: check
 
@@ -12,9 +12,11 @@ all: check
 # telemetry overhead benchmark so instrumentation cost stays visible, the
 # datapath benchmark so the zero-copy partition/aggregate path can't regress
 # silently, the planning-overhead benchmark so plan-cache replay keeps paying
-# for itself, and the serving smoke test so shmtserved's coalescing/drain
-# path stays live. CI (.github/workflows/ci.yml) runs exactly these stages.
-check: fmt-check build vet test race benchsmoke benchtelemetry benchdatapath benchplan benchserve servesmoke
+# for itself, the staging-overlap benchmark so async input prefetch keeps
+# beating dispatch-time staging, and the serving smoke test so shmtserved's
+# coalescing/drain path stays live. CI (.github/workflows/ci.yml) runs
+# exactly these stages.
+check: fmt-check build vet test race benchsmoke benchtelemetry benchdatapath benchplan benchoverlap benchserve servesmoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +57,14 @@ benchdatapath:
 # kernel-dominated and covered by the one-shot pass in benchsmoke.
 benchplan:
 	$(GO) test -run='^$$' -bench='BenchmarkPlanningOverhead/plan' -benchmem \
+		-benchtime=0.3s ./internal/core/
+
+# benchoverlap compares the Edge TPU staging path with asynchronous input
+# prefetch off (staged) vs on (prefetched); BENCH_overlap.json snapshots the
+# result. The prefetched row must stay faster: it is the wall-clock half of
+# the double-buffer story (the virtual-time half lives in the lane model).
+benchoverlap:
+	$(GO) test -run='^$$' -bench=BenchmarkOverlap -benchmem \
 		-benchtime=0.3s ./internal/core/
 
 # benchserve measures the serving layer's per-request tracing cost

@@ -156,6 +156,11 @@ func main() {
 				fatal(err)
 			}
 			emit(bench.AblationDatacenterTable(dc))
+			pfd, err := bench.AblationPrefetch(o, nil)
+			if err != nil {
+				fatal(err)
+			}
+			emit(bench.AblationPrefetchTable(pfd))
 			dsp, err := bench.AblationDSP(o)
 			if err != nil {
 				fatal(err)

@@ -53,6 +53,7 @@ func main() {
 		chaosSpec   = flag.String("chaos", "", `fault-injection plan, e.g. "tpu:die=5;gpu:transient=0.2"`)
 		chaosSeed   = flag.Int64("chaos-seed", 0, "fault-schedule seed (default: -seed)")
 		planCache   = flag.Bool("plan-cache", false, "enable the memoized execution-plan cache (off by default: single-shot runs measure per-invocation planning)")
+		prefetch    = flag.Int("prefetch", shmt.DefaultPrefetchDepth, "per-device async input-prefetch depth for private-memory devices (0 disables; results are bit-identical at every depth)")
 		list        = flag.Bool("list", false, "list benchmarks and policies, then exit")
 	)
 	flag.Parse()
@@ -81,6 +82,11 @@ func main() {
 	cfg := o.SessionConfig(b, shmt.PolicyName(*policy))
 	cfg.RecordTrace = *trace
 	cfg.PlanCache.Disabled = !*planCache
+	if *prefetch <= 0 {
+		cfg.Prefetch.Disabled = true
+	} else {
+		cfg.Prefetch.Depth = *prefetch
+	}
 	if *chaosSpec != "" {
 		cs := *chaosSeed
 		if cs == 0 {

@@ -60,6 +60,7 @@ func main() {
 		chaosSpec    = flag.String("chaos", "", `fault-injection plan, e.g. "tpu:die=5;gpu:transient=0.2"`)
 		chaosSeed    = flag.Int64("chaos-seed", 0, "fault-schedule seed (default: -seed)")
 		planEntries  = flag.Int("plan-cache-entries", 0, "execution-plan cache LRU capacity (0 = default, negative disables)")
+		prefetch     = flag.Int("prefetch", shmt.DefaultPrefetchDepth, "per-device async input-prefetch depth for private-memory devices (0 disables; results are bit-identical at every depth)")
 		tracing      = flag.Bool("tracing", true, "request-scoped tracing: trace IDs, stage breakdowns, flight recorder, request lanes")
 		flightSize   = flag.Int("flight-recorder", telemetry.DefaultFlightRecorderSize, "flight-recorder ring capacity (traces retained)")
 		slowSLO      = flag.Duration("slow-slo", 100*time.Millisecond, "latency SLO; slower requests are retained in the flight recorder's slow ring (0 disables)")
@@ -86,6 +87,11 @@ func main() {
 		cfg.PlanCache.Disabled = true
 	} else {
 		cfg.PlanCache.Entries = *planEntries
+	}
+	if *prefetch <= 0 {
+		cfg.Prefetch.Disabled = true
+	} else {
+		cfg.Prefetch.Depth = *prefetch
 	}
 	cfg.Telemetry.Enabled = true
 	cfg.Telemetry.MetricsAddr = *metricsAddr

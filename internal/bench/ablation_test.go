@@ -54,6 +54,32 @@ func TestAblationDoubleBuffer(t *testing.T) {
 	}
 }
 
+func TestAblationPrefetch(t *testing.T) {
+	rows, err := AblationPrefetch(smallOpts(), []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("depth %d: prefetch changed the output", r.Depth)
+		}
+	}
+	if rows[0].Hits != 0 {
+		t.Fatalf("depth 0 should never hit: %+v", rows[0])
+	}
+	if rows[1].Hits == 0 {
+		t.Fatalf("depth 2 never consumed a prestage: %+v", rows[1])
+	}
+	var sb strings.Builder
+	AblationPrefetchTable(rows).Render(&sb)
+	if !strings.Contains(sb.String(), "bit-identical") {
+		t.Fatal("prefetch table malformed")
+	}
+}
+
 func TestAblationDatacenter(t *testing.T) {
 	rows, err := AblationDatacenter(smallOpts())
 	if err != nil {

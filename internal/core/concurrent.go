@@ -10,6 +10,7 @@ import (
 
 	"shmt/internal/device"
 	"shmt/internal/hlop"
+	"shmt/internal/interconnect"
 	"shmt/internal/sched"
 	"shmt/internal/telemetry"
 	"shmt/internal/trace"
@@ -35,8 +36,11 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 		rt.instrumentQueues(queues)
 	}
 	for _, h := range hs {
+		h.ReadyAt = overhead
 		queues[h.AssignedQueue].Push(h)
 	}
+	pf := e.newPrefetcher(hs)
+	defer pf.drain()
 
 	var outstanding atomic.Int64
 	outstanding.Store(int64(len(hs)))
@@ -63,11 +67,10 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 	}
 
 	type workerState struct {
-		devTime  float64
-		prevExec float64
-		busy     float64
-		ran      bool
-		comm     struct {
+		lane interconnect.Lane
+		busy float64
+		ran  bool
+		comm struct {
 			bytes         int64
 			xfer, exposed float64
 		}
@@ -75,7 +78,8 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 	states := make([]*workerState, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		st := &workerState{devTime: overhead}
+		st := &workerState{}
+		st.lane.Reset(overhead)
 		states[i] = st
 		wg.Add(1)
 		go func(qi int, st *workerState) {
@@ -100,8 +104,16 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 				}
 				stolen := victim >= 0
 				wasProbe := !stolen && br.beginProbe()
-				result, execErr := dev.ExecuteInto(h.Op, h.Inputs, h.Out, h.Attrs)
+				// Stage ahead for the HLOPs still queued behind h (a stolen h
+				// left this worker's own queue empty).
+				if d := pf.peekDepth(); d > 0 && !stolen {
+					for _, nh := range queues[qi].Peek(d) {
+						pf.issue(qi, dev, nh)
+					}
+				}
+				result, execErr := e.executeHLOP(pf, qi, dev, h)
 				if execErr != nil {
+					pf.cancel(h)
 					if errors.Is(execErr, device.ErrTooLarge) {
 						a, b, splitErr := hlop.Split(h, int(nextID.Add(1)-1))
 						if splitErr != nil {
@@ -109,7 +121,8 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 							return
 						}
 						telemetry.HLOPSplits.Inc()
-						st.devTime += splitCost
+						st.lane.Compute += splitCost
+						a.ReadyAt, b.ReadyAt = st.lane.Compute, st.lane.Compute
 						outstanding.Add(1)
 						queues[qi].PushFront(b)
 						queues[qi].PushFront(a)
@@ -119,16 +132,16 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 					retries[h]++
 					r := retries[h]
 					mu.Unlock()
-					busy, idle, opened := e.noteFault(fx.rz, br, fx.deg, rt, qi, dev, h, st.devTime, wasProbe)
-					st.devTime += busy
+					busy, idle, opened := e.noteFault(fx.rz, br, fx.deg, rt, qi, dev, h, st.lane.Compute, wasProbe)
+					st.lane.Compute += busy
 					st.busy += busy
 					if r >= fx.rz.MaxRetries {
 						fail(fmt.Errorf("core: HLOP %d failed on %s after retries: %w", h.ID, dev.Name(), execErr))
 						return
 					}
 					if opened {
-						openAt := st.devTime
-						st.devTime += idle // quarantine is idle virtual time
+						openAt := st.lane.Compute
+						st.lane.Compute += idle // quarantine is idle virtual time
 						moved, kept := 0, 0
 						backlog := queues[qi].DrainPending()
 						for bi, b := range backlog {
@@ -144,9 +157,11 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 								kept++
 								continue
 							}
+							pf.cancel(b) // its prestage will never be consumed here
 							fx.deg.noteReroute(b, b.AssignedQueue)
 							telemetry.HLOPsRerouted.With(dev.Name()).Inc()
 							b.AssignedQueue = alt
+							b.ReadyAt = openAt
 							queues[alt].Push(b)
 							moved++
 						}
@@ -156,39 +171,46 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 						fx.deg.noteReroute(h, h.AssignedQueue)
 						telemetry.HLOPsRerouted.With(dev.Name()).Inc()
 						h.AssignedQueue = alt
+						h.ReadyAt = st.lane.Compute
 						queues[alt].Push(h)
 					} else {
 						// No healthy fallback: keep it ours and let the retry
 						// bound decide between recovery and surfacing.
+						h.ReadyAt = st.lane.Compute
 						queues[qi].PushFront(h)
 					}
 					continue
 				}
 				e.noteRecovery(br, fx.deg, rt, qi, dev)
 
-				start := st.devTime
-				dur, xferT, exposedT, bytes := e.hlopCost(dev, h, st.prevExec, etc)
-				dur += takeInjectedDelay(dev)
-				st.devTime += dur
-				st.prevExec = etc.ExecTime(dev, h.Op, h.Elems)
-				st.busy += dur
+				exec, inT, outT, bytes := e.hlopParts(dev, h, etc)
+				exec += takeInjectedDelay(dev)
+				ready := h.ReadyAt
+				if stolen {
+					// The prefetched input belonged to the victim's queue: the
+					// thief's transfer cannot predate its steal decision.
+					ready = st.lane.Compute
+				}
+				adm := st.lane.Admit(ready, dev.DispatchOverhead(), inT, exec, outT, e.DoubleBuffer)
+				st.busy += adm.End - adm.Start
 				st.ran = true
 				st.comm.bytes += bytes
-				st.comm.xfer += xferT
-				st.comm.exposed += exposedT
+				st.comm.xfer += inT + outT
+				st.comm.exposed += adm.Exposed
 
 				h.Result = result
 				h.ExecQueue = qi
 				// Finished HLOPs move to the device's completion queue, which
 				// the runtime drains for aggregation (§3.3.1).
-				h.Finish = st.devTime
+				h.Finish = adm.OutEnd
 				queues[qi].Complete(h)
 				if rt != nil {
-					rt.hlopDone(qi, victim, h, start, st.devTime)
+					rt.hlopDone(qi, victim, h, adm.Start, adm.End)
+					rt.hlopXfer(qi, h, adm)
 				}
 				tr.Record(trace.Event{
 					HLOP: h.ID, Device: dev.Name(), Op: h.Op.String(),
-					Start: start, End: st.devTime,
+					Start: adm.Start, End: adm.End,
 					BytesIn: h.InputBytes(dev.ElemBytes()), BytesOut: h.OutputBytes(dev.ElemBytes()),
 					Stolen: stolen || h.AssignedQueue != qi, Critical: h.Critical,
 				})
@@ -212,8 +234,13 @@ func (e *Engine) runConcurrent(ctx *sched.Context, pol sched.Policy,
 		if st.busy > 0 {
 			res.busy[name] += st.busy
 		}
-		if st.ran && st.devTime > res.deviceMakespan {
-			res.deviceMakespan = st.devTime
+		if st.ran {
+			// The outbound tail no compute follows is the one transfer cost
+			// the pipeline cannot hide.
+			st.comm.exposed += st.lane.Drain()
+			if m := st.lane.Makespan(); m > res.deviceMakespan {
+				res.deviceMakespan = m
+			}
 		}
 		res.comm.Add(st.comm.bytes, st.comm.xfer, st.comm.exposed)
 	}

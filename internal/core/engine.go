@@ -42,8 +42,17 @@ type Engine struct {
 	Spec hlop.Spec
 	// DoubleBuffer overlaps data movement with computation (§5.6). The
 	// conventional GPU baseline runs without it; SHMT policies and the
-	// software-pipelining baseline run with it.
+	// software-pipelining baseline run with it. In the virtual-time model
+	// each device lane splits into a transfer stage and a compute stage
+	// (interconnect.Lane); without DoubleBuffer the stages serialize.
 	DoubleBuffer bool
+	// Prefetch is the wall-clock side of double buffering: the per-device
+	// depth of asynchronous input prestaging for private-memory devices
+	// (TPU/NPU modes) — while HLOP k executes, up to Prefetch queued HLOPs
+	// have their operands pre-materialized and pre-quantized on the worker
+	// pool, and operands shared across HLOPs stay device-resident. Results
+	// are bit-identical at any depth; 0 disables.
+	Prefetch int
 	// Seed drives every randomized component (sampling, concurrent
 	// validation).
 	Seed int64
@@ -291,14 +300,16 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 	n := e.Reg.Len()
 	queues := make([][]*hlop.HLOP, n)
 	for _, h := range hs {
+		h.ReadyAt = overhead
 		queues[h.AssignedQueue] = append(queues[h.AssignedQueue], h)
 	}
-	devTime := make([]float64, n)
-	prevExec := make([]float64, n)
+	lanes := make([]interconnect.Lane, n)
 	ran := make([]bool, n)
-	for i := range devTime {
-		devTime[i] = overhead
+	for i := range lanes {
+		lanes[i].Reset(overhead)
 	}
+	pf := e.newPrefetcher(hs)
+	defer pf.drain()
 	nextID := len(hs)
 	remaining := len(hs)
 	res := &runResult{busy: map[string]float64{}}
@@ -319,7 +330,7 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 				vict = e.pickVictim(ctx, pol, queues, i, etc)
 				ok = vict >= 0
 			}
-			if ok && (pick < 0 || devTime[i] < devTime[pick]) {
+			if ok && (pick < 0 || lanes[i].Makespan() < lanes[pick].Makespan()) {
 				pick, victim = i, vict
 			}
 		}
@@ -340,8 +351,15 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 
 		dev := e.Reg.Get(pick)
 		wasProbe := victim < 0 && fx.brs[pick].beginProbe()
-		result, execErr := dev.ExecuteInto(h.Op, h.Inputs, h.Out, h.Attrs)
+		// Stage ahead: while h executes, the pool pre-quantizes the operands
+		// of the next HLOPs still queued behind it (a stolen h left the
+		// thief's queue empty, so there is nothing to stage for).
+		for i := 0; i < pf.peekDepth() && i < len(queues[pick]); i++ {
+			pf.issue(pick, dev, queues[pick][i])
+		}
+		result, execErr := e.executeHLOP(pf, pick, dev, h)
 		if execErr != nil {
+			pf.cancel(h)
 			if errors.Is(execErr, device.ErrTooLarge) {
 				a, b, splitErr := hlop.Split(h, nextID)
 				if splitErr != nil {
@@ -350,20 +368,21 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 				telemetry.HLOPSplits.Inc()
 				nextID++
 				remaining++ // one HLOP became two
-				devTime[pick] += splitCost
+				lanes[pick].Compute += splitCost
+				a.ReadyAt, b.ReadyAt = lanes[pick].Compute, lanes[pick].Compute
 				queues[pick] = append([]*hlop.HLOP{a, b}, queues[pick]...)
 				continue
 			}
 			retries[h]++
-			busy, idle, opened := e.noteFault(fx.rz, fx.brs[pick], fx.deg, rt, pick, dev, h, devTime[pick], wasProbe)
-			devTime[pick] += busy
+			busy, idle, opened := e.noteFault(fx.rz, fx.brs[pick], fx.deg, rt, pick, dev, h, lanes[pick].Compute, wasProbe)
+			lanes[pick].Compute += busy
 			res.busy[dev.Name()] += busy
 			if retries[h] >= fx.rz.MaxRetries {
 				return nil, fmt.Errorf("core: HLOP %d failed on %s after retries: %w", h.ID, dev.Name(), execErr)
 			}
 			if opened {
-				openAt := devTime[pick]
-				devTime[pick] += idle // quarantine is idle virtual time
+				openAt := lanes[pick].Compute
+				lanes[pick].Compute += idle // quarantine is idle virtual time
 				moved, kept := 0, 0
 				backlog := queues[pick]
 				queues[pick] = nil
@@ -381,9 +400,11 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 						kept++
 						continue
 					}
+					pf.cancel(b) // a prestage for this queue will never be consumed
 					fx.deg.noteReroute(b, b.AssignedQueue)
 					telemetry.HLOPsRerouted.With(dev.Name()).Inc()
 					b.AssignedQueue = alt
+					b.ReadyAt = openAt
 					queues[alt] = append(queues[alt], b)
 					moved++
 				}
@@ -396,35 +417,42 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 				fx.deg.noteReroute(h, h.AssignedQueue)
 				telemetry.HLOPsRerouted.With(dev.Name()).Inc()
 				h.AssignedQueue = alt
+				h.ReadyAt = lanes[pick].Compute
 				queues[alt] = append(queues[alt], h)
 			} else {
+				h.ReadyAt = lanes[pick].Compute
 				queues[pick] = append([]*hlop.HLOP{h}, queues[pick]...)
 			}
 			continue
 		}
 		e.noteRecovery(fx.brs[pick], fx.deg, rt, pick, dev)
 
-		start := devTime[pick]
 		stageB := e.stagingBytes(dev, h)
 		tr.AllocStaging(stageB)
-		dur, xferT, exposedT, bytes := e.hlopCost(dev, h, prevExec[pick], etc)
-		dur += takeInjectedDelay(dev)
-		devTime[pick] = start + dur
-		prevExec[pick] = etc.ExecTime(dev, h.Op, h.Elems)
+		exec, inT, outT, bytes := e.hlopParts(dev, h, etc)
+		exec += takeInjectedDelay(dev)
+		ready := h.ReadyAt
+		if stolen {
+			// The prefetched input belonged to the victim's queue: the
+			// thief's transfer cannot predate its steal decision.
+			ready = lanes[pick].Compute
+		}
+		adm := lanes[pick].Admit(ready, dev.DispatchOverhead(), inT, exec, outT, e.DoubleBuffer)
 		ran[pick] = true
-		res.busy[dev.Name()] += dur
-		res.comm.Add(bytes, xferT, exposedT)
+		res.busy[dev.Name()] += adm.End - adm.Start
+		res.comm.Add(bytes, inT+outT, adm.Exposed)
 
 		h.Result = result
 		h.ExecQueue = pick
-		res.done = append(res.done, doneHLOP{h: h, finish: devTime[pick]})
+		res.done = append(res.done, doneHLOP{h: h, finish: adm.OutEnd})
 		remaining--
 		if rt != nil {
-			rt.hlopDone(pick, victim, h, start, devTime[pick])
+			rt.hlopDone(pick, victim, h, adm.Start, adm.End)
+			rt.hlopXfer(pick, h, adm)
 		}
 		tr.Record(trace.Event{
 			HLOP: h.ID, Device: dev.Name(), Op: h.Op.String(),
-			Start: start, End: devTime[pick],
+			Start: adm.Start, End: adm.End,
 			BytesIn: h.InputBytes(dev.ElemBytes()), BytesOut: h.OutputBytes(dev.ElemBytes()),
 			Stolen: stolen || h.AssignedQueue != pick, Critical: h.Critical,
 		})
@@ -432,8 +460,14 @@ func (e *Engine) runDeterministic(ctx *sched.Context, pol sched.Policy,
 	}
 
 	for i := 0; i < n; i++ {
-		if ran[i] && devTime[i] > res.deviceMakespan {
-			res.deviceMakespan = devTime[i]
+		if !ran[i] {
+			continue
+		}
+		// The outbound tail no compute follows is the one transfer cost the
+		// pipeline cannot hide.
+		res.comm.Add(0, 0, lanes[i].Drain())
+		if m := lanes[i].Makespan(); m > res.deviceMakespan {
+			res.deviceMakespan = m
 		}
 	}
 	if res.deviceMakespan == 0 {
@@ -488,12 +522,15 @@ func (e *Engine) fallbackQueue(ctx *sched.Context, failed int, h *hlop.HLOP) int
 	return best
 }
 
-// hlopCost models one HLOP's latency on a device: dispatch + exposed input
-// transfer + execution + exposed output transfer. Devices with private
-// memory (Edge TPU) move raw payload over their link; host-memory devices
-// (CPU, GPU) stage the opcode's calibrated traffic through LPDDR4.
-func (e *Engine) hlopCost(dev device.Device, h *hlop.HLOP, prevExec float64, etc *device.ExecTimeCache) (total, xferT, exposedT float64, bytes int64) {
-	exec := etc.ExecTime(dev, h.Op, h.Elems)
+// hlopParts models one HLOP's cost components on a device: execution time
+// plus the input and output transfer times the two-stage lane schedules.
+// Devices with private memory (Edge TPU) move raw payload over their link;
+// host-memory devices (CPU, GPU) stage the opcode's calibrated traffic
+// through LPDDR4. How much of the transfer time is exposed is no longer
+// decided here — interconnect.Lane.Admit serializes the transfer stage
+// against the compute stage and reports the true stall.
+func (e *Engine) hlopParts(dev device.Device, h *hlop.HLOP, etc *device.ExecTimeCache) (exec, inT, outT float64, bytes int64) {
+	exec = etc.ExecTime(dev, h.Op, h.Elems)
 	inB := h.InputBytes(dev.ElemBytes())
 	outB := h.OutputBytes(dev.ElemBytes())
 	if dev.MemoryBytes() == 0 {
@@ -501,12 +538,7 @@ func (e *Engine) hlopCost(dev device.Device, h *hlop.HLOP, prevExec float64, etc
 		outB = device.StageBytes(h.Op, outB)
 	}
 	link := dev.Link()
-	inT := link.TransferTime(inB)
-	outT := link.TransferTime(outB)
-	expIn := interconnect.Exposure(inT, prevExec, e.DoubleBuffer)
-	expOut := interconnect.Exposure(outT, exec, e.DoubleBuffer)
-	total = dev.DispatchOverhead() + expIn + exec + expOut
-	return total, inT + outT, expIn + expOut, inB + outB
+	return exec, link.TransferTime(inB), link.TransferTime(outB), inB + outB
 }
 
 // accountFootprint registers the run's long-lived memory: application input

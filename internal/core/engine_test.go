@@ -270,17 +270,35 @@ func TestEngineEnergyAndComm(t *testing.T) {
 }
 
 func TestEngineDoubleBufferReducesMakespan(t *testing.T) {
-	run := func(db bool) float64 {
-		e := &Engine{Reg: stdRegistry(t), Policy: sched.SingleDevice{Device: "gpu"},
+	run := func(dev string, db bool) *Report {
+		e := &Engine{Reg: stdRegistry(t), Policy: sched.SingleDevice{Device: dev},
 			Spec: hlop.Spec{TargetPartitions: 8, MinTile: 8}, DoubleBuffer: db}
 		rep, err := e.Run(sobelVOP(t, 128, 14))
 		if err != nil {
 			t.Fatal(err)
 		}
-		return rep.Makespan
+		return rep
 	}
-	if pipelined, baseline := run(true), run(false); pipelined >= baseline {
-		t.Fatalf("double buffering should shorten the run: %g vs %g", pipelined, baseline)
+	for _, dev := range []string{"gpu", "tpu"} {
+		pipelined, baseline := run(dev, true), run(dev, false)
+		if pipelined.Makespan >= baseline.Makespan {
+			t.Fatalf("%s: double buffering should shorten the run: %g vs %g",
+				dev, pipelined.Makespan, baseline.Makespan)
+		}
+		// Without overlap every transfer second is exposed; the two-stage
+		// lane hides part of it but can never hide more than there is.
+		if baseline.Comm.ExposedTime != baseline.Comm.TransferTime {
+			t.Fatalf("%s: serial run should expose all transfer time: %g vs %g",
+				dev, baseline.Comm.ExposedTime, baseline.Comm.TransferTime)
+		}
+		if pipelined.Comm.ExposedTime >= baseline.Comm.ExposedTime {
+			t.Fatalf("%s: overlap did not hide any transfer time: %g vs %g",
+				dev, pipelined.Comm.ExposedTime, baseline.Comm.ExposedTime)
+		}
+		if pipelined.Comm.ExposedTime > pipelined.Comm.TransferTime+1e-12 {
+			t.Fatalf("%s: exposed %g exceeds raw transfer %g",
+				dev, pipelined.Comm.ExposedTime, pipelined.Comm.TransferTime)
+		}
 	}
 }
 

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"sync"
+
+	"shmt/internal/device"
+	"shmt/internal/hlop"
+	"shmt/internal/parallel"
+	"shmt/internal/telemetry"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// prefetcher is the wall-clock half of double-buffered HLOP pipelining:
+// while HLOP k executes, it pre-quantizes and pre-materializes HLOP k+1's
+// operands for private-memory devices (the boundary-staging cost the
+// zero-copy datapath could not eliminate), bounded to Engine.Prefetch
+// staged-ahead HLOPs per device. Staging runs on internal/parallel's worker
+// pool, so it needs no goroutines of its own and can never deadlock against
+// kernel fan-out.
+//
+// Two rules keep results bit-identical with prefetch off:
+//
+//   - staging goes through the exact dispatch path (device.Prestager is
+//     implemented as the first half of ExecuteInto), and
+//   - a staged set is only consumed by the device it was staged for — a
+//     steal or reroute that moves the HLOP cancels the prestage instead.
+//
+// Operands shared by several HLOPs of a run (a GEMM right-hand matrix, a
+// convolution kernel) are staged once and kept device-resident for every
+// consumer, instead of being re-quantized per HLOP.
+type prefetcher struct {
+	depth int
+
+	mu       sync.Mutex
+	jobs     map[*hlop.HLOP]*prestageJob
+	inflight []int // async jobs outstanding per queue index
+	shared   map[*tensor.Matrix]bool
+	resident map[residentKey]*tensor.Matrix
+	resBytes int64
+}
+
+// prestageJob is one in-flight asynchronous staging of an HLOP's operands.
+type prestageJob struct {
+	qi   int // queue index the set was staged for
+	done chan struct{}
+	st   *device.Staged
+}
+
+// residentKey identifies a device-resident shared operand: the same matrix
+// staged for a different device or opcode quantizes differently, so both
+// are part of the key.
+type residentKey struct {
+	qi int
+	op vop.Opcode
+	in *tensor.Matrix
+}
+
+// newPrefetcher returns the run's prefetcher, or nil when Engine.Prefetch
+// disables it. hs is scanned for operands shared across HLOPs — only those
+// are worth keeping device-resident.
+func (e *Engine) newPrefetcher(hs []*hlop.HLOP) *prefetcher {
+	if e.Prefetch <= 0 {
+		return nil
+	}
+	seen := make(map[*tensor.Matrix]int)
+	for _, h := range hs {
+		for _, in := range h.Inputs {
+			seen[in]++
+		}
+	}
+	shared := make(map[*tensor.Matrix]bool)
+	for in, n := range seen {
+		if n > 1 {
+			shared[in] = true
+		}
+	}
+	return &prefetcher{
+		depth:    e.Prefetch,
+		jobs:     make(map[*hlop.HLOP]*prestageJob),
+		inflight: make([]int, e.Reg.Len()),
+		shared:   shared,
+		resident: make(map[residentKey]*tensor.Matrix),
+	}
+}
+
+// peekDepth is how many queue-head HLOPs the engines offer to issue; 0 when
+// prefetch is off (nil-safe).
+func (pf *prefetcher) peekDepth() int {
+	if pf == nil {
+		return 0
+	}
+	return pf.depth
+}
+
+// issue starts staging h's operands for the device at queue index qi, if the
+// device prestages, the per-device depth allows it, and the operand set fits
+// device memory (oversized HLOPs are left for the dispatch path, whose
+// ErrTooLarge drives the split logic). Idempotent per HLOP. Nil-safe.
+func (pf *prefetcher) issue(qi int, dev device.Device, h *hlop.HLOP) {
+	if pf == nil {
+		return
+	}
+	ps, ok := dev.(device.Prestager)
+	if !ok {
+		return
+	}
+	pf.mu.Lock()
+	if _, dup := pf.jobs[h]; dup || pf.inflight[qi] >= pf.depth || !ps.CanStage(h.Op, h.Inputs) {
+		pf.mu.Unlock()
+		return
+	}
+	job := &prestageJob{qi: qi, done: make(chan struct{})}
+	pf.jobs[h] = job
+	pf.inflight[qi]++
+	pf.mu.Unlock()
+
+	telemetry.PrefetchIssued.Inc()
+	run := func() {
+		job.st = pf.stageSet(ps, qi, h)
+		telemetry.PrefetchBufferBytes.Add(job.st.Bytes)
+		close(job.done)
+	}
+	if !parallel.Try(run) {
+		run() // pool saturated: stage on the caller, the set is still reusable
+	}
+}
+
+// stageSet stages every operand of h for the device at qi: shared operands
+// come from (or populate) the resident cache, the rest are staged fresh and
+// owned by the returned set.
+func (pf *prefetcher) stageSet(ps device.Prestager, qi int, h *hlop.HLOP) *device.Staged {
+	st := &device.Staged{
+		Inputs: make([]*tensor.Matrix, len(h.Inputs)),
+		Keep:   make([]bool, len(h.Inputs)),
+	}
+	for i, in := range h.Inputs {
+		if pf.isShared(in) {
+			st.Inputs[i] = pf.residentFor(ps, qi, h.Op, in)
+			st.Keep[i] = true
+			continue
+		}
+		b := ps.StageInput(h.Op, in)
+		st.Inputs[i] = b
+		st.Bytes += b.Bytes(tensor.ElemSize)
+	}
+	return st
+}
+
+func (pf *prefetcher) isShared(in *tensor.Matrix) bool {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.shared[in]
+}
+
+// wantsStaged reports whether the synchronous dispatch path should stage h
+// through the prefetcher anyway: true when a shared operand is resident (or
+// residentable), so consecutive HLOPs reuse one staging instead of
+// re-quantizing it each. Nil-safe.
+func (pf *prefetcher) wantsStaged(h *hlop.HLOP) bool {
+	if pf == nil {
+		return false
+	}
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	for _, in := range h.Inputs {
+		if pf.shared[in] {
+			return true
+		}
+	}
+	return false
+}
+
+// residentFor returns the device-resident staging of a shared operand,
+// staging and installing it on first use. Concurrent first uses may stage
+// twice; the loser's copy is released and the winner is shared.
+func (pf *prefetcher) residentFor(ps device.Prestager, qi int, op vop.Opcode, in *tensor.Matrix) *tensor.Matrix {
+	key := residentKey{qi: qi, op: op, in: in}
+	pf.mu.Lock()
+	if m, ok := pf.resident[key]; ok {
+		pf.mu.Unlock()
+		return m
+	}
+	pf.mu.Unlock()
+	m := ps.StageInput(op, in)
+	pf.mu.Lock()
+	if winner, ok := pf.resident[key]; ok {
+		pf.mu.Unlock()
+		tensor.PutMatrix(m)
+		return winner
+	}
+	pf.resident[key] = m
+	b := m.Bytes(tensor.ElemSize)
+	pf.resBytes += b
+	pf.mu.Unlock()
+	telemetry.PrefetchBufferBytes.Add(b)
+	return m
+}
+
+// take claims h's prestaged operand set for the device at queue index qi.
+// It returns nil on a miss; a set staged for a different device — the HLOP
+// was stolen or rerouted after the prestage was issued — is cancelled and
+// released, since the new device quantizes (or doesn't) differently.
+// Nil-safe.
+func (pf *prefetcher) take(qi int, h *hlop.HLOP) *device.Staged {
+	if pf == nil {
+		return nil
+	}
+	pf.mu.Lock()
+	job, ok := pf.jobs[h]
+	if !ok {
+		pf.mu.Unlock()
+		return nil
+	}
+	delete(pf.jobs, h)
+	pf.mu.Unlock()
+	<-job.done
+	pf.mu.Lock()
+	pf.inflight[job.qi]--
+	pf.mu.Unlock()
+	telemetry.PrefetchBufferBytes.Add(-job.st.Bytes)
+	if job.qi != qi {
+		job.st.Release()
+		telemetry.PrefetchCancelled.Inc()
+		return nil
+	}
+	telemetry.PrefetchHits.Inc()
+	return job.st
+}
+
+// cancel invalidates h's prestage, if any: a breaker-open redistribution or
+// failure reroute moved the HLOP, so the staged set will never be consumed
+// where it was staged. Waits for an in-flight staging to finish (staging is
+// short and arena buffers must not leak). Nil-safe.
+func (pf *prefetcher) cancel(h *hlop.HLOP) {
+	if pf == nil {
+		return
+	}
+	pf.mu.Lock()
+	job, ok := pf.jobs[h]
+	if !ok {
+		pf.mu.Unlock()
+		return
+	}
+	delete(pf.jobs, h)
+	pf.mu.Unlock()
+	<-job.done
+	pf.mu.Lock()
+	pf.inflight[job.qi]--
+	pf.mu.Unlock()
+	telemetry.PrefetchBufferBytes.Add(-job.st.Bytes)
+	job.st.Release()
+	telemetry.PrefetchCancelled.Inc()
+}
+
+// drain releases every unconsumed prestage and the resident-operand cache.
+// Called once when the run loop exits, before aggregation releases the
+// HLOP result buffers. Nil-safe.
+func (pf *prefetcher) drain() {
+	if pf == nil {
+		return
+	}
+	pf.mu.Lock()
+	jobs := pf.jobs
+	pf.jobs = make(map[*hlop.HLOP]*prestageJob)
+	pf.mu.Unlock()
+	for _, job := range jobs {
+		<-job.done
+		telemetry.PrefetchBufferBytes.Add(-job.st.Bytes)
+		job.st.Release()
+		telemetry.PrefetchCancelled.Inc()
+	}
+	pf.mu.Lock()
+	resident := pf.resident
+	resBytes := pf.resBytes
+	pf.resident = make(map[residentKey]*tensor.Matrix)
+	pf.resBytes = 0
+	pf.mu.Unlock()
+	for _, m := range resident {
+		tensor.PutMatrix(m)
+	}
+	telemetry.PrefetchBufferBytes.Add(-resBytes)
+}
+
+// executeHLOP dispatches h on dev, consuming a prestaged operand set when
+// one is ready for this device, staging through the resident-operand cache
+// when a shared operand makes that worthwhile, and falling back to the
+// device's plain dispatch path otherwise. All three paths are bit-identical
+// by construction (see device.Prestager).
+func (e *Engine) executeHLOP(pf *prefetcher, qi int, dev device.Device, h *hlop.HLOP) (*tensor.Matrix, error) {
+	if st := pf.take(qi, h); st != nil {
+		// take only returns sets staged for this queue's device, which
+		// therefore implements Prestager.
+		return dev.(device.Prestager).ExecuteStaged(h.Op, st, h.Attrs)
+	}
+	if pf.wantsStaged(h) {
+		if ps, ok := dev.(device.Prestager); ok && ps.CanStage(h.Op, h.Inputs) {
+			return ps.ExecuteStaged(h.Op, pf.stageSet(ps, qi, h), h.Attrs)
+		}
+	}
+	return dev.ExecuteInto(h.Op, h.Inputs, h.Out, h.Attrs)
+}

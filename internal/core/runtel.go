@@ -5,6 +5,7 @@ import (
 
 	"shmt/internal/device"
 	"shmt/internal/hlop"
+	"shmt/internal/interconnect"
 	"shmt/internal/telemetry"
 )
 
@@ -165,6 +166,29 @@ func (rt *runTel) hlopDone(qi, victim int, h *hlop.HLOP, start, end float64) {
 			Track: rt.names[qi], Name: h.Op.String(), Clock: telemetry.ClockVirtual,
 			Start: start, End: end, ID: h.ID,
 			StealFrom: stealFrom, Critical: h.Critical, TraceID: traceID(h),
+		})
+	}
+}
+
+// hlopXfer records the HLOP's transfer-stage spans on the device's "xfer"
+// sub-lane: the inbound staging window and the outbound result transfer.
+// Zero-length transfers (devices sharing host memory over the zero-copy
+// datapath) draw nothing.
+func (rt *runTel) hlopXfer(qi int, h *hlop.HLOP, adm interconnect.Admission) {
+	if rt.rec == nil {
+		return
+	}
+	track := rt.names[qi] + " xfer"
+	if adm.XferEnd > adm.XferStart {
+		rt.rec.RecordSpan(telemetry.Span{
+			Track: track, Name: "in:" + h.Op.String(), Clock: telemetry.ClockVirtual,
+			Start: adm.XferStart, End: adm.XferEnd, ID: h.ID, TraceID: traceID(h),
+		})
+	}
+	if adm.OutEnd > adm.OutStart {
+		rt.rec.RecordSpan(telemetry.Span{
+			Track: track, Name: "out:" + h.Op.String(), Clock: telemetry.ClockVirtual,
+			Start: adm.OutStart, End: adm.OutEnd, ID: h.ID, TraceID: traceID(h),
 		})
 	}
 }

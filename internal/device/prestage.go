@@ -1,0 +1,55 @@
+package device
+
+import (
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// Staged is a prestaged input set for a private-memory device: every operand
+// already materialized into a dense buffer and quantized to the device's
+// arithmetic, exactly as the device's dispatch path would have staged it —
+// which is what keeps prefetched and unprefetched executions bit-identical.
+type Staged struct {
+	// Inputs are the device-precision operand buffers, parallel to the
+	// HLOP's inputs.
+	Inputs []*tensor.Matrix
+	// Keep marks operands owned by someone else — device-resident shared
+	// operands (a GEMM right-hand matrix, a convolution kernel) staged once
+	// and reused across consecutive HLOPs. ExecuteStaged must not release
+	// them.
+	Keep []bool
+	// Bytes is the footprint of the buffers this Staged owns (Keep=false
+	// entries), as accounted by the prefetch-buffer gauge.
+	Bytes int64
+}
+
+// Release returns every owned buffer to the arena. Safe to call after a
+// cancelled prefetch or a failed dispatch; shared (Keep) operands stay
+// resident for their other consumers.
+func (s *Staged) Release() {
+	for i, m := range s.Inputs {
+		if m != nil && (s.Keep == nil || !s.Keep[i]) {
+			tensor.PutMatrix(m)
+		}
+	}
+	s.Inputs = nil
+}
+
+// Prestager is implemented by devices whose boundary staging (materialize +
+// quantize into private memory) can run ahead of execution. The engines'
+// input prefetcher stages HLOP k+1's operands on the worker pool while HLOP
+// k executes, then dispatches through ExecuteStaged; devices that stage
+// nothing (shared-memory CPU/GPU/DSP) simply don't implement it.
+type Prestager interface {
+	// CanStage reports whether the operand set fits the device (the staging
+	// analogue of the ErrTooLarge check): oversized HLOPs are left for the
+	// dispatch path, whose error drives the runtime's split logic.
+	CanStage(op vop.Opcode, inputs []*tensor.Matrix) bool
+	// StageInput materializes and quantizes one operand exactly as the
+	// dispatch path would.
+	StageInput(op vop.Opcode, in *tensor.Matrix) *tensor.Matrix
+	// ExecuteStaged runs the opcode over a fully prestaged operand set. It
+	// consumes st: owned buffers are released, Keep operands are left
+	// untouched.
+	ExecuteStaged(op vop.Opcode, st *Staged, attrs map[string]float64) (*tensor.Matrix, error)
+}

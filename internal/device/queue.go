@@ -137,6 +137,22 @@ func (q *TaskQueue[T]) DrainPending() []T {
 	return out
 }
 
+// Peek returns up to n head items of the incoming queue without removing
+// them. The input prefetcher reads ahead of the owner's Pop with it; the
+// copy means a racing Pop/Steal invalidates the snapshot, not the caller's
+// slice.
+func (q *TaskQueue[T]) Peek(n int) []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n > len(q.incoming) {
+		n = len(q.incoming)
+	}
+	if n <= 0 {
+		return nil
+	}
+	return append([]T(nil), q.incoming[:n]...)
+}
+
 // Pending returns the incoming-queue depth, the signal the paper's stealing
 // trigger reads ("the incoming queue of a hardware device has more pending
 // items than others").

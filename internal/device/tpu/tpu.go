@@ -136,29 +136,61 @@ func (d *Device) Execute(op vop.Opcode, inputs []*tensor.Matrix, attrs map[strin
 // private memory and quantized staging, so it ignores dst and always
 // returns a fresh materialized buffer; the runtime detects result != dst
 // and scatters it into the VOP output on the copy path.
+//
+// Dispatch is staging followed by ExecuteStaged — the same path the input
+// prefetcher takes, which is what makes prefetched runs bit-identical.
 func (d *Device) ExecuteInto(op vop.Opcode, inputs []*tensor.Matrix, _ *tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error) {
 	if err := d.checkFits(op, inputs); err != nil {
 		return nil, err
 	}
-	if matrixMode(op) {
-		r := kernels.Int8{}
-		cast := make([]*tensor.Matrix, len(inputs))
-		for i, in := range inputs {
-			c := tensor.Materialize(in) // stride-aware gather: inputs may be views
-			r.Round(c.Data)
-			cast[i] = c
-		}
-		out, err := kernels.Exec(op, cast, attrs, kernels.Exact{})
-		for _, c := range cast {
-			tensor.PutMatrix(c) // kernels never retain or return their inputs
-		}
-		if err != nil {
-			return nil, err
-		}
-		requantOutput(op, out) // single output requantization
-		return out, nil
+	st := &device.Staged{Inputs: make([]*tensor.Matrix, len(inputs))}
+	for i, in := range inputs {
+		st.Inputs[i] = d.StageInput(op, in)
 	}
-	return d.model(op).Run(inputs, attrs)
+	return d.ExecuteStaged(op, st, attrs)
+}
+
+var _ device.Prestager = (*Device)(nil)
+
+// CanStage implements device.Prestager: an operand set that would overflow
+// device memory is left for the dispatch path, whose ErrTooLarge drives the
+// runtime's split logic.
+func (d *Device) CanStage(op vop.Opcode, inputs []*tensor.Matrix) bool {
+	return d.checkFits(op, inputs) == nil
+}
+
+// StageInput implements device.Prestager: one operand's boundary staging —
+// a stride-aware gather into a dense buffer (inputs may be views) followed
+// by quantization to the mode's arithmetic. Matrix-mode opcodes quantize
+// INT8 at the boundary and accumulate wide; NPU-mode opcodes quantize with
+// the model's rounder.
+func (d *Device) StageInput(op vop.Opcode, in *tensor.Matrix) *tensor.Matrix {
+	if matrixMode(op) {
+		c := tensor.Materialize(in)
+		kernels.Int8{}.Round(c.Data)
+		return c
+	}
+	return d.model(op).Stage(in)
+}
+
+// ExecuteStaged implements device.Prestager: runs the opcode over operands
+// already staged by StageInput, releasing the staged set's owned buffers.
+func (d *Device) ExecuteStaged(op vop.Opcode, st *device.Staged, attrs map[string]float64) (*tensor.Matrix, error) {
+	var out *tensor.Matrix
+	var err error
+	if matrixMode(op) {
+		out, err = kernels.Exec(op, st.Inputs, attrs, kernels.Exact{})
+	} else {
+		out, err = d.model(op).RunStaged(st.Inputs, attrs)
+	}
+	st.Release() // kernels never retain or return their inputs
+	if err != nil {
+		return nil, err
+	}
+	if matrixMode(op) {
+		requantOutput(op, out) // single output requantization
+	}
+	return out, nil
 }
 
 // requantOutput applies the matrix-mode output requantization. Structured

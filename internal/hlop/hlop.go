@@ -63,6 +63,12 @@ type HLOP struct {
 	// Finish is the virtual completion time, stamped by the engine when the
 	// HLOP enters its device's completion queue.
 	Finish float64
+	// ReadyAt is the virtual time the HLOP became available on its current
+	// queue: the scheduling overhead for the initial assignment, the
+	// rerouting device's clock after a failure or quarantine. The two-stage
+	// lane model uses it as the earliest instant the input transfer may
+	// start. Transient like Finish — never captured into a plan.
+	ReadyAt float64
 }
 
 // InputRegion returns the region of Inputs[0] a scheduler samples for

@@ -49,6 +49,10 @@ var (
 // compute time it can hide behind. With double buffering the next HLOP's
 // input moves while the current one executes, so only max(0, transfer -
 // compute) is exposed; without overlap the full transfer is exposed.
+//
+// Deprecated: the engines now model the true serialization between a
+// device's transfer and compute stages with Lane.Admit; this scalar
+// approximation remains for cost estimates that have no lane state.
 func Exposure(transfer, computeToHideBehind float64, doubleBuffered bool) float64 {
 	if !doubleBuffered {
 		return transfer
@@ -58,6 +62,122 @@ func Exposure(transfer, computeToHideBehind float64, doubleBuffered bool) float6
 	}
 	return transfer - computeToHideBehind
 }
+
+// Lane is one device's two-stage pipeline in virtual time: a transfer stage
+// (the DMA engine, with independent inbound and outbound queues — links are
+// full duplex) and a compute stage. Each clock holds the virtual time at
+// which that stage next becomes free. Exposure is no longer an approximation
+// against the previous HLOP's execution time: an input transfer occupies the
+// inbound clock, and only the part of it that the compute stage actually has
+// to wait for is exposed.
+type Lane struct {
+	// In is the inbound (host→device) transfer clock.
+	In float64
+	// Out is the outbound (device→host) transfer clock.
+	Out float64
+	// Compute is the compute-stage clock.
+	Compute float64
+
+	// Double buffering is double, not unbounded: the device owns BufferDepth
+	// staging slots per direction, so the k-th admission's input transfer
+	// cannot begin before admission k−BufferDepth released its input slot
+	// (compute consumed it), and its compute cannot begin before admission
+	// k−BufferDepth's output transfer released its output slot. The rings
+	// hold those release times; idx is the admission counter mod BufferDepth.
+	inFree  [BufferDepth]float64
+	outFree [BufferDepth]float64
+	idx     int
+}
+
+// BufferDepth is the per-direction staging-slot count of the double buffer:
+// one slot in flight, one being filled/drained.
+const BufferDepth = 2
+
+// Admission is the schedule Lane.Admit produced for one HLOP.
+type Admission struct {
+	// XferStart/XferEnd bound the input transfer on the inbound lane.
+	XferStart, XferEnd float64
+	// Start is when the device's slot for this HLOP begins: the later of the
+	// compute stage freeing and the HLOP becoming available. End is when the
+	// compute stage finishes (dispatch + execution). Busy time for the HLOP
+	// is End - Start; it includes any exposed input stall.
+	Start, End float64
+	// OutStart/OutEnd bound the output transfer on the outbound lane.
+	OutStart, OutEnd float64
+	// Exposed is the transfer time the compute stage stalled for: the gap
+	// between when it could have started (Start) and when the input actually
+	// arrived. Outbound transfers never stall the next HLOP's compute (the
+	// double buffer decouples them); whatever outbound time the final compute
+	// does not hide surfaces through Drain.
+	Exposed float64
+}
+
+// Reset rewinds every stage clock to t (the start-of-run scheduling
+// overhead) and empties the staging slots.
+func (l *Lane) Reset(t float64) {
+	l.In, l.Out, l.Compute = t, t, t
+	l.inFree = [BufferDepth]float64{}
+	l.outFree = [BufferDepth]float64{}
+	l.idx = 0
+}
+
+// Admit schedules one HLOP through the lane and advances the stage clocks.
+// ready is when the HLOP became available to this device: enqueue time for
+// own-queue work, the thief's clock for a steal — a stolen HLOP's input
+// belonged to the victim's queue, so its transfer cannot have been issued
+// ahead of the steal decision and serializes in full.
+//
+// With overlap (double buffering) the input transfer runs on the inbound
+// clock, possibly ahead of the compute stage; compute waits for whichever of
+// its own clock and the data is later; the output occupies the outbound
+// clock behind the compute. Without overlap the three stages serialize on
+// the compute clock, reproducing the conventional baseline.
+func (l *Lane) Admit(ready, dispatch, inT, exec, outT float64, overlap bool) Admission {
+	if !overlap {
+		start := max(l.Compute, ready)
+		a := Admission{Start: start}
+		a.XferStart = start + dispatch
+		a.XferEnd = a.XferStart + inT
+		a.End = a.XferEnd + exec + outT
+		a.OutStart = a.XferEnd + exec
+		a.OutEnd = a.End
+		a.Exposed = inT + outT
+		l.In, l.Out, l.Compute = a.End, a.End, a.End
+		l.inFree[l.idx], l.outFree[l.idx] = a.End, a.End
+		l.idx = (l.idx + 1) % BufferDepth
+		return a
+	}
+	a := Admission{XferStart: max(l.In, ready, l.inFree[l.idx])}
+	a.XferEnd = a.XferStart + inT
+	a.Start = max(l.Compute, ready)
+	// Compute waits for its input and for an output slot: with every slot
+	// holding an undrained result, running ahead would overwrite one — the
+	// backpressure that keeps an out-link-bound device from looking free.
+	compStart := max(a.Start, a.XferEnd, l.outFree[l.idx])
+	a.Exposed = compStart - a.Start
+	a.End = compStart + dispatch + exec
+	a.OutStart = max(l.Out, a.End)
+	a.OutEnd = a.OutStart + outT
+	l.In, l.Compute, l.Out = a.XferEnd, a.End, a.OutEnd
+	l.inFree[l.idx], l.outFree[l.idx] = a.End, a.OutEnd
+	l.idx = (l.idx + 1) % BufferDepth
+	return a
+}
+
+// Drain returns the outbound-transfer tail still in flight after the
+// compute stage went idle — the only outbound exposure the pipeline cannot
+// hide. Call it once per device at end of run and account the result as
+// exposed communication time.
+func (l *Lane) Drain() float64 {
+	if l.Out > l.Compute {
+		return l.Out - l.Compute
+	}
+	return 0
+}
+
+// Makespan returns the lane's completion time: the later of the compute
+// stage and the last outbound transfer.
+func (l *Lane) Makespan() float64 { return max(l.Compute, l.Out) }
 
 // Tracker accumulates transfer accounting for Table 3.
 type Tracker struct {

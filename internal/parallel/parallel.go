@@ -157,6 +157,14 @@ func submit(f func()) bool {
 	}
 }
 
+// Try hands f to a pool helper without blocking and reports whether one
+// accepted it. Like For's helpers, the pool is an accelerator, never a
+// dependency: callers that get false must run f themselves (or skip the
+// optimization f implements) rather than wait — the engines' input
+// prefetcher uses this so staging ahead can never deadlock against kernel
+// fan-out on the same pool.
+func Try(f func()) bool { return submit(f) }
+
 // For runs fn over [0, n) split into chunks of grain elements (the last
 // chunk may be shorter). Chunk boundaries depend only on n and grain, and
 // chunks are claimed from an atomic counter, so the set of (lo, hi) calls is

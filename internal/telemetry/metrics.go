@@ -171,6 +171,25 @@ var (
 		"End-to-end wall-clock request latency in the serving layer.",
 		ExpBuckets(1e-4, 4, 12))
 
+	// Input prefetch (double-buffered staging pipeline).
+
+	// PrefetchIssued counts asynchronous input-prestage jobs issued ahead of
+	// execution for private-memory devices.
+	PrefetchIssued = Default.NewCounter("shmt_prefetch_issued_total",
+		"Asynchronous input-prestage jobs issued ahead of HLOP execution.")
+	// PrefetchHits counts HLOP executions that consumed a prestaged input
+	// set instead of staging at dispatch.
+	PrefetchHits = Default.NewCounter("shmt_prefetch_hits_total",
+		"HLOP executions that consumed a prestaged input set.")
+	// PrefetchCancelled counts prestaged input sets discarded because a
+	// steal, split, reroute or end-of-run drain invalidated them.
+	PrefetchCancelled = Default.NewCounter("shmt_prefetch_cancelled_total",
+		"Prestaged input sets discarded after a steal or reroute invalidated them.")
+	// PrefetchBufferBytes gauges the bytes currently pinned by prestaged
+	// input buffers (the wall-clock side of the double-buffer staging slots).
+	PrefetchBufferBytes = Default.NewGauge("shmt_prefetch_buffer_bytes",
+		"Bytes currently held in prestaged (double-buffer) input staging.")
+
 	// Execution-time cache.
 
 	// ExecCacheHits counts memoized cost-model lookups.

@@ -12,11 +12,13 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // fixedRecorder builds a recorder with a deterministic span set covering all
-// export features: two virtual device lanes, a steal (with flow arrow), a
+// export features: two virtual device lanes, a transfer sub-lane whose in:
+// span hides under the previous HLOP's compute, a steal (with flow arrow), a
 // critical HLOP, and wall-clock host phases.
 func fixedRecorder() *Recorder {
 	rec := &Recorder{}
 	rec.RecordSpan(Span{Track: "gpu", Name: "Sobel", Clock: ClockVirtual, Start: 0, End: 0.004, ID: 0})
+	rec.RecordSpan(Span{Track: "gpu xfer", Name: "in:Sobel", Clock: ClockVirtual, Start: 0.002, End: 0.004, ID: 2})
 	rec.RecordSpan(Span{Track: "gpu", Name: "Sobel", Clock: ClockVirtual, Start: 0.004, End: 0.007, ID: 2, Critical: true})
 	rec.RecordSpan(Span{Track: "tpu", Name: "Sobel", Clock: ClockVirtual, Start: 0, End: 0.005, ID: 1})
 	rec.RecordSpan(Span{Track: "tpu", Name: "Sobel", Clock: ClockVirtual, Start: 0.005, End: 0.009, ID: 3, StealFrom: "gpu"})
@@ -101,7 +103,7 @@ func TestPerfettoSchema(t *testing.T) {
 	if procs[perfettoVirtualPID] != "shmt virtual devices" || procs[perfettoWallPID] != "shmt host (wall clock)" {
 		t.Fatalf("process metadata wrong: %v", procs)
 	}
-	for _, lane := range []string{"gpu", "tpu"} {
+	for _, lane := range []string{"gpu", "gpu xfer", "tpu"} {
 		if _, ok := lanes[perfettoVirtualPID][lane]; !ok {
 			t.Fatalf("virtual process missing %s lane: %v", lane, lanes)
 		}
@@ -109,8 +111,8 @@ func TestPerfettoSchema(t *testing.T) {
 	if _, ok := lanes[perfettoWallPID]["host"]; !ok {
 		t.Fatalf("wall process missing host lane: %v", lanes)
 	}
-	if len(complete) != 8 {
-		t.Fatalf("complete events = %d, want 8 (one per span)", len(complete))
+	if len(complete) != 9 {
+		t.Fatalf("complete events = %d, want 9 (one per span)", len(complete))
 	}
 	for _, ev := range complete {
 		if ev.Dur <= 0 {

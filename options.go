@@ -121,6 +121,45 @@ type Config struct {
 	// device.ExecTimeCache); on overflow the memo is flushed wholesale. 0
 	// keeps the default (device.DefaultExecTimeEntries = 4096).
 	ExecTimeCacheEntries int
+	// Prefetch configures asynchronous input prefetch for private-memory
+	// devices (TPU/NPU): while one HLOP executes, the host worker pool
+	// pre-quantizes and pre-materializes the next HLOPs' operands. The zero
+	// value enables it at DefaultPrefetchDepth whenever the policy double
+	// buffers. Results are bit-identical at every depth.
+	Prefetch PrefetchConfig
+}
+
+// DefaultPrefetchDepth is how many queued HLOPs per device the input
+// prefetcher stages ahead of execution — matching the interconnect model's
+// double-buffer slot count (interconnect.BufferDepth).
+const DefaultPrefetchDepth = 2
+
+// PrefetchConfig configures the asynchronous input-prefetch stage of
+// double-buffered HLOP pipelining. Prefetch only changes *when* operands are
+// staged, never *how*: staging runs the exact dispatch-path quantization, a
+// staged set is cancelled (not reused) when a steal or breaker-open reroutes
+// its HLOP, and operands shared across a run's HLOPs are staged once and
+// kept device-resident. Outputs are therefore bit-identical with prefetch
+// on or off, at any depth.
+type PrefetchConfig struct {
+	// Disabled turns prefetch off: every dispatch stages synchronously.
+	Disabled bool
+	// Depth is the per-device staged-ahead bound; ≤ 0 means
+	// DefaultPrefetchDepth.
+	Depth int
+}
+
+// depth resolves the engine-level prefetch depth (0 disables). Prefetch
+// rides on the double-buffer pipeline, so policies that run without overlap
+// also stage synchronously.
+func (p PrefetchConfig) depth(doubleBuffer bool) int {
+	if p.Disabled || !doubleBuffer {
+		return 0
+	}
+	if p.Depth <= 0 {
+		return DefaultPrefetchDepth
+	}
+	return p.Depth
 }
 
 // DefaultPlanCacheEntries is the plan cache's default LRU capacity: plans

@@ -204,6 +204,7 @@ func newSession(cfg Config, sub bool) (*Session, error) {
 		Policy:               pol,
 		Spec:                 hlop.Spec{TargetPartitions: cfg.TargetPartitions},
 		DoubleBuffer:         doubleBuffer,
+		Prefetch:             cfg.Prefetch.depth(doubleBuffer),
 		Seed:                 cfg.Seed,
 		HostScale:            cfg.VirtualScale,
 		RecordTrace:          cfg.RecordTrace,
