@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath benchplan benchoverlap benchserve benchdiff servesmoke experiments examples fmt fmt-check vet clean
+.PHONY: all check build test race bench benchsmoke benchtelemetry benchdatapath benchplan benchoverlap benchserve benchdiff servesmoke clustersmoke experiments examples fmt fmt-check vet clean
 
 all: check
 
@@ -13,19 +13,24 @@ all: check
 # datapath benchmark so the zero-copy partition/aggregate path can't regress
 # silently, the planning-overhead benchmark so plan-cache replay keeps paying
 # for itself, the staging-overlap benchmark so async input prefetch keeps
-# beating dispatch-time staging, and the serving smoke test so shmtserved's
-# coalescing/drain path stays live. CI (.github/workflows/ci.yml) runs
-# exactly these stages.
-check: fmt-check build vet test race benchsmoke benchtelemetry benchdatapath benchplan benchoverlap benchserve servesmoke
+# beating dispatch-time staging, the serving smoke test so shmtserved's
+# coalescing/drain path stays live, and the cluster smoke test so the router
+# tier's failover/re-admission path stays live. CI (.github/workflows/ci.yml)
+# runs exactly these stages.
+check: fmt-check build vet test race benchsmoke benchtelemetry benchdatapath benchplan benchoverlap benchserve servesmoke clustersmoke
 
 build:
 	$(GO) build ./...
 
+# TESTFLAGS lets CI pass extra flags (e.g. -shuffle=on) without forking the
+# target.
+TESTFLAGS ?=
+
 test:
-	$(GO) test ./...
+	$(GO) test $(TESTFLAGS) ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race $(TESTFLAGS) ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -81,6 +86,15 @@ benchserve:
 # SIGTERM drains to a clean exit.
 servesmoke:
 	sh scripts/servesmoke.sh
+
+# clustersmoke boots shmtrouterd fronting two shmtserved backends, fires
+# concurrent volleys through the router, SIGKILLs one backend mid-volley and
+# asserts zero lost client requests, that the breaker/rehash counters moved,
+# that restarting the backend gets it re-admitted by a health probe, that a
+# new backend can self-register, that a large VOP scatter-gathers, and that
+# SIGTERM drains all three processes cleanly.
+clustersmoke:
+	sh scripts/clustersmoke.sh
 
 # benchdiff re-runs every committed BENCH_*.json suite and fails on ns/op
 # regressions beyond the tolerance; CI runs it as a non-blocking job.

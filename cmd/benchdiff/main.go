@@ -47,6 +47,7 @@ func main() {
 	}
 
 	regressions := 0
+	var suites []bench.SuiteDeltas
 	for _, path := range paths {
 		snap, err := bench.LoadSnapshot(path)
 		if err != nil {
@@ -57,7 +58,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		for _, d := range bench.Diff(snap, fresh, *tolerance) {
+		deltas := bench.Diff(snap, fresh, *tolerance)
+		suites = append(suites, bench.SuiteDeltas{File: filepath.Base(path), Suite: snap.Suite, Deltas: deltas})
+		for _, d := range deltas {
 			switch {
 			case d.Missing:
 				regressions++
@@ -71,11 +74,31 @@ func main() {
 			}
 		}
 	}
+	writeStepSummary(suites, *tolerance)
 	if regressions > 0 {
 		fmt.Printf("benchdiff: %d regression(s) beyond %.2fx\n", regressions, 1+*tolerance)
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: all baselines within tolerance")
+}
+
+// writeStepSummary appends the full delta table to the GitHub Actions step
+// summary when running in CI ($GITHUB_STEP_SUMMARY set); a failure to write
+// it is reported but never fails the diff itself.
+func writeStepSummary(suites []bench.SuiteDeltas, tolerance float64) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" || len(suites) == 0 {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: step summary:", err)
+		return
+	}
+	defer f.Close()
+	if err := bench.WriteMarkdownSummary(f, suites, tolerance); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: step summary:", err)
+	}
 }
 
 // runSuite benchmarks the snapshot's suite and returns name → ns/op.

@@ -28,12 +28,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +73,8 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in)")
 		traceOut     = flag.String("trace-out", "", "write the session's Perfetto trace here after drain")
+		registerURL  = flag.String("register", "", "router base URL to self-register with (e.g. http://127.0.0.1:8090); retried in the background until acknowledged")
+		advertise    = flag.String("advertise", "", "addr to announce when registering (default: the bound addr, with unspecified hosts rewritten to 127.0.0.1)")
 	)
 	flag.Parse()
 
@@ -152,6 +159,9 @@ func main() {
 	if a := sess.MetricsAddr(); a != "" {
 		logger.Info("metrics listener", "addr", a)
 	}
+	if *registerURL != "" {
+		go register(*registerURL, advertiseAddr(*advertise, srv.Addr()), logger)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -200,6 +210,55 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
 	default:
 		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// advertiseAddr picks the host:port to announce to the router: the explicit
+// -advertise value when given, otherwise the bound addr with unspecified
+// hosts (":8080", "0.0.0.0", "[::]") rewritten to 127.0.0.1 so the router
+// registers a dialable endpoint on single-host clusters.
+func advertiseAddr(explicit, bound string) string {
+	if explicit != "" {
+		return explicit
+	}
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return bound
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// register announces addr to the router, retrying with backoff until the
+// router acknowledges — the router may simply not be up yet, and a serving
+// backend with no router is still useful, so registration never blocks or
+// fails startup.
+func register(routerURL, addr string, logger *slog.Logger) {
+	body, _ := json.Marshal(map[string]string{"addr": addr})
+	url := strings.TrimSuffix(routerURL, "/") + "/v1/register"
+	backoff := 250 * time.Millisecond
+	for {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				logger.Info("registered with router", "router", routerURL, "advertised", addr)
+				return
+			}
+			logger.Warn("router refused registration", "router", routerURL, "status", code)
+			if code == http.StatusBadRequest {
+				return // malformed advertisement will not improve with retries
+			}
+		} else {
+			logger.Debug("router not reachable yet", "router", routerURL, "err", err)
+		}
+		time.Sleep(backoff)
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
 	}
 }
 

@@ -127,3 +127,62 @@ func Regressions(deltas []Delta) int {
 	}
 	return n
 }
+
+// SuiteDeltas groups one snapshot's comparison for reporting.
+type SuiteDeltas struct {
+	File   string // snapshot filename, e.g. BENCH_kernels.json
+	Suite  string // benchmark suite regexp the snapshot pins
+	Deltas []Delta
+}
+
+// WriteMarkdownSummary renders the per-benchmark delta table as GitHub
+// Flavored Markdown — one table per suite, every benchmark listed, slow or
+// not — for CI step summaries ($GITHUB_STEP_SUMMARY). A reviewer gets the
+// full old/new/ratio picture on the run page without opening the job log.
+func WriteMarkdownSummary(w io.Writer, suites []SuiteDeltas, tolerance float64) error {
+	if _, err := fmt.Fprintf(w, "## Benchmark baselines (tolerance %.2fx)\n\n", 1+tolerance); err != nil {
+		return err
+	}
+	total := 0
+	for _, s := range suites {
+		total += Regressions(s.Deltas)
+	}
+	if total == 0 {
+		if _, err := fmt.Fprintf(w, "All baselines within tolerance.\n\n"); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "**%d regression(s) beyond tolerance.**\n\n", total); err != nil {
+			return err
+		}
+	}
+	for _, s := range suites {
+		if _, err := fmt.Fprintf(w, "### %s (`%s`)\n\n", s.File, s.Suite); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "| Benchmark | Baseline ns/op | Fresh ns/op | Ratio | |\n|---|---:|---:|---:|---|\n"); err != nil {
+			return err
+		}
+		for _, d := range s.Deltas {
+			verdict := "ok"
+			switch {
+			case d.Missing:
+				verdict = ":x: missing"
+			case d.Regressed:
+				verdict = ":warning: slower"
+			}
+			fresh, ratio := fmt.Sprintf("%.0f", d.NewNs), fmt.Sprintf("%.2fx", d.Ratio)
+			if d.Missing {
+				fresh, ratio = "—", "—"
+			}
+			if _, err := fmt.Fprintf(w, "| `%s` | %.0f | %s | %s | %s |\n",
+				d.Name, d.OldNs, fresh, ratio, verdict); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

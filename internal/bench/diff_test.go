@@ -125,3 +125,42 @@ func TestDiff(t *testing.T) {
 		t.Fatalf("regressions at huge tolerance = %d want 1", n)
 	}
 }
+
+func TestWriteMarkdownSummary(t *testing.T) {
+	suites := []SuiteDeltas{{
+		File:  "BENCH_x.json",
+		Suite: "BenchmarkX",
+		Deltas: []Delta{
+			{Name: "BenchmarkX/fast", OldNs: 100, NewNs: 120, Ratio: 1.2},
+			{Name: "BenchmarkX/slow", OldNs: 100, NewNs: 151, Ratio: 1.51, Regressed: true},
+			{Name: "BenchmarkX/gone", OldNs: 100, Missing: true, Regressed: true},
+		},
+	}}
+	var buf strings.Builder
+	if err := WriteMarkdownSummary(&buf, suites, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## Benchmark baselines (tolerance 1.50x)",
+		"**2 regression(s) beyond tolerance.**",
+		"### BENCH_x.json (`BenchmarkX`)",
+		"| `BenchmarkX/fast` | 100 | 120 | 1.20x | ok |",
+		"| `BenchmarkX/slow` | 100 | 151 | 1.51x | :warning: slower |",
+		"| `BenchmarkX/gone` | 100 | — | — | :x: missing |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q in:\n%s", want, out)
+		}
+	}
+	// A clean run says so up front.
+	buf.Reset()
+	clean := []SuiteDeltas{{File: "BENCH_x.json", Suite: "BenchmarkX",
+		Deltas: []Delta{{Name: "BenchmarkX/fast", OldNs: 100, NewNs: 100, Ratio: 1}}}}
+	if err := WriteMarkdownSummary(&buf, clean, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "All baselines within tolerance.") {
+		t.Fatalf("clean summary wrong:\n%s", buf.String())
+	}
+}

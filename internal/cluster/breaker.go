@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// This is the PR-4 circuit-breaker state machine (internal/core/degrade.go)
+// lifted from a device's virtual clock to a backend's wall clock:
+//
+//	closed --(threshold consecutive failures)--> open
+//	open   --(cooldown elapses, next health probe runs half-open)--> half-open
+//	half-open --(probe succeeds)--> closed (re-admitted)
+//	half-open --(probe fails)--> open, cooldown doubled (capped)
+//
+// While a backend's breaker is open, the ring walk skips it — its keys
+// rehash to their replicas — and the pool's prober owns re-admission: only
+// a successful /healthz probe closes the breaker, so regular traffic never
+// lands on a node that has not proven itself again.
+
+// Breaker states (the shmt_router_breaker_state gauge values, matching the
+// device-level shmt_breaker_state encoding).
+const (
+	brClosed int32 = iota
+	brOpen
+	brHalfOpen
+)
+
+// stateName maps a breaker state to its /statusz label.
+func stateName(s int32) string {
+	switch s {
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a backend breaker; zero values select the defaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (default 3, matching the device-level Resilience default).
+	Threshold int
+	// Cooldown is the initial quarantine before the first re-admission
+	// probe (default 1s).
+	Cooldown time.Duration
+	// CooldownCap bounds the doubled cooldown (default 30s).
+	CooldownCap time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.CooldownCap <= 0 {
+		c.CooldownCap = 30 * time.Second
+	}
+	return c
+}
+
+// breaker is one backend's circuit breaker. Safe for concurrent use: request
+// handlers record outcomes while the prober drives probe transitions.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       int32
+	consecFails int
+	opens       int
+	cooldown    time.Duration
+	openedAt    time.Time
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults()}
+}
+
+// quarantined reports whether the backend is refusing regular work.
+func (b *breaker) quarantined() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == brOpen
+}
+
+// snapshot returns (state, consecutive failures, opens, current cooldown)
+// for /statusz.
+func (b *breaker) snapshot() (state int32, fails, opens int, cooldown time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.consecFails, b.opens, b.cooldown
+}
+
+// probeDue reports whether an open breaker's cooldown has elapsed, making
+// the next health probe a half-open re-admission attempt.
+func (b *breaker) probeDue(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == brOpen && now.Sub(b.openedAt) >= b.cooldown
+}
+
+// beginProbe turns an open breaker half-open; the caller runs the probe.
+// Returns false when the breaker is not open (nothing to probe).
+func (b *breaker) beginProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != brOpen {
+		return false
+	}
+	b.state = brHalfOpen
+	return true
+}
+
+// onFailure records a failed dispatch or probe and reports whether the
+// breaker opened on this failure (threshold reached from closed, or a failed
+// half-open probe re-opening with doubled cooldown).
+func (b *breaker) onFailure(now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails++
+	switch {
+	case b.state == brHalfOpen:
+		b.opens++
+		b.cooldown *= 2
+		if b.cooldown > b.cfg.CooldownCap {
+			b.cooldown = b.cfg.CooldownCap
+		}
+		b.state = brOpen
+		b.openedAt = now
+		opened = true
+	case b.state == brClosed && b.consecFails >= b.cfg.Threshold:
+		b.opens++
+		b.cooldown = b.cfg.Cooldown
+		b.state = brOpen
+		b.openedAt = now
+		opened = true
+	}
+	return opened
+}
+
+// onSuccess closes the breaker; readmitted reports whether this success was
+// a half-open probe returning a quarantined backend to service.
+func (b *breaker) onSuccess() (readmitted bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	readmitted = b.state == brHalfOpen
+	b.state = brClosed
+	b.consecFails = 0
+	return readmitted
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second})
+	now := time.Unix(1000, 0)
+	if b.onFailure(now) || b.onFailure(now) {
+		t.Fatal("breaker opened before threshold")
+	}
+	if !b.onFailure(now) {
+		t.Fatal("breaker did not open at threshold")
+	}
+	if !b.quarantined() {
+		t.Fatal("open breaker not quarantined")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := newBreaker(BreakerConfig{Threshold: 3})
+	now := time.Unix(1000, 0)
+	b.onFailure(now)
+	b.onFailure(now)
+	if b.onSuccess() {
+		t.Fatal("closed-state success reported a readmission")
+	}
+	// The streak restarted: two more failures must not open it.
+	if b.onFailure(now) || b.onFailure(now) {
+		t.Fatal("failure streak survived a success")
+	}
+}
+
+func TestBreakerProbeCycle(t *testing.T) {
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, CooldownCap: 3 * time.Second})
+	t0 := time.Unix(1000, 0)
+	if !b.onFailure(t0) {
+		t.Fatal("threshold-1 breaker did not open on first failure")
+	}
+	if b.probeDue(t0.Add(500 * time.Millisecond)) {
+		t.Fatal("probe due before cooldown elapsed")
+	}
+	if !b.probeDue(t0.Add(time.Second)) {
+		t.Fatal("probe not due after cooldown")
+	}
+	if !b.beginProbe() {
+		t.Fatal("beginProbe refused an open breaker")
+	}
+	if b.quarantined() {
+		t.Fatal("half-open breaker still reads quarantined")
+	}
+	// Failed probe: re-open with doubled cooldown.
+	t1 := t0.Add(time.Second)
+	if !b.onFailure(t1) {
+		t.Fatal("failed probe did not re-open")
+	}
+	if b.probeDue(t1.Add(time.Second)) {
+		t.Fatal("cooldown did not double after failed probe")
+	}
+	if !b.probeDue(t1.Add(2 * time.Second)) {
+		t.Fatal("probe not due after doubled cooldown")
+	}
+	// Two more failed probes: cooldown caps at 3s, not 8s.
+	b.beginProbe()
+	t2 := t1.Add(2 * time.Second)
+	b.onFailure(t2)
+	if !b.probeDue(t2.Add(3 * time.Second)) {
+		t.Fatal("cooldown exceeded its cap")
+	}
+	// Successful probe re-admits.
+	if !b.beginProbe() {
+		t.Fatal("beginProbe refused after cap")
+	}
+	if !b.onSuccess() {
+		t.Fatal("half-open success did not report readmission")
+	}
+	if b.quarantined() {
+		t.Fatal("readmitted breaker still quarantined")
+	}
+	state, fails, _, _ := b.snapshot()
+	if state != brClosed || fails != 0 {
+		t.Fatalf("after readmission: state=%d fails=%d", state, fails)
+	}
+}
+
+func TestBreakerBeginProbeOnlyWhenOpen(t *testing.T) {
+	b := newBreaker(BreakerConfig{})
+	if b.beginProbe() {
+		t.Fatal("beginProbe succeeded on a closed breaker")
+	}
+}

@@ -1,0 +1,29 @@
+// Package cluster is the multi-node serving tier: an HTTP router that
+// shards VOP requests across a fleet of shmtserved backends.
+//
+// The pieces mirror the single-node runtime one level up:
+//
+//   - Ring (ring.go) is a consistent-hash ring over the registered backends,
+//     keyed on (tenant, op, shape) with bounded-load rebalancing, so a hot
+//     key set cannot pile onto one node and membership changes move only
+//     ~K/N keys.
+//   - Breaker (breaker.go) is the PR-4 closed/open/half-open circuit-breaker
+//     state machine on a wall clock: a backend that keeps failing is
+//     quarantined, its keys rehash to ring replicas, and periodic /healthz
+//     probes re-admit it.
+//   - Pool (pool.go) owns the backend set: self-registration via
+//     POST /v1/register, static seeding, the health prober, and the
+//     breaker-aware ring pick.
+//   - Router (router.go) is the HTTP front-end: it proxies POST /v1/execute
+//     to the picked backend with in-request failover to replicas, threads
+//     X-SHMT-Trace-Id through, and exposes /metrics, /healthz and /statusz
+//     with the same drain discipline as shmtserved.
+//   - Scatter (scatter.go, remote.go) handles VOPs too large for one node:
+//     the router partitions them with the hlop machinery and dispatches the
+//     partitions to several backends through Remote, a device.Device adapter
+//     whose interconnect link is the cluster network — so cross-node
+//     placement is priced with the same cost model the in-process scheduler
+//     uses for device transfers.
+//
+// cmd/shmtrouterd wraps the router in a daemon.
+package cluster

@@ -1,0 +1,445 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shmt/internal/telemetry"
+)
+
+// PoolConfig tunes the backend pool. Zero values select the defaults noted
+// per field.
+type PoolConfig struct {
+	// Vnodes is the virtual-node count per backend on the hash ring
+	// (default DefaultVnodes).
+	Vnodes int
+	// LoadFactor is the bounded-load ceiling factor c: a backend may hold at
+	// most ceil(c * total / n) in-flight requests before its keys spill to
+	// replicas (default 1.25, clamped to >= 1).
+	LoadFactor float64
+	// Breaker tunes the per-backend circuit breakers.
+	Breaker BreakerConfig
+	// ProbeInterval is the health-probe cadence (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz round-trip (default 2s).
+	ProbeTimeout time.Duration
+	// Client is the HTTP client probes and proxied requests share; nil gets
+	// a keep-alive transport sized for a small fleet.
+	Client *http.Client
+	// Logger, when non-nil, receives backend lifecycle and breaker events.
+	Logger *slog.Logger
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.LoadFactor < 1 {
+		c.LoadFactor = 1.25
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return c
+}
+
+// Backend is one registered shmtserved node.
+type Backend struct {
+	addr string // host:port, the pool map key and ring member name
+	base string // "http://host:port"
+	br   *breaker
+
+	inflight atomic.Int64 // requests currently proxied to this backend
+	requests atomic.Int64 // dispatch attempts, lifetime
+
+	mu            sync.Mutex
+	lastProbe     time.Time
+	lastProbeOK   bool
+	lastProbeBody string // healthz status string, for /statusz
+	registeredAt  time.Time
+}
+
+// Addr returns the backend's host:port.
+func (b *Backend) Addr() string { return b.addr }
+
+// BaseURL returns the backend's http:// base.
+func (b *Backend) BaseURL() string { return b.base }
+
+// Quarantined reports whether the backend's breaker is open.
+func (b *Backend) Quarantined() bool { return b.br.quarantined() }
+
+// BackendStatus is one backend's /statusz row.
+type BackendStatus struct {
+	Addr          string  `json:"addr"`
+	Breaker       string  `json:"breaker"` // closed | open | half-open
+	ConsecFails   int     `json:"consecutive_failures,omitempty"`
+	Opens         int     `json:"breaker_opens,omitempty"`
+	CooldownMs    float64 `json:"cooldown_ms,omitempty"`
+	InFlight      int64   `json:"inflight"`
+	Requests      int64   `json:"requests"`
+	LastProbeOK   bool    `json:"last_probe_ok"`
+	LastProbeAgoS float64 `json:"last_probe_ago_seconds,omitempty"`
+	LastProbe     string  `json:"last_probe_status,omitempty"`
+}
+
+// Pool owns the backend set: registration, the consistent-hash ring, health
+// probing, and breaker bookkeeping. All methods are safe for concurrent use.
+type Pool struct {
+	cfg PoolConfig
+
+	mu       sync.RWMutex
+	backends map[string]*Backend
+	ring     *Ring
+
+	total atomic.Int64 // in-flight requests across all backends
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewPool builds a pool seeded with the given backend addrs (host:port) and
+// starts the health prober. Close stops it.
+func NewPool(cfg PoolConfig, seeds []string) (*Pool, error) {
+	p := &Pool{
+		cfg:      cfg.withDefaults(),
+		backends: map[string]*Backend{},
+		ring:     NewRing(nil, cfg.Vnodes),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, s := range seeds {
+		if _, err := p.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	go p.probeLoop()
+	return p, nil
+}
+
+// Close stops the health prober.
+func (p *Pool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+// Client returns the pool's shared HTTP client.
+func (p *Pool) Client() *http.Client { return p.cfg.Client }
+
+// LoadFactor returns the bounded-load ceiling factor.
+func (p *Pool) LoadFactor() float64 { return p.cfg.LoadFactor }
+
+// Add registers a backend by host:port. Idempotent: re-registering an
+// existing backend (a restarted node announcing itself again) is not an
+// error and reports added=false.
+func (p *Pool) Add(addr string) (added bool, err error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil || host == "" || port == "" {
+		return false, fmt.Errorf("cluster: backend addr %q is not host:port: %v", addr, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.backends[addr]; ok {
+		return false, nil
+	}
+	b := &Backend{
+		addr: addr,
+		base: "http://" + addr,
+		br:   newBreaker(p.cfg.Breaker),
+	}
+	b.registeredAt = time.Now()
+	p.backends[addr] = b
+	p.rebuildRingLocked()
+	telemetry.RouterBreakerState.With(addr).Set(int64(brClosed))
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Info("backend registered", "backend", addr, "fleet", len(p.backends))
+	}
+	return true, nil
+}
+
+// Remove unregisters a backend; its keys redistribute over the survivors.
+func (p *Pool) Remove(addr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.backends[addr]; !ok {
+		return false
+	}
+	delete(p.backends, addr)
+	p.rebuildRingLocked()
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Info("backend removed", "backend", addr, "fleet", len(p.backends))
+	}
+	return true
+}
+
+// rebuildRingLocked swaps in a fresh ring for the current member set and
+// refreshes the fleet gauges. Caller holds p.mu.
+func (p *Pool) rebuildRingLocked() {
+	members := make([]string, 0, len(p.backends))
+	for a := range p.backends {
+		members = append(members, a)
+	}
+	p.ring = NewRing(members, p.cfg.Vnodes)
+	p.refreshGaugesLocked()
+}
+
+func (p *Pool) refreshGaugesLocked() {
+	healthy := 0
+	for _, b := range p.backends {
+		if !b.br.quarantined() {
+			healthy++
+		}
+	}
+	telemetry.RouterBackends.Set(int64(len(p.backends)))
+	telemetry.RouterBackendsHealthy.Set(int64(healthy))
+}
+
+// refreshGauges re-derives the fleet gauges (called after breaker events).
+func (p *Pool) refreshGauges() {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	p.refreshGaugesLocked()
+}
+
+// Len returns the registered backend count.
+func (p *Pool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.backends)
+}
+
+// Healthy returns the backends whose breaker is not open, in sorted order.
+func (p *Pool) Healthy() []*Backend {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*Backend, 0, len(p.backends))
+	for _, b := range p.backends {
+		if !b.br.quarantined() {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
+	return out
+}
+
+// Quarantined returns the addrs of backends whose breaker is open, sorted.
+func (p *Pool) Quarantined() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []string
+	for a, b := range p.backends {
+		if b.br.quarantined() {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Statuses returns every backend's /statusz row, sorted by addr.
+func (p *Pool) Statuses() []BackendStatus {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]BackendStatus, 0, len(p.backends))
+	for _, b := range p.backends {
+		state, fails, opens, cooldown := b.br.snapshot()
+		st := BackendStatus{
+			Addr:        b.addr,
+			Breaker:     stateName(state),
+			ConsecFails: fails,
+			Opens:       opens,
+			CooldownMs:  float64(cooldown) / float64(time.Millisecond),
+			InFlight:    b.inflight.Load(),
+			Requests:    b.requests.Load(),
+		}
+		b.mu.Lock()
+		st.LastProbeOK = b.lastProbeOK
+		st.LastProbe = b.lastProbeBody
+		if !b.lastProbe.IsZero() {
+			st.LastProbeAgoS = time.Since(b.lastProbe).Seconds()
+		}
+		b.mu.Unlock()
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Replicas returns the key's backends in ring order (primary first),
+// regardless of health — the failover walk decides what to skip.
+func (p *Pool) Replicas(k Key) []*Backend {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	names := p.ring.Lookup(k, p.ring.Len())
+	out := make([]*Backend, 0, len(names))
+	for _, n := range names {
+		if b, ok := p.backends[n]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Pick chooses the key's backend under the bounded-load rule. rehashed is
+// true when the pick is not the key's primary (quarantine or load spill);
+// a nil Backend means no healthy backend exists.
+func (p *Pool) Pick(k Key) (b *Backend, rehashed bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	name, pos := p.ring.PickBounded(k, p.cfg.LoadFactor,
+		func(n string) bool { return !p.backends[n].br.quarantined() },
+		func(n string) int64 { return p.backends[n].inflight.Load() },
+		p.total.Load())
+	if name == "" {
+		return nil, false
+	}
+	return p.backends[name], pos > 0
+}
+
+// Acquire marks one request in flight on b; the returned release must be
+// called exactly once when the dispatch attempt ends.
+func (p *Pool) Acquire(b *Backend) (release func()) {
+	b.inflight.Add(1)
+	b.requests.Add(1)
+	p.total.Add(1)
+	telemetry.RouterBackendRequests.With(b.addr).Inc()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			b.inflight.Add(-1)
+			p.total.Add(-1)
+		})
+	}
+}
+
+// NoteFailure records a failed dispatch attempt against b's breaker and
+// reports whether the breaker opened (the backend is now quarantined and its
+// keys rehash to replicas).
+func (p *Pool) NoteFailure(b *Backend) (opened bool) {
+	telemetry.RouterBackendErrors.With(b.addr).Inc()
+	opened = b.br.onFailure(time.Now())
+	if opened {
+		telemetry.RouterBreakerOpens.With(b.addr).Inc()
+		telemetry.RouterBreakerState.With(b.addr).Set(int64(brOpen))
+		p.refreshGauges()
+		if p.cfg.Logger != nil {
+			p.cfg.Logger.Warn("backend breaker open", "backend", b.addr)
+		}
+	}
+	return opened
+}
+
+// NoteSuccess records a successful dispatch against b's breaker.
+func (p *Pool) NoteSuccess(b *Backend) {
+	if b.br.onSuccess() {
+		p.noteReadmitted(b)
+	}
+}
+
+func (p *Pool) noteReadmitted(b *Backend) {
+	telemetry.RouterReadmissions.Inc()
+	telemetry.RouterBreakerState.With(b.addr).Set(int64(brClosed))
+	p.refreshGauges()
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Info("backend readmitted", "backend", b.addr)
+	}
+}
+
+// probeLoop periodically probes every backend's /healthz: closed breakers
+// for failure detection, open breakers (once their cooldown elapses) for
+// half-open re-admission.
+func (p *Pool) probeLoop() {
+	defer close(p.done)
+	t := time.NewTicker(p.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		p.mu.RLock()
+		bs := make([]*Backend, 0, len(p.backends))
+		for _, b := range p.backends {
+			bs = append(bs, b)
+		}
+		p.mu.RUnlock()
+		for _, b := range bs {
+			p.probe(b)
+		}
+	}
+}
+
+// probe runs one health check against b and feeds the result to its
+// breaker. Quarantined backends are only probed after their cooldown, and
+// through the half-open state, so re-admission always has a successful
+// probe behind it.
+func (p *Pool) probe(b *Backend) {
+	now := time.Now()
+	if b.br.quarantined() {
+		if !b.br.probeDue(now) {
+			return
+		}
+		if !b.br.beginProbe() {
+			return
+		}
+		telemetry.RouterBreakerState.With(b.addr).Set(int64(brHalfOpen))
+	}
+	ok, status := p.checkHealth(b)
+	b.mu.Lock()
+	b.lastProbe, b.lastProbeOK, b.lastProbeBody = now, ok, status
+	b.mu.Unlock()
+	if ok {
+		telemetry.RouterProbes.With("ok").Inc()
+		if b.br.onSuccess() {
+			p.noteReadmitted(b)
+		}
+		return
+	}
+	telemetry.RouterProbes.With("fail").Inc()
+	if b.br.onFailure(time.Now()) {
+		telemetry.RouterBreakerOpens.With(b.addr).Inc()
+		telemetry.RouterBreakerState.With(b.addr).Set(int64(brOpen))
+		p.refreshGauges()
+		if p.cfg.Logger != nil {
+			p.cfg.Logger.Warn("backend breaker open", "backend", b.addr, "probe", status)
+		}
+	}
+}
+
+// checkHealth GETs the backend's /healthz. 2xx — "ok" or "degraded", both
+// still serving — counts healthy; "draining" (503), other statuses and
+// transport errors count as failures.
+func (p *Pool) checkHealth(b *Backend) (ok bool, status string) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		return false, err.Error()
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return false, err.Error()
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return false, fmt.Sprintf("http %d", resp.StatusCode)
+	}
+	return true, "ok"
+}

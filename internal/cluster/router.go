@@ -1,0 +1,583 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"shmt/internal/serve"
+	"shmt/internal/telemetry"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// TenantHeader carries the client's tenant identity; it is the first
+// component of the placement key, so one tenant's working set stays on the
+// backends that already hold its plan and exec-time caches.
+const TenantHeader = "X-SHMT-Tenant"
+
+// BackendHeader names the backend that served a proxied request — smoke
+// tests and operators use it to see placement without scraping metrics.
+const BackendHeader = "X-SHMT-Backend"
+
+// ScatterHeader carries the partition count of a scatter-gathered response.
+const ScatterHeader = "X-SHMT-Scatter"
+
+// RouterConfig tunes the router front-end. Zero values select the defaults
+// noted per field.
+type RouterConfig struct {
+	// Pool tunes backend membership, probing and breakers.
+	Pool PoolConfig
+	// Seeds are backends known at startup (host:port); more may register at
+	// runtime via POST /v1/register.
+	Seeds []string
+	// MaxAttempts bounds dispatch attempts per proxied request: the primary
+	// plus failovers to ring replicas (default 3).
+	MaxAttempts int
+	// BackendTimeout bounds one backend round-trip (default 30s).
+	BackendTimeout time.Duration
+	// ScatterThreshold is the first-input element count at or above which an
+	// eligible VOP is scatter-gathered across backends instead of proxied
+	// whole (default 1<<21 elements, 16 MB of float64; negative disables
+	// scatter entirely).
+	ScatterThreshold int
+	// MaxFanout caps how many partitions a scattered VOP splits into
+	// (default 4).
+	MaxFanout int
+	// RetryAfter is the Retry-After hint on 503 responses (default 1s).
+	RetryAfter time.Duration
+	// Logger, when non-nil, receives request and lifecycle logs.
+	Logger *slog.Logger
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackendTimeout <= 0 {
+		c.BackendTimeout = 30 * time.Second
+	}
+	if c.ScatterThreshold == 0 {
+		c.ScatterThreshold = 1 << 21
+	}
+	if c.MaxFanout <= 0 {
+		c.MaxFanout = 4
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Pool.Logger == nil {
+		c.Pool.Logger = c.Logger
+	}
+	return c
+}
+
+// Router is the cluster front-end: it owns the backend pool and serves
+//
+//	POST /v1/execute  — proxy to the key's backend, failover to replicas,
+//	                    scatter-gather for very large eligible VOPs
+//	POST /v1/register — backend self-registration
+//	GET  /healthz     — ok | degraded | draining (503), mirroring shmtserved
+//	GET  /statusz     — backends, breakers, ring and fleet introspection
+//	GET  /metrics     — Prometheus exposition of the process registry
+type Router struct {
+	cfg      RouterConfig
+	pool     *Pool
+	hs       *http.Server
+	ln       net.Listener
+	draining atomic.Bool
+	started  time.Time
+}
+
+// NewRouter builds a router and starts its backend pool (prober included).
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	pool, err := NewPool(cfg.Pool, cfg.Seeds)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{cfg: cfg, pool: pool, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/execute", rt.handleExecute)
+	mux.HandleFunc("POST /v1/register", rt.handleRegister)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /statusz", rt.handleStatusz)
+	mux.HandleFunc("GET /metrics", telemetry.ExpositionHandler(telemetry.Default))
+	rt.hs = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return rt, nil
+}
+
+// Pool exposes the backend pool (registration from the daemon, tests).
+func (rt *Router) Pool() *Pool { return rt.pool }
+
+// Handler exposes the mux (httptest-friendly).
+func (rt *Router) Handler() http.Handler { return rt.hs.Handler }
+
+// Listen binds addr (host:port; port 0 picks a free port).
+func (rt *Router) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: listen: %w", err)
+	}
+	rt.ln = ln
+	return nil
+}
+
+// Addr returns the bound address ("" before Listen).
+func (rt *Router) Addr() string {
+	if rt.ln == nil {
+		return ""
+	}
+	return rt.ln.Addr().String()
+}
+
+// Serve accepts connections until Shutdown; nil on a clean stop.
+func (rt *Router) Serve() error {
+	if rt.ln == nil {
+		return errors.New("cluster: Serve before Listen")
+	}
+	err := rt.hs.Serve(rt.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains: new requests get 503 + Retry-After, in-flight proxies
+// finish (bounded by ctx), then the listener closes and the prober stops —
+// the same discipline as shmtserved.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.draining.Store(true)
+	if rt.cfg.Logger != nil {
+		rt.cfg.Logger.Info("drain begin")
+	}
+	err := rt.hs.Shutdown(ctx)
+	rt.pool.Close()
+	if rt.cfg.Logger != nil {
+		rt.cfg.Logger.Info("drain end")
+	}
+	return err
+}
+
+type registerRequest struct {
+	Addr string `json:"addr"`
+}
+
+type registerResponse struct {
+	OK       bool   `json:"ok"`
+	Addr     string `json:"addr"`
+	Backends int    `json:"backends"`
+}
+
+// handleRegister admits a backend into the pool. Idempotent: a restarted
+// backend re-announcing itself is fine. A blank or wildcard host in the
+// announced addr is replaced with the peer address the registration came
+// from, so backends listening on 0.0.0.0 register reachable endpoints.
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<12)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, wireError{Error: "bad register body: " + err.Error()})
+		return
+	}
+	host, port, err := net.SplitHostPort(req.Addr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, wireError{Error: "addr must be host:port: " + err.Error()})
+		return
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		if peer, _, perr := net.SplitHostPort(r.RemoteAddr); perr == nil {
+			host = peer
+		}
+	}
+	addr := net.JoinHostPort(host, port)
+	added, err := rt.pool.Add(addr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, wireError{Error: err.Error()})
+		return
+	}
+	if added && rt.cfg.Logger != nil {
+		rt.cfg.Logger.Info("backend self-registered", "backend", addr)
+	}
+	writeJSON(w, http.StatusOK, registerResponse{OK: true, Addr: addr, Backends: rt.pool.Len()})
+}
+
+type routerHealth struct {
+	Status      string   `json:"status"` // "ok" | "degraded" | "draining" | "unavailable"
+	Backends    int      `json:"backends"`
+	Healthy     int      `json:"healthy"`
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if rt.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, routerHealth{Status: "draining"})
+		return
+	}
+	total := rt.pool.Len()
+	healthy := len(rt.pool.Healthy())
+	quar := rt.pool.Quarantined()
+	h := routerHealth{Backends: total, Healthy: healthy, Quarantined: quar}
+	switch {
+	case healthy == 0:
+		// Nothing can serve: unlike a degraded node, the router really is
+		// down for work, so load balancers should route away.
+		h.Status = "unavailable"
+		writeJSON(w, http.StatusServiceUnavailable, h)
+	case len(quar) > 0:
+		h.Status = "degraded"
+		writeJSON(w, http.StatusOK, h)
+	default:
+		h.Status = "ok"
+		writeJSON(w, http.StatusOK, h)
+	}
+}
+
+type routerStatus struct {
+	Service       string          `json:"service"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Draining      bool            `json:"draining"`
+	Vnodes        int             `json:"vnodes"`
+	LoadFactor    float64         `json:"load_factor"`
+	MaxAttempts   int             `json:"max_attempts"`
+	ScatterElems  int             `json:"scatter_threshold_elems"`
+	MaxFanout     int             `json:"max_fanout"`
+	Backends      []BackendStatus `json:"backends"`
+}
+
+func (rt *Router) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, routerStatus{
+		Service:       "shmtrouterd",
+		UptimeSeconds: time.Since(rt.started).Seconds(),
+		Draining:      rt.draining.Load(),
+		Vnodes:        rt.cfg.Pool.withDefaults().Vnodes,
+		LoadFactor:    rt.pool.LoadFactor(),
+		MaxAttempts:   rt.cfg.MaxAttempts,
+		ScatterElems:  rt.cfg.ScatterThreshold,
+		MaxFanout:     rt.cfg.MaxFanout,
+		Backends:      rt.pool.Statuses(),
+	})
+}
+
+func (rt *Router) handleExecute(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	outcome := "error"
+	defer func() {
+		telemetry.RouterRequests.With(outcome).Inc()
+		telemetry.RouterRequestSeconds.Observe(time.Since(start).Seconds())
+	}()
+
+	traceID := serve.SanitizeTraceID(r.Header.Get(serve.TraceHeader))
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
+	w.Header().Set(serve.TraceHeader, traceID)
+
+	if rt.draining.Load() {
+		outcome = "draining"
+		w.Header().Set("Retry-After", strconv.Itoa(int(rt.cfg.RetryAfter/time.Second)+1))
+		writeJSON(w, http.StatusServiceUnavailable, wireError{Error: "router draining"})
+		return
+	}
+
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		outcome = "invalid"
+		writeJSON(w, http.StatusBadRequest, wireError{Error: "read body: " + err.Error()})
+		return
+	}
+	var req wireExecuteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		outcome = "invalid"
+		writeJSON(w, http.StatusBadRequest, wireError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	op, ok := vop.Parse(req.Op)
+	if !ok {
+		outcome = "invalid"
+		writeJSON(w, http.StatusBadRequest, wireError{Error: fmt.Sprintf("unknown op %q", req.Op)})
+		return
+	}
+	if len(req.Inputs) == 0 {
+		outcome = "invalid"
+		writeJSON(w, http.StatusBadRequest, wireError{Error: "no inputs"})
+		return
+	}
+	key := Key{
+		Tenant: r.Header.Get(TenantHeader),
+		Op:     op.String(),
+		Rows:   req.Inputs[0].Rows,
+		Cols:   req.Inputs[0].Cols,
+	}
+
+	if rt.shouldScatter(op, key.Rows, key.Cols) {
+		if done := rt.executeScatter(w, r, &req, op, traceID, &outcome); done {
+			rt.logRequest(r.Context(), traceID, key, "scatter", outcome, start)
+			return
+		}
+		// Scatter declined late (e.g. inputs failed VOP validation in a way
+		// the backend should report): fall through to the proxy path.
+	}
+	rt.executeProxy(w, r, body, key, traceID, &outcome)
+	rt.logRequest(r.Context(), traceID, key, "proxy", outcome, start)
+}
+
+func (rt *Router) logRequest(ctx context.Context, traceID string, key Key, path, outcome string, start time.Time) {
+	if rt.cfg.Logger == nil {
+		return
+	}
+	rt.cfg.Logger.LogAttrs(ctx, routeLogLevel(outcome), "route",
+		slog.String("trace_id", traceID),
+		slog.String("key", key.String()),
+		slog.String("path", path),
+		slog.String("outcome", outcome),
+		slog.Float64("total_ms", time.Since(start).Seconds()*1e3),
+	)
+}
+
+func routeLogLevel(outcome string) slog.Level {
+	switch outcome {
+	case "ok", "failover_ok", "invalid":
+		return slog.LevelInfo
+	case "draining", "unavailable":
+		return slog.LevelWarn
+	default:
+		return slog.LevelError
+	}
+}
+
+// shouldScatter decides the scatter path: an eligible opcode, a first input
+// at or above the threshold, and at least two healthy backends to spread
+// over (with one, whole-VOP proxying is strictly cheaper — no gather).
+func (rt *Router) shouldScatter(op vop.Opcode, rows, cols int) bool {
+	if rt.cfg.ScatterThreshold < 0 || !ScatterEligible(op) {
+		return false
+	}
+	if rows*cols < rt.cfg.ScatterThreshold {
+		return false
+	}
+	return len(rt.pool.Healthy()) >= 2
+}
+
+// executeScatter runs the scatter-gather path; it reports whether it wrote a
+// response (false = caller should fall back to proxying).
+func (rt *Router) executeScatter(w http.ResponseWriter, r *http.Request, req *wireExecuteRequest, op vop.Opcode, traceID string, outcome *string) bool {
+	inputs := make([]*tensor.Matrix, len(req.Inputs))
+	for i, m := range req.Inputs {
+		mat, err := tensor.FromSlice(m.Rows, m.Cols, m.Data)
+		if err != nil {
+			// Let the backend produce the canonical 400; proxy it whole.
+			return false
+		}
+		inputs[i] = mat
+	}
+	v := &vop.VOP{Op: op, Inputs: inputs, Attrs: req.Attrs, TraceID: traceID}
+	if err := v.Validate(); err != nil {
+		return false
+	}
+	fanout := rt.cfg.MaxFanout
+	if n := len(rt.pool.Healthy()); fanout > n {
+		fanout = n
+	}
+	plan, err := PlanScatter(v, fanout)
+	if err != nil {
+		return false
+	}
+	out, oc, err := scatterExecute(r.Context(), rt.pool, plan, v, traceID, rt.cfg.BackendTimeout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errNoBackends):
+		*outcome = "unavailable"
+		w.Header().Set("Retry-After", strconv.Itoa(int(rt.cfg.RetryAfter/time.Second)+1))
+		writeJSON(w, http.StatusServiceUnavailable, wireError{Error: err.Error()})
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		*outcome = "error"
+		writeJSON(w, http.StatusGatewayTimeout, wireError{Error: err.Error()})
+		return true
+	default:
+		*outcome = "error"
+		writeJSON(w, http.StatusBadGateway, wireError{Error: err.Error()})
+		return true
+	}
+	*outcome = "ok"
+	w.Header().Set(ScatterHeader, strconv.Itoa(oc.partitions))
+	writeJSON(w, http.StatusOK, wireExecuteResponse{
+		Output:          wireMatrix{Rows: out.Rows, Cols: out.Cols, Data: out.Data},
+		HLOPs:           oc.partitions,
+		MakespanSeconds: oc.makespan.Seconds(),
+		BatchSize:       1,
+	})
+	return true
+}
+
+// executeProxy relays the request to the key's backend, failing over to ring
+// replicas on retryable errors, and streams the winning response through.
+func (rt *Router) executeProxy(w http.ResponseWriter, r *http.Request, body []byte, key Key, traceID string, outcome *string) {
+	primary, rehashed := rt.pool.Pick(key)
+	if primary == nil {
+		*outcome = "unavailable"
+		w.Header().Set("Retry-After", strconv.Itoa(int(rt.cfg.RetryAfter/time.Second)+1))
+		writeJSON(w, http.StatusServiceUnavailable, wireError{Error: "no healthy backend"})
+		return
+	}
+	if rehashed {
+		telemetry.RouterRehashes.Inc()
+	}
+
+	// The attempt order: bounded-load pick first, then the key's remaining
+	// ring replicas.
+	tried := map[string]bool{}
+	order := []*Backend{primary}
+	for _, b := range rt.pool.Replicas(key) {
+		if b.addr != primary.addr {
+			order = append(order, b)
+		}
+	}
+	attempts := rt.cfg.MaxAttempts
+	if attempts > len(order) {
+		attempts = len(order)
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		b := order[attempt]
+		if tried[b.addr] || (attempt > 0 && b.Quarantined()) {
+			continue
+		}
+		tried[b.addr] = true
+		if attempt > 0 {
+			telemetry.RouterFailovers.Inc()
+		}
+		resp, err := rt.proxyOnce(r, b, body, traceID)
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, context.Canceled) {
+				*outcome = "error"
+				writeJSON(w, 499, wireError{Error: err.Error()})
+				return
+			}
+			rt.pool.NoteFailure(b)
+			continue
+		}
+		if retryableStatus(resp.StatusCode) && attempt+1 < attempts {
+			lastErr = fmt.Errorf("backend %s: http %d", b.addr, resp.StatusCode)
+			if resp.StatusCode != http.StatusTooManyRequests {
+				rt.pool.NoteFailure(b)
+			}
+			resp.Body.Close()
+			continue
+		}
+		if resp.StatusCode/100 == 2 {
+			rt.pool.NoteSuccess(b)
+			if attempt == 0 {
+				*outcome = "ok"
+			} else {
+				*outcome = "failover_ok"
+			}
+		} else {
+			*outcome = outcomeForStatus(resp.StatusCode)
+		}
+		relayResponse(w, resp, b.addr, traceID)
+		return
+	}
+	*outcome = "unavailable"
+	w.Header().Set("Retry-After", strconv.Itoa(int(rt.cfg.RetryAfter/time.Second)+1))
+	msg := "all backends failed"
+	if lastErr != nil {
+		msg = fmt.Sprintf("all backends failed: %v", lastErr)
+	}
+	writeJSON(w, http.StatusServiceUnavailable, wireError{Error: msg})
+}
+
+// proxyOnce sends one dispatch attempt to b. The caller owns resp.Body.
+func (rt *Router) proxyOnce(r *http.Request, b *Backend, body []byte, traceID string) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.BackendTimeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/execute", bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.TraceHeader, traceID)
+	if t := r.Header.Get(TenantHeader); t != "" {
+		req.Header.Set(TenantHeader, t)
+	}
+	release := rt.pool.Acquire(b)
+	resp, err := rt.pool.Client().Do(req)
+	if err != nil {
+		release()
+		cancel()
+		return nil, err
+	}
+	// Wrap the body so in-flight accounting and the context live until the
+	// response is fully relayed.
+	resp.Body = &bodyCloser{ReadCloser: resp.Body, done: func() { release(); cancel() }}
+	return resp, nil
+}
+
+type bodyCloser struct {
+	io.ReadCloser
+	done func()
+}
+
+func (bc *bodyCloser) Close() error {
+	err := bc.ReadCloser.Close()
+	if bc.done != nil {
+		bc.done()
+		bc.done = nil
+	}
+	return err
+}
+
+// retryableStatus: responses worth re-trying on a replica. 5xx covers a
+// draining (503) or dying backend; 429 means that backend's queue is full —
+// a replica may have room. 4xx client errors and 200s pass through.
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+func outcomeForStatus(code int) string {
+	switch {
+	case code == http.StatusTooManyRequests:
+		return "unavailable"
+	case code >= 500:
+		return "error"
+	case code >= 400:
+		return "invalid"
+	default:
+		return "ok"
+	}
+}
+
+// relayResponse streams a backend response to the client, preserving the
+// degradation and accounting headers and stamping the router's own metadata.
+func relayResponse(w http.ResponseWriter, resp *http.Response, backend, traceID string) {
+	defer resp.Body.Close()
+	for _, h := range []string{
+		"Content-Type", "Retry-After",
+		"X-SHMT-Batch-Size", "X-SHMT-Degraded", "X-SHMT-Quarantined",
+	} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(serve.TraceHeader, traceID)
+	w.Header().Set(BackendHeader, backend)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"shmt/internal/hlop"
+	"shmt/internal/interconnect"
+	"shmt/internal/telemetry"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+// ScatterEligible reports whether a VOP of this opcode can be scattered
+// across backends: each partition must be executable as an independent VOP
+// whose result is bit-identical to the same partition inside a whole-VOP run.
+// That excludes halo opcodes (a partition executed standalone clamps at its
+// own borders, not the matrix's), reductions (partials need a combine step),
+// and FDWT97 (the multi-level transform couples whole rows and columns).
+// What remains: element-wise vector ops, the per-option PDE solve, GEMM row
+// bands, per-row FFT, and the 8x8-tile DCT.
+func ScatterEligible(op vop.Opcode) bool {
+	switch op {
+	case vop.OpAdd, vop.OpSub, vop.OpMultiply, vop.OpLog, vop.OpSqrt, vop.OpRsqrt,
+		vop.OpTanh, vop.OpRelu, vop.OpMax, vop.OpMin, vop.OpParabolicPDE,
+		vop.OpGEMM, vop.OpFFT, vop.OpDCT8x8:
+		return true
+	}
+	return false
+}
+
+// ScatterPlan is the priced partitioning of one very large VOP across the
+// cluster.
+type ScatterPlan struct {
+	// Parts are the HLOP partitions, each carrying materialized (contiguous)
+	// input blocks ready for the wire.
+	Parts []*hlop.HLOP
+	// Bytes is the total wire payload: every partition's inputs plus its
+	// result block, at host element width.
+	Bytes int64
+	// TransferSeconds is the modelled ClusterNet cost of moving Bytes,
+	// partition by partition — the same Link.TransferTime pricing the
+	// in-process scheduler applies to device transfers, plus the per-request
+	// dispatch setup.
+	TransferSeconds float64
+}
+
+// PlanScatter partitions v into ~fanout independent partitions and prices
+// the wire traffic. Partition geometry is a pure function of (op, shape,
+// fanout) — hlop.Partition is deterministic — which is what makes scatter
+// placement-invariant: the same partitions execute wherever they land.
+func PlanScatter(v *vop.VOP, fanout int) (*ScatterPlan, error) {
+	if !ScatterEligible(v.Op) {
+		return nil, fmt.Errorf("cluster: %s is not scatter-eligible", v.Op)
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	// ForceCopy materializes each partition's blocks contiguously: the wire
+	// format is dense row-major, a zero-copy strided view would be re-copied
+	// at marshal time anyway.
+	parts, err := hlop.Partition(v, hlop.Spec{TargetPartitions: fanout, ForceCopy: true})
+	if err != nil {
+		return nil, err
+	}
+	p := &ScatterPlan{Parts: parts}
+	for _, h := range parts {
+		var b int64
+		for _, in := range h.Inputs {
+			b += in.Bytes(tensor.ElemSize)
+		}
+		b += h.Region.Bytes(tensor.ElemSize)
+		p.Bytes += b
+		p.TransferSeconds += interconnect.ClusterNet.TransferTime(b) + interconnect.ClusterNet.LatencySec
+	}
+	return p, nil
+}
+
+// scatterOutcome summarises one scattered execution for the response body.
+type scatterOutcome struct {
+	partitions int
+	backends   int
+	makespan   time.Duration
+}
+
+// errNoBackends means every dispatch target for a partition was exhausted.
+var errNoBackends = errors.New("cluster: no backend available")
+
+// scatterExecute runs the plan: partitions round-robin over the healthy
+// backends through RemoteExecutor adapters, each with in-flight failover to
+// the next backend in the rotation, results gathered into the output tensor
+// at each partition's region (output space for GEMM, input space otherwise —
+// hlop.HLOP.Region already encodes that distinction). Regions are disjoint,
+// so concurrent gathers need no lock.
+func scatterExecute(ctx context.Context, pool *Pool, plan *ScatterPlan, v *vop.VOP, traceID string, timeout time.Duration) (*tensor.Matrix, scatterOutcome, error) {
+	start := time.Now()
+	backends := pool.Healthy()
+	if len(backends) == 0 {
+		return nil, scatterOutcome{}, errNoBackends
+	}
+	rows, cols := v.OutputShape()
+	out := tensor.NewMatrix(rows, cols)
+
+	telemetry.RouterScatterRequests.Inc()
+	telemetry.RouterScatterTransferVirtualNanos.Add(int64(plan.TransferSeconds * 1e9))
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		used     = map[string]bool{}
+	)
+	for i, h := range plan.Parts {
+		wg.Add(1)
+		go func(i int, h *hlop.HLOP) {
+			defer wg.Done()
+			addr, err := dispatchPartition(ctx, pool, backends, i, h, out, traceID, timeout)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("partition %d (%v): %w", i, h.Region, err)
+				}
+				return
+			}
+			used[addr] = true
+		}(i, h)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, scatterOutcome{}, firstErr
+	}
+	oc := scatterOutcome{partitions: len(plan.Parts), backends: len(used), makespan: time.Since(start)}
+	telemetry.RouterScatterFanout.Observe(float64(oc.backends))
+	return out, oc, nil
+}
+
+// dispatchPartition sends one partition to its round-robin home backend,
+// walking the rotation on retryable failures, and gathers the result block
+// into out at the partition's region. It returns the backend that served it.
+func dispatchPartition(ctx context.Context, pool *Pool, backends []*Backend, i int, h *hlop.HLOP, out *tensor.Matrix, traceID string, timeout time.Duration) (string, error) {
+	var lastErr error
+	for attempt := 0; attempt < len(backends); attempt++ {
+		b := backends[(i+attempt)%len(backends)]
+		if b.Quarantined() {
+			continue
+		}
+		if attempt > 0 {
+			telemetry.RouterFailovers.Inc()
+		}
+		release := pool.Acquire(b)
+		rex := NewRemoteExecutor(b, pool.Client(), timeout)
+		res, err := rex.Do(ctx, traceID, h.Op, h.Inputs, h.Attrs)
+		release()
+		if err != nil {
+			lastErr = err
+			if !retryableRemote(err) {
+				return "", err
+			}
+			if breakerWorthy(err) {
+				pool.NoteFailure(b)
+			}
+			continue
+		}
+		pool.NoteSuccess(b)
+		if res.Rows != h.Region.Height || res.Cols != h.Region.Width {
+			return "", fmt.Errorf("cluster: partition %d result %dx%d does not match region %v",
+				i, res.Rows, res.Cols, h.Region)
+		}
+		if err := tensor.CopyIn(out, h.Region, res); err != nil {
+			return "", err
+		}
+		return b.addr, nil
+	}
+	if lastErr == nil {
+		lastErr = errNoBackends
+	}
+	return "", lastErr
+}
+
+// retryableRemote reports whether a dispatch failure may succeed on another
+// backend: transport errors and 5xx (a dying or draining node) do; a 429
+// shed does too (the replica may have queue room); other 4xx are the
+// request's own fault and fail fast, as does the client going away.
+func retryableRemote(err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Status >= 500 || re.Status == 429
+	}
+	return !errors.Is(err, context.Canceled)
+}
+
+// breakerWorthy reports whether a failure indicts the backend itself. A 429
+// shed is the backend protecting itself under load — retrying elsewhere is
+// right, quarantining the node is not.
+func breakerWorthy(err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) && re.Status == 429 {
+		return false
+	}
+	return true
+}

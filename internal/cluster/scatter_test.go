@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"shmt"
+	"shmt/internal/serve"
+	"shmt/internal/tensor"
+	"shmt/internal/vop"
+)
+
+func TestScatterEligibleSet(t *testing.T) {
+	for _, op := range []vop.Opcode{vop.OpAdd, vop.OpMultiply, vop.OpGEMM, vop.OpFFT, vop.OpDCT8x8, vop.OpParabolicPDE} {
+		if !ScatterEligible(op) {
+			t.Errorf("%s should be scatter-eligible", op)
+		}
+	}
+	// Halo opcodes, reductions and the cross-coupled wavelet must not
+	// scatter: standalone partition execution changes their semantics.
+	for _, op := range []vop.Opcode{vop.OpSobel, vop.OpStencil, vop.OpSRAD, vop.OpLaplacian, vop.OpMeanFilter, vop.OpConv, vop.OpReduceSum, vop.OpReduceHist256, vop.OpFDWT97} {
+		if ScatterEligible(op) {
+			t.Errorf("%s must not be scatter-eligible", op)
+		}
+	}
+}
+
+// TestPlanScatterDeterministic: partition geometry is a pure function of
+// (op, shape, fanout) — two plans for equal-shaped VOPs coincide region by
+// region, and the pricing is stable.
+func TestPlanScatterDeterministic(t *testing.T) {
+	mk := func() *vop.VOP {
+		a := tensor.NewMatrix(96, 64)
+		b := tensor.NewMatrix(64, 48)
+		for i := range a.Data {
+			a.Data[i] = float64(i%23) - 11
+		}
+		for i := range b.Data {
+			b.Data[i] = float64(i%19) - 9
+		}
+		v, err := vop.New(vop.OpGEMM, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	p1, err := PlanScatter(mk(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PlanScatter(mk(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Parts) != len(p2.Parts) || len(p1.Parts) < 2 {
+		t.Fatalf("plans split into %d and %d parts", len(p1.Parts), len(p2.Parts))
+	}
+	for i := range p1.Parts {
+		if p1.Parts[i].Region != p2.Parts[i].Region {
+			t.Fatalf("partition %d region %v vs %v", i, p1.Parts[i].Region, p2.Parts[i].Region)
+		}
+	}
+	if p1.Bytes != p2.Bytes || p1.Bytes <= 0 {
+		t.Fatalf("plan bytes %d vs %d", p1.Bytes, p2.Bytes)
+	}
+	if p1.TransferSeconds != p2.TransferSeconds || p1.TransferSeconds <= 0 {
+		t.Fatalf("plan transfer %g vs %g", p1.TransferSeconds, p2.TransferSeconds)
+	}
+}
+
+func TestPlanScatterRefusesIneligible(t *testing.T) {
+	in := tensor.NewMatrix(64, 64)
+	v, err := vop.New(vop.OpSobel, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlanScatter(v, 4); err == nil {
+		t.Fatal("PlanScatter accepted a halo opcode")
+	}
+}
+
+// newSessionBackend boots a real shmtserved stack (session + serve mux) and
+// returns its host:port. MaxBatch 1 keeps every partition its own scheduling
+// round, so results depend only on the partition's own content — the
+// determinism the placement-invariance property rides on.
+func newSessionBackend(t *testing.T) string {
+	t.Helper()
+	sess, err := shmt.NewSession(shmt.Config{Seed: 1, TargetPartitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(sess, serve.Config{MaxBatch: 1, MaxLinger: time.Millisecond, QueueDepth: 64})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Shutdown(context.Background())
+		sess.Close()
+	})
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+func quietPool(t *testing.T, seeds ...string) *Pool {
+	t.Helper()
+	p, err := NewPool(PoolConfig{ProbeInterval: time.Hour}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestScatterPlacementInvariance: the same scatter plan executed across two
+// backends, on one backend, and partition-by-partition through a local
+// session produces bit-identical outputs — cross-node placement does not
+// change numerics, because partition geometry (not placement) determines
+// them.
+func TestScatterPlacementInvariance(t *testing.T) {
+	a := tensor.NewMatrix(96, 64)
+	b := tensor.NewMatrix(64, 48)
+	for i := range a.Data {
+		a.Data[i] = float64(i%23) - 11
+	}
+	for i := range b.Data {
+		b.Data[i] = float64(i%19)/4 - 2
+	}
+	v, err := vop.New(vop.OpGEMM, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanScatter(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Parts) != 4 {
+		t.Fatalf("plan split into %d parts, want 4", len(plan.Parts))
+	}
+
+	pool2 := quietPool(t, newSessionBackend(t), newSessionBackend(t))
+	pool1 := quietPool(t, newSessionBackend(t))
+
+	out2, oc2, err := scatterExecute(context.Background(), pool2, plan, v, "trace-scatter-2", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc2.partitions != 4 || oc2.backends != 2 {
+		t.Fatalf("two-node scatter used %d backends over %d partitions", oc2.backends, oc2.partitions)
+	}
+	out1, oc1, err := scatterExecute(context.Background(), pool1, plan, v, "trace-scatter-1", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc1.backends != 1 {
+		t.Fatalf("one-node scatter used %d backends", oc1.backends)
+	}
+	if !out2.Equal(out1) {
+		t.Fatal("scatter across 2 nodes differs from the same plan on 1 node")
+	}
+
+	// Local reference: the identical partition list through a fresh local
+	// session, gathered the same way.
+	sess, err := shmt.NewSession(shmt.Config{Seed: 1, TargetPartitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	rows, cols := v.OutputShape()
+	local := tensor.NewMatrix(rows, cols)
+	for i, h := range plan.Parts {
+		rep, err := sess.Execute(h.Op, h.Inputs, h.Attrs)
+		if err != nil {
+			t.Fatalf("partition %d: %v", i, err)
+		}
+		if err := tensor.CopyIn(local, h.Region, rep.Output); err != nil {
+			t.Fatalf("partition %d gather: %v", i, err)
+		}
+	}
+	if !out2.Equal(local) {
+		t.Fatal("scattered execution differs from the local session running the same partitions")
+	}
+}
+
+// TestScatterFailover: a partition whose round-robin home is failing lands
+// on the other backend and the gather still completes.
+func TestScatterFailover(t *testing.T) {
+	good, bad := newFakeBackend(t), newFakeBackend(t)
+	bad.fail.Store(true)
+	pool, err := NewPool(PoolConfig{
+		ProbeInterval: time.Hour,
+		Breaker:       BreakerConfig{Threshold: 100}, // stay closed; exercise in-flight failover
+	}, []string{good.addr(), bad.addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	a := tensor.NewMatrix(64, 64)
+	b := tensor.NewMatrix(64, 64)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+		b.Data[i] = 1
+	}
+	v, err := vop.New(vop.OpAdd, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanScatter(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, oc, err := scatterExecute(context.Background(), pool, plan, v, "trace-failover", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.backends != 1 {
+		t.Fatalf("scatter used %d backends, want only the healthy one", oc.backends)
+	}
+	for i, got := range out.Data {
+		if got != float64(i)+1 {
+			t.Fatalf("element %d = %g, want %g", i, got, float64(i)+1)
+		}
+	}
+}
+
+// TestRouterScatterEndToEnd: a large eligible VOP entering the router
+// scatters across both backends and reassembles correctly on the wire.
+func TestRouterScatterEndToEnd(t *testing.T) {
+	b1, b2 := newFakeBackend(t), newFakeBackend(t)
+	_, ts := newTestRouter(t, RouterConfig{
+		Seeds:            []string{b1.addr(), b2.addr()},
+		ScatterThreshold: 1024,
+		MaxFanout:        4,
+		Pool:             PoolConfig{ProbeInterval: time.Hour},
+	})
+
+	resp, body := postExecute(t, ts.URL, addBody(64), nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("scatter request: status %d: %s", resp.StatusCode, body)
+	}
+	parts, err := strconv.Atoi(resp.Header.Get(ScatterHeader))
+	if err != nil || parts < 2 {
+		t.Fatalf("scatter header %q, want >= 2 partitions", resp.Header.Get(ScatterHeader))
+	}
+	var out wireExecuteResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Output.Rows != 64 || out.Output.Cols != 64 {
+		t.Fatalf("output shape %dx%d", out.Output.Rows, out.Output.Cols)
+	}
+	for i, got := range out.Output.Data {
+		if got != 2*float64(i) {
+			t.Fatalf("element %d = %g, want %g", i, got, 2*float64(i))
+		}
+	}
+	if b1.requests.Load() == 0 || b2.requests.Load() == 0 {
+		t.Fatalf("scatter did not fan out: backends saw %d and %d partitions",
+			b1.requests.Load(), b2.requests.Load())
+	}
+}
+
+// TestKeyString is a tiny guard on the statusz/debug formatting.
+func TestKeyString(t *testing.T) {
+	k := Key{Tenant: "acme", Op: "GEMM", Rows: 1024, Cols: 512}
+	if got, want := k.String(), "acme/GEMM/1024x512"; got != want {
+		t.Fatalf("Key.String() = %q, want %q", got, want)
+	}
+	_ = fmt.Sprintf("%v", k)
+}

@@ -43,6 +43,13 @@ var (
 	// overhead holds — the paper's own measurement implies the link does
 	// not bottleneck the Edge TPU at the evaluated granularities.
 	PCIeTPU = Link{BandwidthBps: 4e9, LatencySec: 20e-6}
+	// ClusterNet: the network tier between a router and a shmtserved backend
+	// node — modelled as 10 GbE (1.25 GB/s effective) with a
+	// request/response setup cost covering connection reuse, HTTP framing
+	// and JSON marshalling. The router's scatter-gather planner prices
+	// cross-node HLOP placement with this link exactly the way the
+	// in-process scheduler prices device transfers with HostDRAM/PCIeTPU.
+	ClusterNet = Link{BandwidthBps: 1.25e9, LatencySec: 200e-6}
 )
 
 // Exposure computes the exposed (non-hidden) portion of a transfer given the

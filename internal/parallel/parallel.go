@@ -121,8 +121,10 @@ func recomputeWorkers() {
 // The pool: GOMAXPROCS long-lived helper goroutines fed through a bounded
 // channel. Helpers are an accelerator, never a dependency — if the pool is
 // saturated (e.g. the concurrent engine's per-device workers all fan out at
-// once), For degrades to running every chunk on the calling goroutine, so
-// nested or concurrent use cannot deadlock.
+// once), For degrades to running every chunk on the calling goroutine, and
+// while waiting for submitted helpers For drains the task queue itself, so
+// nested or concurrent use cannot deadlock (a For inside a pool task would
+// otherwise wait forever on helpers queued behind its own worker).
 var (
 	poolOnce sync.Once
 	tasks    chan func()
@@ -239,19 +241,36 @@ func For(n, grain int, fn func(lo, hi int)) {
 		}
 	}
 
-	var wg sync.WaitGroup
+	var pending atomic.Int64
 	for i := 1; i < w; i++ {
-		wg.Add(1)
+		pending.Add(1)
 		if !submit(func() {
-			defer wg.Done()
+			defer pending.Add(-1)
 			work()
 		}) {
-			wg.Done()
+			pending.Add(-1)
 			break // pool saturated: the caller drains the counter alone
 		}
 	}
 	work()
-	wg.Wait()
+	// Wait for the submitted helpers — by helping. A helper that is still
+	// queued may never start on its own: when this caller *is* a pool worker
+	// (nested For, e.g. a kernel inside a prefetch task), or when every
+	// worker is blocked in this same wait, the queue has no one to drain it
+	// and a plain WaitGroup.Wait deadlocks. Executing queued tasks here
+	// breaks that cycle — our own helpers run inline (and find the chunk
+	// counter drained, exiting immediately), and foreign tasks make forward
+	// progress for whoever is waiting on them. Tasks never block except in
+	// this same helping wait, so the recursion terminates.
+	for pending.Load() > 0 {
+		select {
+		case f := <-tasks:
+			f()
+		default:
+			// Our helpers are running on real workers; let them finish.
+			runtime.Gosched()
+		}
+	}
 	if panicked.Load() {
 		panic(panicVal)
 	}

@@ -2,8 +2,10 @@ package parallel
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForCoversRangeOnce(t *testing.T) {
@@ -102,6 +104,43 @@ func TestRowGrain(t *testing.T) {
 	}
 	if g := RowGrain(1024); g != targetChunkElems/1024 {
 		t.Fatalf("1024-col grain = %d", g)
+	}
+}
+
+// TestPoolTaskCallingForDoesNotDeadlock reproduces the prefetch-path hang:
+// standalone pool tasks (Try) that themselves call For. Pre-fix, every pool
+// worker could end up parked in For's wait while that For's helpers sat
+// queued behind the very tasks occupying the workers — a cycle nobody could
+// break, deterministic on GOMAXPROCS=1. For now helps drain the queue while
+// it waits, so this must complete no matter how tasks and helpers interleave.
+func TestPoolTaskCallingForDoesNotDeadlock(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	launched := 0
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		if !Try(func() {
+			defer wg.Done()
+			For(64, 1, func(lo, hi int) { total.Add(int64(hi - lo)) })
+		}) {
+			wg.Done()
+			break
+		}
+		launched++
+	}
+	// The engine thread piles on concurrently, like Execute does.
+	For(64, 1, func(lo, hi int) { total.Add(int64(hi - lo)) })
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pool tasks calling For deadlocked")
+	}
+	if want := int64((launched + 1) * 64); total.Load() != want {
+		t.Fatalf("total = %d, want %d", total.Load(), want)
 	}
 }
 

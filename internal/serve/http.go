@@ -174,10 +174,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // router tier propagating its own ID) and outbound (the echo).
 const TraceHeader = "X-SHMT-Trace-Id"
 
-// sanitizeTraceID accepts an inbound trace ID if it is non-empty, at most
+// SanitizeTraceID accepts an inbound trace ID if it is non-empty, at most
 // 128 bytes, and contains only [A-Za-z0-9._:-]; anything else returns ""
-// (and a fresh ID is generated instead).
-func sanitizeTraceID(id string) string {
+// (and a fresh ID is generated instead). The router tier applies the same
+// rule at cluster admission so one charset governs the whole request path.
+func SanitizeTraceID(id string) string {
 	if id == "" || len(id) > 128 {
 		return ""
 	}
@@ -204,7 +205,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	var startRel float64
 	batchSize := 0
 	if s.cfg.Tracing {
-		if traceID = sanitizeTraceID(r.Header.Get(TraceHeader)); traceID == "" {
+		if traceID = SanitizeTraceID(r.Header.Get(TraceHeader)); traceID == "" {
 			traceID = telemetry.NewTraceID()
 		}
 		w.Header().Set(TraceHeader, traceID)

@@ -171,6 +171,69 @@ var (
 		"End-to-end wall-clock request latency in the serving layer.",
 		ExpBuckets(1e-4, 4, 12))
 
+	// Router tier (internal/cluster, cmd/shmtrouterd).
+
+	// RouterRequests counts routed requests by outcome (ok, failover_ok —
+	// answered after at least one backend failover —, invalid, unavailable,
+	// error, draining).
+	RouterRequests = Default.NewCounterVec("shmt_router_requests_total",
+		"Router-tier requests by outcome.", "outcome")
+	// RouterBackendRequests counts dispatch attempts per backend.
+	RouterBackendRequests = Default.NewCounterVec("shmt_router_backend_requests_total",
+		"Router dispatch attempts by backend.", "backend")
+	// RouterBackendErrors counts failed dispatch attempts per backend
+	// (transport errors and 5xx refusals that trigger failover).
+	RouterBackendErrors = Default.NewCounterVec("shmt_router_backend_errors_total",
+		"Failed router dispatch attempts by backend.", "backend")
+	// RouterFailovers counts requests re-dispatched to a replica after their
+	// first-choice backend failed mid-request.
+	RouterFailovers = Default.NewCounter("shmt_router_failovers_total",
+		"Requests re-dispatched to a replica backend after a dispatch failure.")
+	// RouterRehashes counts requests whose key landed off its primary ring
+	// position because the primary was quarantined or over the bounded-load
+	// ceiling.
+	RouterRehashes = Default.NewCounter("shmt_router_rehash_total",
+		"Requests rehashed off their primary backend (quarantine or bounded-load overflow).")
+	// RouterBreakerState gauges each backend's circuit-breaker state
+	// (0 closed, 1 open/quarantined, 2 half-open/probing).
+	RouterBreakerState = Default.NewGaugeVec("shmt_router_breaker_state",
+		"Per-backend circuit-breaker state (0 closed, 1 open, 2 half-open).", "backend")
+	// RouterBreakerOpens counts breaker open transitions per backend.
+	RouterBreakerOpens = Default.NewCounterVec("shmt_router_breaker_opens_total",
+		"Circuit-breaker open transitions (backend quarantines).", "backend")
+	// RouterReadmissions counts quarantined backends returned to service by a
+	// successful health probe.
+	RouterReadmissions = Default.NewCounter("shmt_router_readmissions_total",
+		"Quarantined backends re-admitted by a successful health probe.")
+	// RouterProbes counts backend health probes by result (ok, fail).
+	RouterProbes = Default.NewCounterVec("shmt_router_probes_total",
+		"Backend health probes by result.", "result")
+	// RouterBackends gauges the currently registered backend count.
+	RouterBackends = Default.NewGauge("shmt_router_backends",
+		"Backends currently registered with the router.")
+	// RouterBackendsHealthy gauges the registered backends whose breaker is
+	// not open.
+	RouterBackendsHealthy = Default.NewGauge("shmt_router_backends_healthy",
+		"Registered backends whose circuit breaker is closed or half-open.")
+	// RouterScatterRequests counts requests the router executed scatter-gather
+	// across multiple backends.
+	RouterScatterRequests = Default.NewCounter("shmt_router_scatter_requests_total",
+		"Requests partitioned and scatter-gathered across multiple backends.")
+	// RouterScatterFanout observes how many partitions each scatter-gathered
+	// request fanned out into.
+	RouterScatterFanout = Default.NewHistogram("shmt_router_scatter_fanout",
+		"Partitions dispatched per scatter-gathered request.",
+		ExpBuckets(1, 2, 6))
+	// RouterScatterTransferVirtualNanos accumulates the modelled
+	// network-transfer time the interconnect cost model priced for
+	// scatter-gather payloads.
+	RouterScatterTransferVirtualNanos = Default.NewCounter("shmt_router_scatter_transfer_virtual_nanoseconds_total",
+		"Modelled cluster-network transfer virtual nanoseconds priced for scatter-gather payloads.")
+	// RouterRequestSeconds observes end-to-end wall latency per routed request.
+	RouterRequestSeconds = Default.NewHistogram("shmt_router_request_seconds",
+		"End-to-end wall-clock request latency at the router tier.",
+		ExpBuckets(1e-4, 4, 12))
+
 	// Input prefetch (double-buffered staging pipeline).
 
 	// PrefetchIssued counts asynchronous input-prestage jobs issued ahead of

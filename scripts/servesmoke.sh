@@ -13,14 +13,21 @@
 # ARTIFACT_DIR for CI upload: a /statusz snapshot and the daemon's Perfetto
 # trace (written at drain via -trace-out).
 #
+# The listen address comes from SHMT_SERVE_ADDR (default 127.0.0.1:0, an
+# ephemeral port) and every scratch file lives in a private mktemp dir, so
+# several smoke runs — this one and clustersmoke.sh included — can run on the
+# same host at the same time without colliding.
+#
 # Needs only a POSIX shell, curl and awk. Run via `make servesmoke`.
 set -eu
 
-BIN=${BIN:-/tmp/shmtserved-smoke}
-LOG=${LOG:-/tmp/shmtserved-smoke.log}
+WORKDIR=$(mktemp -d "${TMPDIR:-/tmp}/servesmoke.XXXXXX")
+BIN=${BIN:-$WORKDIR/shmtserved}
+LOG=${LOG:-$WORKDIR/shmtserved.log}
+ADDR_FLAG=${SHMT_SERVE_ADDR:-127.0.0.1:0}
 CONCURRENCY=${CONCURRENCY:-8}
 VOLLEYS=${VOLLEYS:-5}
-ARTIFACT_DIR=${ARTIFACT_DIR:-/tmp}
+ARTIFACT_DIR=${ARTIFACT_DIR:-$WORKDIR}
 TRACE_OUT="$ARTIFACT_DIR/servesmoke-trace.json"
 STATUSZ_OUT="$ARTIFACT_DIR/servesmoke-statusz.json"
 
@@ -29,10 +36,10 @@ go build -o "$BIN" ./cmd/shmtserved
 
 # A generous linger so one volley of concurrent curls lands in one round even
 # on a slow CI runner.
-"$BIN" -addr 127.0.0.1:0 -max-batch 8 -max-linger 150ms \
+"$BIN" -addr "$ADDR_FLAG" -max-batch 8 -max-linger 150ms \
     -log-format json -trace-out "$TRACE_OUT" >"$LOG" 2>&1 &
 PID=$!
-trap 'kill "$PID" 2>/dev/null || true; rm -f "$BIN"' EXIT
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
 # The daemon prints "shmtserved listening on http://ADDR (...)" once bound.
 ADDR=""
@@ -56,8 +63,8 @@ while [ "$v" -lt "$VOLLEYS" ]; do
     CURL_PIDS=""
     while [ "$i" -lt "$CONCURRENCY" ]; do
         i=$((i + 1))
-        curl -s -o "/tmp/shmtserved-smoke-resp.$i" -w '%{http_code}\n' \
-            -d "$BODY" "http://$ADDR/v1/execute" >"/tmp/shmtserved-smoke-code.$i" &
+        curl -s -o "$WORKDIR/resp.$i" -w '%{http_code}\n' \
+            -d "$BODY" "http://$ADDR/v1/execute" >"$WORKDIR/code.$i" &
         CURL_PIDS="$CURL_PIDS $!"
     done
     for cp in $CURL_PIDS; do
@@ -66,20 +73,20 @@ while [ "$v" -lt "$VOLLEYS" ]; do
     i=0
     while [ "$i" -lt "$CONCURRENCY" ]; do
         i=$((i + 1))
-        code=$(cat "/tmp/shmtserved-smoke-code.$i")
+        code=$(cat "$WORKDIR/code.$i")
         if [ "$code" != "200" ]; then
             echo "FAIL: volley $v request $i: HTTP $code"
-            cat "/tmp/shmtserved-smoke-resp.$i"; echo
+            cat "$WORKDIR/resp.$i"; echo
             exit 1
         fi
-        grep -q '"output"' "/tmp/shmtserved-smoke-resp.$i" || {
+        grep -q '"output"' "$WORKDIR/resp.$i" || {
             echo "FAIL: volley $v request $i: no output in response"
-            cat "/tmp/shmtserved-smoke-resp.$i"; echo
+            cat "$WORKDIR/resp.$i"; echo
             exit 1
         }
     done
 done
-rm -f /tmp/shmtserved-smoke-resp.* /tmp/shmtserved-smoke-code.*
+rm -f "$WORKDIR"/resp.* "$WORKDIR"/code.*
 echo "all $((VOLLEYS * CONCURRENCY)) requests answered 200"
 
 EXPO=$(curl -s "http://$ADDR/metrics")
@@ -98,7 +105,7 @@ echo "$EXPO" | awk '
 # response header and in a trace block whose stage breakdown is non-empty
 # (encoding/json renders a zero stage as exactly ":0", so its absence on
 # execute_seconds proves a real measurement).
-TRACED=/tmp/shmtserved-smoke-traced.json
+TRACED="$WORKDIR/traced.json"
 THDR=$(curl -s -o "$TRACED" -D - -H 'X-SHMT-Trace-Id: smoke-trace-1' \
     -d "$BODY" "http://$ADDR/v1/execute" |
     awk -F': *' 'tolower($1)=="x-shmt-trace-id"{sub(/\r$/,"",$2); print $2; exit}')
@@ -136,7 +143,6 @@ while kill -0 "$PID" 2>/dev/null; do
 done
 wait "$PID" 2>/dev/null && rc=0 || rc=$?
 [ "$rc" -eq 0 ] || { echo "FAIL: exit status $rc after SIGTERM:"; cat "$LOG"; exit 1; }
-trap 'rm -f "$BIN"' EXIT
 
 # Artifact: the daemon wrote its Perfetto trace at drain; the request lane
 # for the traced request must be in it.
