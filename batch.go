@@ -2,6 +2,7 @@ package shmt
 
 import (
 	"fmt"
+	"math"
 
 	"shmt/internal/core"
 	"shmt/internal/vop"
@@ -18,6 +19,15 @@ type BatchRequest struct {
 	// TraceID, when set, tags the engine spans this request produces so the
 	// Perfetto export can stitch them to the serving layer's request lane.
 	TraceID string
+	// Tenant is the admission queue the request arrived through; it rides
+	// along for attribution (the engine schedules by VOP, not tenant).
+	Tenant string
+	// DeadlinePressure (0..1) encodes how tight the request's deadline is:
+	// QAWS raises the request's critical fraction with it, steering more
+	// partitions to high-accuracy devices. 0 means no deadline pressure.
+	// Values are quantized to 1/16 steps so the plan cache's key space
+	// stays bounded.
+	DeadlinePressure float64
 }
 
 // BatchResult carries the per-request reports and the batch-wide accounting
@@ -44,6 +54,12 @@ func (s *Session) ExecuteBatch(reqs []BatchRequest) (*BatchResult, error) {
 		}
 		if s.cfg.CriticalFraction > 0 {
 			v.CriticalFraction = s.cfg.CriticalFraction
+		}
+		if p := r.DeadlinePressure; p > 0 {
+			if p > 1 {
+				p = 1
+			}
+			v.DeadlinePressure = math.Round(p*16) / 16
 		}
 		v.TraceID = r.TraceID
 		vops[i] = v

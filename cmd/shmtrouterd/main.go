@@ -34,13 +34,48 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"shmt/internal/cluster"
+	"shmt/internal/serve"
 	"shmt/internal/telemetry"
 )
+
+// tenantLimitFlags parses repeatable -tenant-limit name:max-inflight values
+// into the router's per-tenant concurrency caps.
+type tenantLimitFlags struct {
+	m map[string]int
+}
+
+func (t *tenantLimitFlags) String() string {
+	parts := make([]string, 0, len(t.m))
+	for name, limit := range t.m {
+		parts = append(parts, fmt.Sprintf("%s:%d", name, limit))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tenantLimitFlags) Set(v string) error {
+	name, lim, ok := strings.Cut(v, ":")
+	if !ok || name == "" {
+		return fmt.Errorf("want name:max-inflight, got %q", v)
+	}
+	if serve.SanitizeTenant(name) == "" {
+		return fmt.Errorf("bad tenant name %q (want [A-Za-z0-9._:-], <= 64 bytes)", name)
+	}
+	n, err := strconv.Atoi(lim)
+	if err != nil || n < 1 {
+		return fmt.Errorf("bad max-inflight in %q (want integer >= 1)", v)
+	}
+	if t.m == nil {
+		t.m = map[string]int{}
+	}
+	t.m[name] = n
+	return nil
+}
 
 func main() {
 	var (
@@ -61,6 +96,8 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
+	var tenantLimits tenantLimitFlags
+	flag.Var(&tenantLimits, "tenant-limit", "per-tenant in-flight cap as name:max-inflight; repeatable (over-cap requests answer 429)")
 	flag.Parse()
 
 	// The router has no shmt.Session to flip the instrumentation gate the way
@@ -97,6 +134,7 @@ func main() {
 		ScatterThreshold: *scatterElems,
 		MaxFanout:        *maxFanout,
 		RetryAfter:       *retryAfter,
+		TenantLimits:     tenantLimits.m,
 		Logger:           logger,
 	})
 	if err != nil {

@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -46,6 +47,48 @@ import (
 	"shmt/internal/serve"
 	"shmt/internal/telemetry"
 )
+
+// tenantFlags parses repeatable -tenant name:weight[:queue-depth] values
+// into the serving layer's per-tenant QoS config.
+type tenantFlags struct {
+	m map[string]serve.TenantConfig
+}
+
+func (t *tenantFlags) String() string {
+	parts := make([]string, 0, len(t.m))
+	for name, tc := range t.m {
+		parts = append(parts, fmt.Sprintf("%s:%d:%d", name, tc.Weight, tc.QueueDepth))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tenantFlags) Set(v string) error {
+	fields := strings.Split(v, ":")
+	if len(fields) < 2 || len(fields) > 3 || fields[0] == "" {
+		return fmt.Errorf("want name:weight[:queue-depth], got %q", v)
+	}
+	if serve.SanitizeTenant(fields[0]) == "" {
+		return fmt.Errorf("bad tenant name %q (want [A-Za-z0-9._:-], <= 64 bytes)", fields[0])
+	}
+	tc := serve.TenantConfig{}
+	w, err := strconv.Atoi(fields[1])
+	if err != nil || w < 1 {
+		return fmt.Errorf("bad weight in %q (want integer >= 1)", v)
+	}
+	tc.Weight = w
+	if len(fields) == 3 {
+		d, err := strconv.Atoi(fields[2])
+		if err != nil || d < 1 {
+			return fmt.Errorf("bad queue-depth in %q (want integer >= 1)", v)
+		}
+		tc.QueueDepth = d
+	}
+	if t.m == nil {
+		t.m = map[string]serve.TenantConfig{}
+	}
+	t.m[fields[0]] = tc
+	return nil
+}
 
 func main() {
 	var (
@@ -75,7 +118,10 @@ func main() {
 		traceOut     = flag.String("trace-out", "", "write the session's Perfetto trace here after drain")
 		registerURL  = flag.String("register", "", "router base URL to self-register with (e.g. http://127.0.0.1:8090); retried in the background until acknowledged")
 		advertise    = flag.String("advertise", "", "addr to announce when registering (default: the bound addr, with unspecified hosts rewritten to 127.0.0.1)")
+		criticalDL   = flag.Duration("critical-deadline", 0, "deadlines tighter than this raise the request's QAWS criticality so it keeps high-accuracy devices (0 disables)")
 	)
+	var tenants tenantFlags
+	flag.Var(&tenants, "tenant", "per-tenant QoS as name:weight[:queue-depth]; repeatable (unlisted tenants get weight 1 and the global queue depth)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -132,7 +178,9 @@ func main() {
 		MaxBatch:           *maxBatch,
 		MaxLinger:          *maxLinger,
 		QueueDepth:         *queueDepth,
+		Tenants:            tenants.m,
 		DefaultTimeout:     *reqTimeout,
+		CriticalDeadline:   *criticalDL,
 		RetryAfter:         *retryAfter,
 		Spans:              sess.TelemetryRecorder(),
 		Tracing:            *tracing,

@@ -110,10 +110,29 @@ func (r *RemoteExecutor) ExecuteInto(op vop.Opcode, inputs []*tensor.Matrix, dst
 // trace across nodes.
 func (r *RemoteExecutor) Do(ctx context.Context, traceID string, op vop.Opcode, inputs []*tensor.Matrix, attrs map[string]float64) (*tensor.Matrix, error) {
 	req := wireExecuteRequest{Op: op.String(), Attrs: attrs}
-	if r.timeout > 0 {
-		req.TimeoutMs = int(r.timeout / time.Millisecond)
+	// The effective round-trip bound is the tighter of the adapter's
+	// configured timeout and whatever deadline the caller's context already
+	// carries (a client's timeout_ms on the scatter path). Both sides see
+	// it: the context bounds the HTTP call and the wire timeout_ms tells
+	// the backend to stop working when the client will no longer wait.
+	to := r.timeout
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			rem = time.Millisecond
+		}
+		if to <= 0 || rem < to {
+			to = rem
+		}
+	}
+	if to > 0 {
+		ms := int(to / time.Millisecond)
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMs = ms
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+		ctx, cancel = context.WithTimeout(ctx, to)
 		defer cancel()
 	}
 	req.Inputs = make([]wireMatrix, len(inputs))

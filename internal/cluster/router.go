@@ -22,8 +22,10 @@ import (
 
 // TenantHeader carries the client's tenant identity; it is the first
 // component of the placement key, so one tenant's working set stays on the
-// backends that already hold its plan and exec-time caches.
-const TenantHeader = "X-SHMT-Tenant"
+// backends that already hold its plan and exec-time caches. The backend
+// tier reads the same header into its per-tenant admission queues, so one
+// name governs the whole request path.
+const TenantHeader = serve.TenantHeader
 
 // BackendHeader names the backend that served a proxied request — smoke
 // tests and operators use it to see placement without scraping metrics.
@@ -55,6 +57,12 @@ type RouterConfig struct {
 	MaxFanout int
 	// RetryAfter is the Retry-After hint on 503 responses (default 1s).
 	RetryAfter time.Duration
+	// TenantLimits caps concurrent in-flight requests per tenant at the
+	// router, keyed by X-SHMT-Tenant value (requests without the header
+	// count under serve.DefaultTenant). A tenant over its cap is shed with
+	// 429 + Retry-After before any backend is touched. Absent tenants are
+	// unlimited.
+	TenantLimits map[string]int
 	// Logger, when non-nil, receives request and lifecycle logs.
 	Logger *slog.Logger
 }
@@ -96,6 +104,9 @@ type Router struct {
 	ln       net.Listener
 	draining atomic.Bool
 	started  time.Time
+	// tenantInflight tracks concurrent requests for capped tenants only
+	// (keys fixed at construction, so concurrent map reads are safe).
+	tenantInflight map[string]*atomic.Int64
 }
 
 // NewRouter builds a router and starts its backend pool (prober included).
@@ -105,7 +116,13 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := &Router{cfg: cfg, pool: pool, started: time.Now()}
+	rt := &Router{cfg: cfg, pool: pool, started: time.Now(),
+		tenantInflight: map[string]*atomic.Int64{}}
+	for tenant, limit := range cfg.TenantLimits {
+		if limit > 0 {
+			rt.tenantInflight[tenant] = &atomic.Int64{}
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/execute", rt.handleExecute)
 	mux.HandleFunc("POST /v1/register", rt.handleRegister)
@@ -219,6 +236,9 @@ type routerHealth struct {
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if rt.draining.Load() {
+		// Same contract as the execute path's draining 503 (and shmtserved's
+		// healthz): tell pollers when to come back.
+		w.Header().Set("Retry-After", serve.RetryAfterSeconds(rt.cfg.RetryAfter))
 		writeJSON(w, http.StatusServiceUnavailable, routerHealth{Status: "draining"})
 		return
 	}
@@ -283,9 +303,30 @@ func (rt *Router) handleExecute(w http.ResponseWriter, r *http.Request) {
 
 	if rt.draining.Load() {
 		outcome = "draining"
-		w.Header().Set("Retry-After", strconv.Itoa(int(rt.cfg.RetryAfter/time.Second)+1))
+		w.Header().Set("Retry-After", serve.RetryAfterSeconds(rt.cfg.RetryAfter))
 		writeJSON(w, http.StatusServiceUnavailable, wireError{Error: "router draining"})
 		return
+	}
+
+	tenant := serve.SanitizeTenant(r.Header.Get(TenantHeader))
+	tenantLabel := tenant
+	if tenantLabel == "" {
+		tenantLabel = serve.DefaultTenant
+	}
+	telemetry.RouterTenantRequests.With(tenantLabel).Inc()
+	if inflight, capped := rt.tenantInflight[tenantLabel]; capped {
+		if inflight.Add(1) > int64(rt.cfg.TenantLimits[tenantLabel]) {
+			inflight.Add(-1)
+			outcome = "shed"
+			telemetry.RouterTenantShed.With(tenantLabel).Inc()
+			w.Header().Set("Retry-After", serve.RetryAfterSeconds(rt.cfg.RetryAfter))
+			writeJSON(w, http.StatusTooManyRequests, wireError{
+				Error: fmt.Sprintf("tenant %q over in-flight limit %d", tenantLabel, rt.cfg.TenantLimits[tenantLabel])})
+			return
+		}
+		// handleExecute is synchronous through response relay, so the
+		// in-flight count drops as soon as the tenant's request is answered.
+		defer inflight.Add(-1)
 	}
 
 	body, err := io.ReadAll(r.Body)
@@ -347,7 +388,7 @@ func routeLogLevel(outcome string) slog.Level {
 	switch outcome {
 	case "ok", "failover_ok", "invalid":
 		return slog.LevelInfo
-	case "draining", "unavailable":
+	case "draining", "unavailable", "shed":
 		return slog.LevelWarn
 	default:
 		return slog.LevelError
@@ -361,7 +402,13 @@ func (rt *Router) shouldScatter(op vop.Opcode, rows, cols int) bool {
 	if rt.cfg.ScatterThreshold < 0 || !ScatterEligible(op) {
 		return false
 	}
-	if rows*cols < rt.cfg.ScatterThreshold {
+	// Compare in int64: rows*cols can exceed MaxInt32 on 32-bit platforms
+	// (exactly the shapes scatter exists for), and the wrapped product
+	// would silently flip the decision. Negative dimensions never scatter.
+	if rows < 0 || cols < 0 {
+		return false
+	}
+	if int64(rows)*int64(cols) < int64(rt.cfg.ScatterThreshold) {
 		return false
 	}
 	return len(rt.pool.Healthy()) >= 2
@@ -391,12 +438,26 @@ func (rt *Router) executeScatter(w http.ResponseWriter, r *http.Request, req *wi
 	if err != nil {
 		return false
 	}
-	out, oc, err := scatterExecute(r.Context(), rt.pool, plan, v, traceID, rt.cfg.BackendTimeout)
+	// Honor the client's timeout_ms exactly as the single-node path does:
+	// it bounds the whole scatter (the context) and tightens the per-
+	// partition dispatch timeout forwarded to backends.
+	ctx := r.Context()
+	timeout := rt.cfg.BackendTimeout
+	if req.TimeoutMs > 0 {
+		ct := time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout <= 0 || ct < timeout {
+			timeout = ct
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ct)
+		defer cancel()
+	}
+	out, oc, err := scatterExecute(ctx, rt.pool, plan, v, traceID, timeout)
 	switch {
 	case err == nil:
 	case errors.Is(err, errNoBackends):
 		*outcome = "unavailable"
-		w.Header().Set("Retry-After", strconv.Itoa(int(rt.cfg.RetryAfter/time.Second)+1))
+		w.Header().Set("Retry-After", serve.RetryAfterSeconds(rt.cfg.RetryAfter))
 		writeJSON(w, http.StatusServiceUnavailable, wireError{Error: err.Error()})
 		return true
 	case errors.Is(err, context.DeadlineExceeded):
@@ -425,7 +486,7 @@ func (rt *Router) executeProxy(w http.ResponseWriter, r *http.Request, body []by
 	primary, rehashed := rt.pool.Pick(key)
 	if primary == nil {
 		*outcome = "unavailable"
-		w.Header().Set("Retry-After", strconv.Itoa(int(rt.cfg.RetryAfter/time.Second)+1))
+		w.Header().Set("Retry-After", serve.RetryAfterSeconds(rt.cfg.RetryAfter))
 		writeJSON(w, http.StatusServiceUnavailable, wireError{Error: "no healthy backend"})
 		return
 	}
@@ -490,7 +551,7 @@ func (rt *Router) executeProxy(w http.ResponseWriter, r *http.Request, body []by
 		return
 	}
 	*outcome = "unavailable"
-	w.Header().Set("Retry-After", strconv.Itoa(int(rt.cfg.RetryAfter/time.Second)+1))
+	w.Header().Set("Retry-After", serve.RetryAfterSeconds(rt.cfg.RetryAfter))
 	msg := "all backends failed"
 	if lastErr != nil {
 		msg = fmt.Sprintf("all backends failed: %v", lastErr)
@@ -563,7 +624,7 @@ func outcomeForStatus(code int) string {
 func relayResponse(w http.ResponseWriter, resp *http.Response, backend, traceID string) {
 	defer resp.Body.Close()
 	for _, h := range []string{
-		"Content-Type", "Retry-After",
+		"Content-Type", "Retry-After", TenantHeader,
 		"X-SHMT-Batch-Size", "X-SHMT-Degraded", "X-SHMT-Quarantined",
 	} {
 		if v := resp.Header.Get(h); v != "" {

@@ -316,6 +316,11 @@ func TestRouterDrain(t *testing.T) {
 	if hresp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
 		t.Fatalf("healthz while draining: %d %+v", hresp.StatusCode, h)
 	}
+	// Load balancers keying off /healthz need the same back-off hint the
+	// execute path gives; a bare 503 reads as "dead", not "draining".
+	if hresp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining healthz missing Retry-After")
+	}
 }
 
 // TestPoolProbeLifecycle: a backend that goes sick is quarantined by the

@@ -205,6 +205,7 @@ func (e *Engine) RunBatch(vops []*vop.VOP) (*BatchResult, error) {
 			Makespan:      finish + float64(aggBytes)/copyBw,
 			SchedOverhead: overhead,
 		}
+		rep.CriticalHLOPs, rep.DeviceHLOPs = e.execProfile(doneBy[i])
 		batch.Reports = append(batch.Reports, rep)
 	}
 	batch.Makespan = res.deviceMakespan

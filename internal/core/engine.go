@@ -149,6 +149,27 @@ type Report struct {
 	// Degraded quantifies fault handling (quarantines, reroutes, quality
 	// impact); nil when the run saw no device failures.
 	Degraded *Degraded
+	// CriticalHLOPs counts the HLOPs the policy marked critical (routed to
+	// the most accurate device for quality); with deadline pressure applied
+	// this fraction rises, which is how a tight-deadline request's report
+	// shows it kept high-accuracy devices.
+	CriticalHLOPs int
+	// DeviceHLOPs counts executed HLOPs per device name (where partitions
+	// actually ran, stealing included).
+	DeviceHLOPs map[string]int
+}
+
+// execProfile summarizes where a run's HLOPs executed: how many were
+// criticality-marked, and the per-device execution counts.
+func (e *Engine) execProfile(done []doneHLOP) (critical int, byDevice map[string]int) {
+	byDevice = make(map[string]int, 4)
+	for _, d := range done {
+		if d.h.Critical {
+			critical++
+		}
+		byDevice[e.Reg.Get(d.h.ExecQueue).Name()]++
+	}
+	return critical, byDevice
 }
 
 // maxExecuteRetries bounds how many devices one HLOP may fail on before the
@@ -259,6 +280,7 @@ func (e *Engine) Run(v *vop.VOP) (*Report, error) {
 		PeakBytes:     tr.PeakBytes(),
 		Degraded:      fx.deg.finish(e.Reg, res.done),
 	}
+	rep.CriticalHLOPs, rep.DeviceHLOPs = e.execProfile(res.done)
 	// The host is busy for sampling and aggregation.
 	rep.Busy["cpu"] += overhead + float64(aggBytes)/copyBw
 	rep.Energy = energy.DefaultModel().Energy(energy.Usage{Makespan: makespan, Busy: rep.Busy})

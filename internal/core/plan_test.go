@@ -318,6 +318,12 @@ func TestPlanKeyComposition(t *testing.T) {
 	critical := newVOP(vop.OpAdd, mk(32, 32), mk(32, 32))
 	critical.CriticalFraction = 0.5
 	add("critical-fraction", base.planKey(critical, pol))
+	pressured := newVOP(vop.OpAdd, mk(32, 32), mk(32, 32))
+	pressured.DeadlinePressure = 0.5
+	add("deadline-pressure", base.planKey(pressured, pol))
+	pressured2 := newVOP(vop.OpAdd, mk(32, 32), mk(32, 32))
+	pressured2.DeadlinePressure = 0.75
+	add("deadline-pressure-value", base.planKey(pressured2, pol))
 }
 
 // TestPlanCacheBatchReplay runs the same micro-batch twice through RunBatch:

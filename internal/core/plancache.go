@@ -196,6 +196,8 @@ func (e *Engine) planKey(v *vop.VOP, pol sched.Policy) string {
 	b = strconv.AppendBool(b, e.Spec.ForceCopy)
 	b = append(b, '|', 'k')
 	b = strconv.AppendFloat(b, v.CriticalFraction, 'g', -1, 64)
+	b = append(b, '|', 'p')
+	b = strconv.AppendFloat(b, v.DeadlinePressure, 'g', -1, 64)
 	if len(v.Attrs) > 0 {
 		names := make([]string, 0, len(v.Attrs))
 		for name := range v.Attrs {

@@ -169,6 +169,12 @@ func (p QAWS) tierFractions(hs []*hlop.HLOP, devices int) []float64 {
 	if k > 1 {
 		k = 1
 	}
+	// Deadline pressure widens the top tier toward 1: at full pressure every
+	// partition in the window lands on the most accurate device, so a
+	// tight-deadline request never pays the NPU quality/repair tax.
+	if pr := deadlinePressure(hs); pr > 0 {
+		k += (1 - k) * pr
+	}
 	tiers := make([]float64, devices)
 	tiers[0] = k
 	if devices > 2 {
@@ -209,6 +215,14 @@ func (p QAWS) assignLimits(ctx *Context, hs []*hlop.HLOP) {
 	}
 	sorted := append([]Limit(nil), limits...)
 	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Max < sorted[b].Max })
+	// Deadline pressure shrinks every ceiling: partitions that cleared a
+	// limit at leisure exceed it under pressure and fall through to the
+	// most accurate queue (at full pressure all of them do).
+	if pr := deadlinePressure(hs); pr > 0 {
+		for i := range sorted {
+			sorted[i].Max *= 1 - pr
+		}
+	}
 	def := ordered[0]
 
 	for _, h := range hs {
@@ -222,6 +236,23 @@ func (p QAWS) assignLimits(ctx *Context, hs []*hlop.HLOP) {
 			}
 		}
 	}
+}
+
+// deadlinePressure reads the partitions' parent VOP's clamped deadline
+// pressure (0 when there is no parent or no pressure). All of a VOP's
+// partitions share one parent, so hs[0] speaks for the batch.
+func deadlinePressure(hs []*hlop.HLOP) float64 {
+	if len(hs) == 0 || hs[0].Parent == nil {
+		return 0
+	}
+	pr := hs[0].Parent.DeadlinePressure
+	if pr <= 0 {
+		return 0
+	}
+	if pr > 1 {
+		pr = 1
+	}
+	return pr
 }
 
 // medianCriticality returns the median sampled criticality (0 for no HLOPs).

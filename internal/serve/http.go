@@ -56,8 +56,16 @@ type executeResponse struct {
 // traceBlock is the response's optional tracing annex.
 type traceBlock struct {
 	TraceID      string                   `json:"trace_id"`
+	Tenant       string                   `json:"tenant,omitempty"`
 	TotalSeconds float64                  `json:"total_seconds"`
 	Stages       telemetry.StageBreakdown `json:"stages"`
+	// DeadlinePressure is the QAWS criticality boost the request's deadline
+	// earned (0 when Config.CriticalDeadline is off or the deadline is
+	// loose); CriticalHLOPs/DeviceHLOPs show where its partitions actually
+	// ran, so a tight-deadline request can verify it kept accurate devices.
+	DeadlinePressure float64        `json:"deadline_pressure,omitempty"`
+	CriticalHLOPs    int            `json:"critical_hlops"`
+	DeviceHLOPs      map[string]int `json:"device_hlops,omitempty"`
 }
 
 type healthResponse struct {
@@ -174,6 +182,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // router tier propagating its own ID) and outbound (the echo).
 const TraceHeader = "X-SHMT-Trace-Id"
 
+// TenantHeader names the tenant a request is billed and queued under. The
+// router tier keys placement on it and forwards it verbatim; the backend
+// maps requests without one to DefaultTenant.
+const TenantHeader = "X-SHMT-Tenant"
+
+// SanitizeTenant accepts a tenant name if it is non-empty, at most 64
+// bytes, and contains only [A-Za-z0-9._:-] (the trace-ID charset); anything
+// else returns "" and the request is queued under DefaultTenant.
+func SanitizeTenant(t string) string {
+	if t == "" || len(t) > 64 {
+		return ""
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == ':', c == '-':
+		default:
+			return ""
+		}
+	}
+	return t
+}
+
 // SanitizeTraceID accepts an inbound trace ID if it is non-empty, at most
 // 128 bytes, and contains only [A-Za-z0-9._:-]; anything else returns ""
 // (and a fresh ID is generated instead). The router tier applies the same
@@ -197,6 +229,16 @@ func SanitizeTraceID(id string) string {
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	outcome := "error"
+
+	tenant := SanitizeTenant(r.Header.Get(TenantHeader))
+	tenantLabel := tenant
+	if tenantLabel == "" {
+		tenantLabel = DefaultTenant
+	}
+	telemetry.ServeTenantRequests.With(tenantLabel).Inc()
+	if tenant != "" {
+		w.Header().Set(TenantHeader, tenant)
+	}
 
 	// Tracing-only request state. With Config.Tracing off none of this is
 	// touched: no trace ID, no clock reads beyond `start`, no allocations.
@@ -230,7 +272,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			}
 			if s.flight != nil {
 				s.flight.Record(telemetry.RequestTrace{
-					TraceID: traceID, Op: opName, Status: outcome,
+					TraceID: traceID, Op: opName, Tenant: tenantLabel, Status: outcome,
 					BatchSize: batchSize, Start: start,
 					TotalSeconds: total, Stages: stages, Error: errMsg,
 				})
@@ -240,6 +282,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			s.logger.LogAttrs(r.Context(), logLevel(outcome), "request",
 				slog.String("trace_id", traceID),
 				slog.String("op", opName),
+				slog.String("tenant", tenantLabel),
 				slog.String("outcome", outcome),
 				slog.Int("batch_size", batchSize),
 				slog.Float64("total_ms", total*1e3),
@@ -290,17 +333,29 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	res, err := s.batcher.Submit(ctx, shmt.BatchRequest{Op: op, Inputs: inputs, Attrs: req.Attrs, TraceID: traceID})
+	// A deadline tighter than CriticalDeadline translates into QAWS
+	// criticality pressure: the engine routes more of the request's
+	// partitions to the most accurate devices so it doesn't pay the NPU
+	// quality/repair tax while the clock runs out.
+	pressure := 0.0
+	if cd := s.cfg.CriticalDeadline; cd > 0 && timeout < cd {
+		pressure = 1 - float64(timeout)/float64(cd)
+	}
+
+	res, err := s.batcher.Submit(ctx, shmt.BatchRequest{
+		Op: op, Inputs: inputs, Attrs: req.Attrs,
+		TraceID: traceID, Tenant: tenantLabel, DeadlinePressure: pressure,
+	})
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrQueueFull):
 		outcome, errMsg = "shed", err.Error()
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		w.Header().Set("Retry-After", RetryAfterSeconds(s.cfg.RetryAfter))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrDraining), errors.Is(err, shmt.ErrSessionClosed):
 		outcome, errMsg = "draining", err.Error()
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		w.Header().Set("Retry-After", RetryAfterSeconds(s.cfg.RetryAfter))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, context.DeadlineExceeded):
@@ -334,9 +389,13 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.Tracing {
 		resp.Trace = &traceBlock{
-			TraceID:      traceID,
-			TotalSeconds: time.Since(start).Seconds(),
-			Stages:       res.Stages,
+			TraceID:          traceID,
+			Tenant:           tenantLabel,
+			TotalSeconds:     time.Since(start).Seconds(),
+			Stages:           res.Stages,
+			DeadlinePressure: pressure,
+			CriticalHLOPs:    res.Report.CriticalHLOPs,
+			DeviceHLOPs:      res.Report.DeviceHLOPs,
 		}
 	}
 	if out != nil {
@@ -384,8 +443,12 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }
 
-func retryAfterSeconds(d time.Duration) string {
-	secs := int(d / time.Second)
+// RetryAfterSeconds renders a Retry-After hint as whole seconds, rounding
+// up with a floor of 1 so sub-second hints never advertise "0". Both the
+// backend and the router tier use it, so the hint can't drift between
+// tiers.
+func RetryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}

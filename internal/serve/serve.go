@@ -1,20 +1,24 @@
 // Package serve is the concurrent serving layer in front of a shmt.Session:
-// an admission queue plus dynamic micro-batcher that coalesces concurrent
-// VOP requests into ExecuteBatch rounds, and an HTTP/JSON front-end
-// (http.go) that speaks it.
+// tenant-aware admission queues plus a dynamic micro-batcher that coalesces
+// concurrent VOP requests into ExecuteBatch rounds, and an HTTP/JSON
+// front-end (http.go) that speaks it.
 //
-// Request flow: Submit enqueues into a bounded admission queue (overflow is
+// Request flow: Submit enqueues into the request's tenant queue (overflow is
 // shed immediately — the HTTP layer answers 429 + Retry-After rather than
-// letting the queue grow without bound). A single dispatcher goroutine
-// gathers a round: it takes the first waiting request, then keeps gathering
-// until either MaxBatch requests are in hand or the first request has
-// lingered MaxLinger, whichever comes first — under load rounds fill to
+// letting any tenant's queue grow without bound). A single dispatcher
+// goroutine gathers a round: it drains the tenant queues by deficit-weighted
+// round-robin — each tenant earns quantum proportional to its configured
+// Weight, so a bursting tenant cannot starve the others — then keeps
+// gathering until either MaxBatch requests are in hand or the first request
+// has lingered MaxLinger, whichever comes first. Under load rounds fill to
 // MaxBatch back-to-back, and a lone request never waits more than the
-// linger. Each round becomes one Session.ExecuteBatch call, so the engine
+// linger. With a single tenant (or no Tenants config) the deficit rotation
+// degenerates to exactly the old shared FIFO: one queue, popped in arrival
+// order. Each round becomes one Session.ExecuteBatch call, so the engine
 // co-schedules the requests' HLOPs over shared device queues — the
 // oversubscription §5.6 of the paper credits for hiding data-exchange
 // latency. Requests whose deadline expired while queued are dropped at
-// gather time instead of wasting a batch slot.
+// flush time instead of wasting a batch slot.
 //
 // A single dispatcher is deliberate: the engine serializes runs anyway (see
 // shmt.Session), so more dispatchers would only contend; the parallelism
@@ -36,8 +40,9 @@ import (
 
 // Errors the admission path surfaces; the HTTP layer maps them to statuses.
 var (
-	// ErrQueueFull sheds a request because the admission queue is at
-	// capacity (HTTP 429 + Retry-After).
+	// ErrQueueFull sheds a request because its tenant's admission queue is at
+	// capacity (HTTP 429 + Retry-After). The error message names the shedding
+	// tenant so 429s are attributable.
 	ErrQueueFull = errors.New("serve: admission queue full")
 	// ErrDraining refuses a request because the server is shutting down
 	// (HTTP 503 + Retry-After).
@@ -51,6 +56,20 @@ type Backend interface {
 	QuarantinedDevices() []string
 }
 
+// DefaultTenant is the queue a request with no X-SHMT-Tenant header lands in.
+const DefaultTenant = "default"
+
+// TenantConfig sets one tenant's admission QoS.
+type TenantConfig struct {
+	// Weight is the tenant's deficit-round-robin drain weight: with queues
+	// backed up, a tenant drains Weight requests per rotation, so drain
+	// shares track the weight ratio. Values below 1 mean the default of 1.
+	Weight int
+	// QueueDepth bounds this tenant's own admission queue; 0 inherits the
+	// global Config.QueueDepth.
+	QueueDepth int
+}
+
 // Config tunes the serving layer. The zero value serves with the defaults
 // noted per field.
 type Config struct {
@@ -60,12 +79,25 @@ type Config struct {
 	// MaxLinger is the longest the dispatcher holds an admitted request
 	// open for company before flushing a partial round (default 2ms).
 	MaxLinger time.Duration
-	// QueueDepth bounds the admission queue; requests beyond it are shed
-	// with ErrQueueFull (default 4×MaxBatch).
+	// QueueDepth bounds each tenant's admission queue (per tenant, not
+	// shared); requests beyond it are shed with ErrQueueFull (default
+	// 4×MaxBatch). Tenants may override it via Tenants.
 	QueueDepth int
+	// Tenants configures per-tenant drain weights and queue depths, keyed by
+	// tenant name (the X-SHMT-Tenant header value; requests without one map
+	// to DefaultTenant). Tenants not listed here get weight 1 and the global
+	// QueueDepth, so with no entries at all admission behaves exactly like
+	// the old single shared FIFO.
+	Tenants map[string]TenantConfig
 	// DefaultTimeout is the per-request deadline applied when the client
 	// does not send one (default 30s).
 	DefaultTimeout time.Duration
+	// CriticalDeadline, when positive, converts per-request deadlines into
+	// QAWS criticality pressure: a request whose timeout is below this
+	// threshold carries DeadlinePressure = 1 − timeout/CriticalDeadline into
+	// the engine, raising the fraction of its partitions routed to the most
+	// accurate device. 0 (the default) disables deadline pressure entirely.
+	CriticalDeadline time.Duration
 	// RetryAfter is the Retry-After hint attached to shed and draining
 	// responses (default 1s).
 	RetryAfter time.Duration
@@ -159,16 +191,49 @@ type outcome struct {
 	err error
 }
 
-// Batcher is the admission queue + dispatcher pair.
+// tenantQueue is one tenant's FIFO admission queue plus its deficit
+// round-robin state. Guarded by Batcher.mu.
+type tenantQueue struct {
+	name    string
+	weight  int
+	depth   int
+	deficit float64
+	q       []*pending
+
+	dispatched uint64 // requests popped by the dispatcher
+	shed       uint64 // requests refused with ErrQueueFull
+}
+
+// TenantStatus is one tenant queue's point-in-time snapshot (for /statusz).
+type TenantStatus struct {
+	Name       string `json:"name"`
+	Weight     int    `json:"weight"`
+	QueueDepth int    `json:"queue_depth"`
+	Queued     int    `json:"queued"`
+	Dispatched uint64 `json:"dispatched"`
+	Shed       uint64 `json:"shed"`
+}
+
+// Batcher is the tenant-aware admission queue + dispatcher pair.
 type Batcher struct {
 	cfg Config
 	be  Backend
 
-	// mu makes the draining check-and-enqueue atomic against Close, so the
-	// queue channel can be closed without racing an in-flight send.
+	// mu guards the tenant queues, rotation state and the draining flag, so
+	// admission, the deficit round-robin pop and Close are mutually atomic.
 	mu       sync.Mutex
 	draining bool
-	queue    chan *pending
+	tenants  map[string]*tenantQueue
+	order    []*tenantQueue // rotation order = first-submission order
+	rrIdx    int            // current rotation position in order
+	queued   int            // total requests across all tenant queues
+
+	// notify wakes the dispatcher after an enqueue (buffered 1: concurrent
+	// submits coalesce into one token; the dispatcher re-pops until empty).
+	notify chan struct{}
+	// drainCh is closed by the first Close, unblocking the dispatcher's
+	// waits so it drains the queues and exits.
+	drainCh chan struct{}
 
 	// inflight counts rounds currently inside ExecuteBatch. Unlike the
 	// telemetry gauges it is not gated on the enable switch, so /statusz
@@ -181,19 +246,90 @@ type Batcher struct {
 // NewBatcher starts the dispatcher; callers own exactly one Close.
 func NewBatcher(be Backend, cfg Config) *Batcher {
 	b := &Batcher{
-		cfg:   cfg.withDefaults(),
-		be:    be,
-		queue: make(chan *pending, cfg.withDefaults().QueueDepth),
-		done:  make(chan struct{}),
+		cfg:     cfg.withDefaults(),
+		be:      be,
+		tenants: map[string]*tenantQueue{},
+		notify:  make(chan struct{}, 1),
+		drainCh: make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	go b.run()
 	return b
 }
 
+// tenantQueueLocked returns (creating on first use) the named tenant's
+// queue. Caller holds b.mu.
+func (b *Batcher) tenantQueueLocked(name string) *tenantQueue {
+	tq, ok := b.tenants[name]
+	if !ok {
+		tc := b.cfg.Tenants[name]
+		w := tc.Weight
+		if w < 1 {
+			w = 1
+		}
+		d := tc.QueueDepth
+		if d < 1 {
+			d = b.cfg.QueueDepth
+		}
+		tq = &tenantQueue{name: name, weight: w, depth: d}
+		b.tenants[name] = tq
+		b.order = append(b.order, tq)
+	}
+	return tq
+}
+
+// popLocked removes and returns the next request under deficit-weighted
+// round-robin, or nil when every queue is empty. Each rotation stop grants
+// the tenant `weight` units of deficit and drains one unit per pop, so over
+// a backlog the drain shares converge to the weight ratio; a lone tenant is
+// popped strictly FIFO. Caller holds b.mu.
+func (b *Batcher) popLocked() *pending {
+	if b.queued == 0 {
+		return nil
+	}
+	for {
+		if b.rrIdx >= len(b.order) {
+			b.rrIdx = 0
+		}
+		tq := b.order[b.rrIdx]
+		if len(tq.q) == 0 {
+			// An emptied queue forfeits unused deficit: credit must not
+			// accumulate while a tenant is idle.
+			tq.deficit = 0
+			b.rrIdx++
+			continue
+		}
+		if tq.deficit < 1 {
+			tq.deficit += float64(tq.weight)
+		}
+		p := tq.q[0]
+		tq.q[0] = nil
+		tq.q = tq.q[1:]
+		tq.deficit--
+		tq.dispatched++
+		b.queued--
+		if len(tq.q) == 0 {
+			tq.q = nil // release the drained backing array
+		}
+		if tq.deficit < 1 {
+			b.rrIdx++
+		}
+		telemetry.ServeQueueDepth.Add(-1)
+		telemetry.ServeTenantQueueDepth.With(tq.name).Add(-1)
+		telemetry.ServeTenantDispatched.With(tq.name).Inc()
+		return p
+	}
+}
+
 // Submit admits one request and blocks until its round completes or ctx
-// expires. It never blocks on admission: a full queue sheds immediately with
-// ErrQueueFull, and after Close it refuses with ErrDraining.
+// expires. It never blocks on admission: a full tenant queue sheds
+// immediately with ErrQueueFull (wrapped with the tenant name), and after
+// Close it refuses with ErrDraining.
 func (b *Batcher) Submit(ctx context.Context, req shmt.BatchRequest) (Result, error) {
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	p := &pending{req: req, ctx: ctx, done: make(chan outcome, 1)}
 	if b.cfg.Tracing {
 		p.admitted = time.Now()
@@ -207,14 +343,21 @@ func (b *Batcher) Submit(ctx context.Context, req shmt.BatchRequest) (Result, er
 		b.mu.Unlock()
 		return Result{}, ErrDraining
 	}
+	tq := b.tenantQueueLocked(tenant)
+	if len(tq.q) >= tq.depth {
+		tq.shed++
+		b.mu.Unlock()
+		telemetry.ServeTenantShed.With(tenant).Inc()
+		return Result{}, fmt.Errorf("%w: tenant %q at queue depth %d", ErrQueueFull, tenant, tq.depth)
+	}
+	tq.q = append(tq.q, p)
+	b.queued++
+	b.mu.Unlock()
 	telemetry.ServeQueueDepth.Add(1)
+	telemetry.ServeTenantQueueDepth.With(tenant).Add(1)
 	select {
-	case b.queue <- p:
-		b.mu.Unlock()
+	case b.notify <- struct{}{}:
 	default:
-		telemetry.ServeQueueDepth.Add(-1)
-		b.mu.Unlock()
-		return Result{}, ErrQueueFull
 	}
 
 	select {
@@ -222,7 +365,7 @@ func (b *Batcher) Submit(ctx context.Context, req shmt.BatchRequest) (Result, er
 		return out.res, out.err
 	case <-ctx.Done():
 		// Abandoned while queued (or mid-round): the dispatcher drops
-		// expired requests at gather time; an outcome racing in here lands
+		// expired requests at flush time; an outcome racing in here lands
 		// in the buffered channel and is garbage-collected with it.
 		return Result{}, ctx.Err()
 	}
@@ -236,9 +379,9 @@ func (b *Batcher) Close(ctx context.Context) error {
 	b.draining = true
 	b.mu.Unlock()
 	if !already {
-		// No Submit can be between its draining check and the send now, so
-		// closing the channel is race-free; buffered requests still drain.
-		close(b.queue)
+		// No Submit can be between its draining check and its enqueue now,
+		// so the dispatcher drains a frozen backlog and exits.
+		close(b.drainCh)
 	}
 	select {
 	case <-b.done:
@@ -248,16 +391,15 @@ func (b *Batcher) Close(ctx context.Context) error {
 	}
 }
 
-// run is the dispatcher: one micro-batch round per iteration until the
-// queue is closed and empty.
+// run is the dispatcher: one micro-batch round per iteration until draining
+// has been requested and the queues are empty.
 func (b *Batcher) run() {
 	defer close(b.done)
 	for {
-		first, ok := <-b.queue
-		if !ok {
+		first := b.waitPop()
+		if first == nil {
 			return
 		}
-		telemetry.ServeQueueDepth.Add(-1)
 		if b.cfg.Tracing {
 			first.gathered = time.Now()
 		}
@@ -265,17 +407,62 @@ func (b *Batcher) run() {
 	}
 }
 
-// QueueLen returns how many requests are waiting in the admission queue.
-func (b *Batcher) QueueLen() int { return len(b.queue) }
+// waitPop blocks until a request is available (returning it) or draining
+// begins with nothing queued (returning nil).
+func (b *Batcher) waitPop() *pending {
+	for {
+		b.mu.Lock()
+		p := b.popLocked()
+		draining := b.draining
+		b.mu.Unlock()
+		if p != nil {
+			return p
+		}
+		if draining {
+			return nil
+		}
+		select {
+		case <-b.notify:
+		case <-b.drainCh:
+		}
+	}
+}
 
-// QueueCap returns the admission queue's capacity.
-func (b *Batcher) QueueCap() int { return cap(b.queue) }
+// QueueLen returns how many requests are waiting across all tenant queues.
+func (b *Batcher) QueueLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queued
+}
+
+// QueueCap returns the default per-tenant admission queue bound.
+func (b *Batcher) QueueCap() int { return b.cfg.QueueDepth }
 
 // InFlight returns how many micro-batch rounds are currently executing.
 func (b *Batcher) InFlight() int64 { return b.inflight.Load() }
 
-// gather assembles one round: the first request plus whatever arrives until
-// MaxBatch is reached or the first request has lingered MaxLinger.
+// Tenants snapshots every tenant queue seen so far, in first-submission
+// order.
+func (b *Batcher) Tenants() []TenantStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]TenantStatus, 0, len(b.order))
+	for _, tq := range b.order {
+		out = append(out, TenantStatus{
+			Name:       tq.name,
+			Weight:     tq.weight,
+			QueueDepth: tq.depth,
+			Queued:     len(tq.q),
+			Dispatched: tq.dispatched,
+			Shed:       tq.shed,
+		})
+	}
+	return out
+}
+
+// gather assembles one round: the first request plus whatever the deficit
+// rotation yields until MaxBatch is reached or the first request has
+// lingered MaxLinger.
 func (b *Batcher) gather(first *pending) []*pending {
 	batch := []*pending{first}
 	if b.cfg.MaxBatch == 1 {
@@ -284,17 +471,34 @@ func (b *Batcher) gather(first *pending) []*pending {
 	linger := time.NewTimer(b.cfg.MaxLinger)
 	defer linger.Stop()
 	for len(batch) < b.cfg.MaxBatch {
-		select {
-		case p, ok := <-b.queue:
-			if !ok {
-				return batch // draining: take what is buffered and go
-			}
-			telemetry.ServeQueueDepth.Add(-1)
+		b.mu.Lock()
+		p := b.popLocked()
+		b.mu.Unlock()
+		if p != nil {
 			if b.cfg.Tracing {
 				p.gathered = time.Now()
 			}
 			batch = append(batch, p)
+			continue
+		}
+		select {
+		case <-b.notify:
 		case <-linger.C:
+			return batch
+		case <-b.drainCh:
+			// Draining: take what is queued (the backlog is frozen) and go.
+			for len(batch) < b.cfg.MaxBatch {
+				b.mu.Lock()
+				p := b.popLocked()
+				b.mu.Unlock()
+				if p == nil {
+					return batch
+				}
+				if b.cfg.Tracing {
+					p.gathered = time.Now()
+				}
+				batch = append(batch, p)
+			}
 			return batch
 		}
 	}

@@ -10,13 +10,16 @@ import (
 	"shmt"
 )
 
-// fakeBackend records batch sizes and can be gated to hold rounds open.
+// fakeBackend records batch sizes (and each request's tenant, in dispatch
+// order) and can be gated to hold rounds open.
 type fakeBackend struct {
-	mu    sync.Mutex
-	sizes []int
-	gate  chan struct{} // when non-nil, each round blocks until a receive
-	quar  []string
-	err   error
+	mu      sync.Mutex
+	sizes   []int
+	tenants []string            // per request, in dispatch order
+	reqs    []shmt.BatchRequest // per request, in dispatch order
+	gate    chan struct{}       // when non-nil, each round blocks until a receive
+	quar    []string
+	err     error
 }
 
 func (f *fakeBackend) ExecuteBatch(reqs []shmt.BatchRequest) (*shmt.BatchResult, error) {
@@ -25,6 +28,10 @@ func (f *fakeBackend) ExecuteBatch(reqs []shmt.BatchRequest) (*shmt.BatchResult,
 	}
 	f.mu.Lock()
 	f.sizes = append(f.sizes, len(reqs))
+	for _, r := range reqs {
+		f.tenants = append(f.tenants, r.Tenant)
+		f.reqs = append(f.reqs, r)
+	}
 	f.mu.Unlock()
 	if f.err != nil {
 		return nil, f.err
@@ -42,6 +49,18 @@ func (f *fakeBackend) batchSizes() []int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return append([]int(nil), f.sizes...)
+}
+
+func (f *fakeBackend) tenantOrder() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.tenants...)
+}
+
+func (f *fakeBackend) requests() []shmt.BatchRequest {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]shmt.BatchRequest(nil), f.reqs...)
 }
 
 func testReq() shmt.BatchRequest {

@@ -44,6 +44,9 @@ type statuszResponse struct {
 	InFlightRounds int64   `json:"inflight_rounds"`
 	MaxBatch       int     `json:"max_batch"`
 	MaxLingerMs    float64 `json:"max_linger_ms"`
+	// Tenants lists every tenant admission queue seen so far (weight, depth,
+	// backlog and lifetime dispatch/shed counters).
+	Tenants []TenantStatus `json:"tenants,omitempty"`
 
 	// Host worker pool (busy/chunks are zero unless telemetry is enabled).
 	Workers           int     `json:"workers"`
@@ -68,6 +71,7 @@ func (s *Server) statusSnapshot() statuszResponse {
 		QueueLen:       s.batcher.QueueLen(),
 		QueueCap:       s.batcher.QueueCap(),
 		InFlightRounds: s.batcher.InFlight(),
+		Tenants:        s.batcher.Tenants(),
 		MaxBatch:       s.cfg.MaxBatch,
 		MaxLingerMs:    float64(s.cfg.MaxLinger) / float64(time.Millisecond),
 		Workers:        parallel.Workers(),
@@ -113,6 +117,8 @@ td,th{border:1px solid #999;padding:4px 10px;text-align:left}
 <tr><th>devices</th><td>{{range .Devices}}{{.}} {{end}}</td></tr>
 <tr><th>quarantined</th><td>{{range .Quarantined}}{{.}} {{end}}</td></tr>
 <tr><th>queue</th><td>{{.QueueLen}} / {{.QueueCap}}</td></tr>
+{{range .Tenants}}<tr><th>tenant {{.Name}}</th><td>w{{.Weight}} &mdash; {{.Queued}}/{{.QueueDepth}} queued, {{.Dispatched}} dispatched, {{.Shed}} shed</td></tr>
+{{end}}
 <tr><th>in-flight rounds</th><td>{{.InFlightRounds}}</td></tr>
 <tr><th>batch rounds</th><td>{{.BatchRounds}}</td></tr>
 <tr><th>max batch / linger</th><td>{{.MaxBatch}} / {{.MaxLingerMs}}ms</td></tr>

@@ -171,6 +171,25 @@ var (
 		"End-to-end wall-clock request latency in the serving layer.",
 		ExpBuckets(1e-4, 4, 12))
 
+	// Multi-tenant QoS (per-tenant admission queues; requests without an
+	// X-SHMT-Tenant header count under "default").
+
+	// ServeTenantRequests counts serving-layer requests per tenant.
+	ServeTenantRequests = Default.NewCounterVec("shmt_serve_tenant_requests_total",
+		"Serving-layer requests by tenant.", "tenant")
+	// ServeTenantShed counts requests refused because their tenant's
+	// admission queue was at its configured depth.
+	ServeTenantShed = Default.NewCounterVec("shmt_serve_tenant_shed_total",
+		"Requests shed at admission because the tenant's queue was full.", "tenant")
+	// ServeTenantDispatched counts requests the deficit-weighted round-robin
+	// dispatcher popped per tenant — under backlog the per-tenant rates
+	// track the configured weights.
+	ServeTenantDispatched = Default.NewCounterVec("shmt_serve_tenant_dispatched_total",
+		"Requests dispatched into micro-batch rounds, by tenant.", "tenant")
+	// ServeTenantQueueDepth gauges each tenant queue's current depth.
+	ServeTenantQueueDepth = Default.NewGaugeVec("shmt_serve_tenant_queue_depth",
+		"Requests waiting in each tenant's admission queue.", "tenant")
+
 	// Router tier (internal/cluster, cmd/shmtrouterd).
 
 	// RouterRequests counts routed requests by outcome (ok, failover_ok —
@@ -233,6 +252,14 @@ var (
 	RouterRequestSeconds = Default.NewHistogram("shmt_router_request_seconds",
 		"End-to-end wall-clock request latency at the router tier.",
 		ExpBuckets(1e-4, 4, 12))
+	// RouterTenantRequests counts routed requests per tenant (requests
+	// without an X-SHMT-Tenant header count under "default").
+	RouterTenantRequests = Default.NewCounterVec("shmt_router_tenant_requests_total",
+		"Router-tier requests by tenant.", "tenant")
+	// RouterTenantShed counts requests the router refused because the tenant
+	// was over its configured in-flight cap.
+	RouterTenantShed = Default.NewCounterVec("shmt_router_tenant_shed_total",
+		"Requests shed at the router because the tenant exceeded its in-flight cap.", "tenant")
 
 	// Input prefetch (double-buffered staging pipeline).
 

@@ -55,6 +55,9 @@ type RequestTrace struct {
 	TraceID string `json:"trace_id"`
 	// Op is the request's opcode name.
 	Op string `json:"op"`
+	// Tenant is the queue the request was admitted under ("default" when the
+	// request carried no X-SHMT-Tenant header).
+	Tenant string `json:"tenant,omitempty"`
 	// Status is the request outcome ("ok", "shed", "timeout", ...), the same
 	// label set as shmt_serve_requests_total.
 	Status string `json:"status"`

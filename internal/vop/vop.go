@@ -199,6 +199,14 @@ type VOP struct {
 	// default".
 	CriticalFraction float64
 
+	// DeadlinePressure (0..1) is the serving layer's deadline urgency: how
+	// close the request's timeout is to the server's critical-deadline
+	// threshold. QAWS raises the effective critical fraction with it (and
+	// tightens criticality ceilings), so tight-deadline work keeps
+	// high-accuracy devices. It participates in the plan-cache key, so
+	// callers should quantize it (the serving layer uses 1/16 steps).
+	DeadlinePressure float64
+
 	// TraceID, when set, links this VOP to a serving-layer request trace.
 	// The engine stamps it onto the device-lane spans of every HLOP
 	// partitioned from this VOP, so a request can be followed into the

@@ -15,7 +15,10 @@
 #   (6) a large eligible VOP scatter-gathers across backends
 #       (X-SHMT-Scatter header, shmt_router_scatter_requests_total > 0) and
 #       reassembles the right answer,
-#   (7) SIGTERM drains router and backends to clean exits.
+#   (7) a tenant over its -tenant-limit in-flight quota is shed with 429 at
+#       the router (shmt_router_tenant_shed_total > 0) while uncapped tenants
+#       stay all-200,
+#   (8) SIGTERM drains router and backends to clean exits.
 #
 # Router /statusz and /metrics snapshots land in ARTIFACT_DIR for CI upload.
 # Every scratch file lives in a private mktemp dir and every port is
@@ -71,10 +74,13 @@ echo "backends up on $B1 and $B2"
 
 # Tight probe/breaker settings so the smoke sees quarantine and re-admission
 # inside seconds; a scatter threshold small enough for a 64x64 add to fan out.
+# The capped tenant gets one in-flight slot so the quota section below can
+# observe router-side shedding without touching any backend.
 "$ROUTERD" -addr 127.0.0.1:0 -backends "$B1,$B2" \
     -probe-interval 100ms -probe-timeout 1s \
     -breaker-threshold 2 -breaker-cooldown 300ms \
     -scatter-threshold 4096 -max-fanout 4 \
+    -tenant-limit capped:1 \
     -log-format json >"$WORKDIR/router.log" 2>&1 &
 RPID=$!
 PIDS="$PIDS $RPID"
@@ -147,6 +153,44 @@ A2=$(curl -s -D - -o /dev/null -H 'X-SHMT-Tenant: sticky' -d "$BODY" "http://$RO
 [ -n "$A1" ] && [ "$A1" = "$A2" ] || {
     echo "FAIL: key affinity broken: '$A1' then '$A2'"; exit 1; }
 echo "key affinity holds on $A1"
+
+# --- tenant quota: the capped tenant (max 1 in flight) must shed with 429 ---
+# Fire concurrent capped-tenant requests until two overlap at the router;
+# the overflow answers 429 + Retry-After without touching a backend, and the
+# shed shows up in shmt_router_tenant_shed_total. The uncapped tenant-$i
+# volleys before and after stay all-200.
+CAPPED_SHED=0
+qr=0
+while [ "$qr" -lt 10 ]; do
+    qr=$((qr + 1))
+    QPIDS=""
+    i=0
+    while [ "$i" -lt 8 ]; do
+        i=$((i + 1))
+        curl -s -o /dev/null -w '%{http_code}\n' -H 'X-SHMT-Tenant: capped' \
+            -d "$BODY" "http://$ROUTER/v1/execute" >"$WORKDIR/qcode.$i" &
+        QPIDS="$QPIDS $!"
+    done
+    for qp in $QPIDS; do wait "$qp" || true; done
+    i=0
+    while [ "$i" -lt 8 ]; do
+        i=$((i + 1))
+        qc=$(cat "$WORKDIR/qcode.$i")
+        case "$qc" in
+            200) ;;
+            429) CAPPED_SHED=$((CAPPED_SHED + 1)) ;;
+            *) echo "FAIL: capped request $i got HTTP $qc (want 200 or 429)"; exit 1 ;;
+        esac
+    done
+    [ "$CAPPED_SHED" -gt 0 ] && break
+done
+rm -f "$WORKDIR"/qcode.*
+[ "$CAPPED_SHED" -gt 0 ] || {
+    echo "FAIL: capped tenant (limit 1) never shed a 429 in $qr volleys"; exit 1; }
+[ "$(metric shmt_router_tenant_shed_total)" -ge 1 ] || {
+    echo "FAIL: router tenant shed not counted in exposition"; exit 1; }
+fire_volley postquota
+echo "tenant quota: capped shed $CAPPED_SHED request(s) at the router, other tenants clean"
 
 # Scatter-gather: a 64x64 add clears the 4096-element threshold; it must fan
 # out (X-SHMT-Scatter >= 2) and still sum correctly.

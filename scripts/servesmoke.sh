@@ -13,6 +13,13 @@
 # ARTIFACT_DIR for CI upload: a /statusz snapshot and the daemon's Perfetto
 # trace (written at drain via -trace-out).
 #
+# Two tenant QoS checks ride along: (6) a quota-limited tenant (weight 1,
+# queue depth 1) sheds 429s under concurrent overload while a premium tenant
+# in the same volleys stays all-200, reconciled against the
+# shmt_serve_tenant_* exposition; (7) a request whose timeout_ms is far
+# inside -critical-deadline reports deadline pressure and a critical-majority
+# HLOP placement in its trace block.
+#
 # The listen address comes from SHMT_SERVE_ADDR (default 127.0.0.1:0, an
 # ephemeral port) and every scratch file lives in a private mktemp dir, so
 # several smoke runs — this one and clustersmoke.sh included — can run on the
@@ -35,8 +42,12 @@ mkdir -p "$ARTIFACT_DIR"
 go build -o "$BIN" ./cmd/shmtserved
 
 # A generous linger so one volley of concurrent curls lands in one round even
-# on a slow CI runner.
+# on a slow CI runner. Two tenants exercise the weighted-fair queues: burst is
+# quota-limited (weight 1, queue depth 1, so overload sheds), premium gets
+# weight 4. A 2s critical-deadline lets the criticality check below drive QAWS
+# with a tight timeout_ms.
 "$BIN" -addr "$ADDR_FLAG" -max-batch 8 -max-linger 150ms \
+    -tenant burst:1:1 -tenant premium:4 -critical-deadline 2s \
     -log-format json -trace-out "$TRACE_OUT" >"$LOG" 2>&1 &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
@@ -89,6 +100,105 @@ done
 rm -f "$WORKDIR"/resp.* "$WORKDIR"/code.*
 echo "all $((VOLLEYS * CONCURRENCY)) requests answered 200"
 
+# Tenant QoS: the burst tenant (queue depth 1) must shed under concurrent
+# overload while every premium request in the same volley still answers 200.
+# Shedding needs the dispatcher busy with a burst request already queued, so
+# premium's wedge requests are 256x256 GEMMs — heavy enough (~50ms rounds)
+# that the burst volley piles into its one-slot queue. Retry a few times to
+# absorb timing variance on slow runners.
+GEMM_BODY="$WORKDIR/gemm.json"
+awk 'BEGIN{
+    printf "{\"op\":\"gemm\",\"inputs\":["
+    for (m = 0; m < 2; m++) {
+        printf "%s{\"rows\":256,\"cols\":256,\"data\":[", (m ? "," : "")
+        for (i = 0; i < 65536; i++) printf "%s1", (i ? "," : "")
+        printf "]}"
+    }
+    printf "]}"
+}' >"$GEMM_BODY"
+BURST_SHED=0
+qos_round=0
+while [ "$qos_round" -lt 10 ]; do
+    qos_round=$((qos_round + 1))
+    CURL_PIDS=""
+    i=0
+    while [ "$i" -lt 4 ]; do
+        i=$((i + 1))
+        curl -s -o /dev/null -w '%{http_code}\n' -H 'X-SHMT-Tenant: premium' \
+            -d @"$GEMM_BODY" "http://$ADDR/v1/execute" >"$WORKDIR/pcode.$i" &
+        CURL_PIDS="$CURL_PIDS $!"
+    done
+    sleep 0.05 # let a premium round occupy the dispatcher first
+    i=0
+    while [ "$i" -lt 16 ]; do
+        i=$((i + 1))
+        curl -s -o /dev/null -w '%{http_code}\n' -H 'X-SHMT-Tenant: burst' \
+            -d "$BODY" "http://$ADDR/v1/execute" >"$WORKDIR/bcode.$i" &
+        CURL_PIDS="$CURL_PIDS $!"
+    done
+    for cp in $CURL_PIDS; do
+        wait "$cp" || true
+    done
+    i=0
+    while [ "$i" -lt 4 ]; do
+        i=$((i + 1))
+        pc=$(cat "$WORKDIR/pcode.$i")
+        [ "$pc" = "200" ] || {
+            echo "FAIL: premium request $i got HTTP $pc during burst overload"; exit 1; }
+    done
+    i=0
+    while [ "$i" -lt 16 ]; do
+        i=$((i + 1))
+        bc=$(cat "$WORKDIR/bcode.$i")
+        case "$bc" in
+            200) ;;
+            429) BURST_SHED=$((BURST_SHED + 1)) ;;
+            *) echo "FAIL: burst request $i got HTTP $bc (want 200 or 429)"; exit 1 ;;
+        esac
+    done
+    [ "$BURST_SHED" -gt 0 ] && break
+done
+rm -f "$WORKDIR"/pcode.* "$WORKDIR"/bcode.*
+[ "$BURST_SHED" -gt 0 ] || {
+    echo "FAIL: burst tenant (queue depth 1) never shed a 429 in $qos_round overload volleys"; exit 1; }
+echo "tenant QoS: burst shed $BURST_SHED request(s), premium unaffected ($qos_round volley(s))"
+
+# Deadline-driven criticality: a timeout_ms far inside the 2s critical
+# deadline must surface as deadline pressure in the trace block, with at
+# least half the request's HLOPs flagged critical (kept on high-accuracy
+# devices). A 64x64 input partitions into many HLOPs, so the critical
+# majority is a real scheduling outcome, not a single-partition tautology.
+TIGHT="$WORKDIR/tight.json"
+awk 'BEGIN{
+    printf "{\"op\":\"add\",\"timeout_ms\":200,\"inputs\":["
+    for (m = 0; m < 2; m++) {
+        printf "%s{\"rows\":64,\"cols\":64,\"data\":[", (m ? "," : "")
+        for (i = 0; i < 4096; i++) printf "%s%d", (i ? "," : ""), i % 5
+        printf "]}"
+    }
+    printf "]}"
+}' >"$WORKDIR/tightbody.json"
+TCODE=$(curl -s -o "$TIGHT" -w '%{http_code}' \
+    -d @"$WORKDIR/tightbody.json" "http://$ADDR/v1/execute")
+[ "$TCODE" = "200" ] || { echo "FAIL: tight-deadline request: HTTP $TCODE"; cat "$TIGHT"; exit 1; }
+awk '
+    {
+        if (match($0, /"deadline_pressure":[0-9.]+/))
+            pressure = substr($0, RSTART + 20, RLENGTH - 20) + 0
+        if (match($0, /"critical_hlops":[0-9]+/))
+            critical = substr($0, RSTART + 17, RLENGTH - 17) + 0
+        if (match($0, /"hlops":[0-9]+/))
+            hlops = substr($0, RSTART + 8, RLENGTH - 8) + 0
+    }
+    END {
+        if (pressure < 0.8) { printf "FAIL: deadline_pressure %s, want >= 0.8\n", pressure; exit 1 }
+        if (hlops < 1) { print "FAIL: no hlops in response"; exit 1 }
+        if (critical * 2 < hlops) {
+            printf "FAIL: only %d of %d HLOPs critical under deadline pressure\n", critical, hlops; exit 1 }
+        printf "deadline pressure %.2f: %d of %d HLOPs critical\n", pressure, critical, hlops
+    }' "$TIGHT"
+rm -f "$TIGHT"
+
 EXPO=$(curl -s "http://$ADDR/metrics")
 echo "$EXPO" | grep -q '^shmt_serve_batches_total' || {
     echo "FAIL: /metrics not scrapeable or missing serve metrics"; exit 1; }
@@ -99,6 +209,20 @@ echo "$EXPO" | awk '
         if (count == "" || sum == "") { print "FAIL: batch-size series missing"; exit 1 }
         printf "batch rounds: %d, requests batched: %d (mean %.2f)\n", count, sum, sum / count
         if (sum + 0 <= count + 0) { print "FAIL: no round coalesced more than one request"; exit 1 }
+    }'
+
+# Tenant accounting must reconcile with the volley outcomes above: burst's
+# shed counter matches its 429s, and premium shed nothing.
+echo "$EXPO" | awk -v shed="$BURST_SHED" '
+    /^shmt_serve_tenant_shed_total\{tenant="burst"\}/    { bshed = $2 }
+    /^shmt_serve_tenant_shed_total\{tenant="premium"\}/  { pshed = $2 }
+    /^shmt_serve_tenant_requests_total\{tenant="premium"\}/ { preq = $2 }
+    END {
+        if (bshed + 0 < 1) { print "FAIL: shmt_serve_tenant_shed_total{tenant=\"burst\"} missing or zero"; exit 1 }
+        if (bshed + 0 != shed + 0) { printf "FAIL: burst shed counter %d != observed 429s %d\n", bshed, shed; exit 1 }
+        if (pshed + 0 != 0) { printf "FAIL: premium shed %d requests\n", pshed; exit 1 }
+        if (preq + 0 < 1) { print "FAIL: no shmt_serve_tenant_requests_total{tenant=\"premium\"} series"; exit 1 }
+        printf "tenant metrics: burst shed %d, premium %d requests none shed\n", bshed, preq
     }'
 
 # Trace round-trip: an inbound X-SHMT-Trace-Id must come back on the
